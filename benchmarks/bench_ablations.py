@@ -1,0 +1,183 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5.
+
+Each ablation runs SoCL with one knob flipped on the same scenario and
+records the objective, letting the benchmark JSON document the
+contribution of each mechanism:
+
+* ω (parallel-merge rate) sweep — merge aggressiveness vs quality;
+* ξ percentile sweep — partition granularity;
+* Θ disturbance — premature-stop protection;
+* candidate nodes on/off (Theorem 1);
+* FuzzyAHP storage planning vs naive eviction;
+* relocation polish on/off;
+* final routing: per-request DP vs the paper's greedy reliance rule;
+* latency model: chain vs star.
+"""
+
+import pytest
+
+from repro.core import SoCL, SoCLConfig
+from repro.experiments.scenarios import ScenarioParams, build_scenario
+
+SCENARIO = ScenarioParams(n_servers=10, n_users=60, seed=0)
+
+
+def _instance(**overrides):
+    return build_scenario(SCENARIO.with_(**overrides))
+
+
+def _run(benchmark, config: SoCLConfig, instance=None, tag: str = ""):
+    instance = instance or _instance()
+    solver = SoCL(config)
+    result = benchmark.pedantic(
+        solver.solve, args=(instance,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["figure"] = "ablation"
+    benchmark.extra_info["tag"] = tag
+    benchmark.extra_info["objective"] = result.report.objective
+    benchmark.extra_info["cost"] = result.report.cost
+    benchmark.extra_info["latency_sum"] = result.report.latency_sum
+    assert result.feasibility.budget_ok and result.feasibility.storage_ok
+    return result
+
+
+@pytest.mark.parametrize("omega", [0.05, 0.2, 0.5, 0.9])
+def test_ablation_omega(benchmark, omega):
+    _run(benchmark, SoCLConfig(omega=omega), tag=f"omega={omega}")
+
+
+@pytest.mark.parametrize("pct", [0.1, 0.5, 0.9])
+def test_ablation_xi_percentile(benchmark, pct):
+    _run(benchmark, SoCLConfig(xi_percentile=pct), tag=f"xi_pct={pct}")
+
+
+@pytest.mark.parametrize("theta", [0.0, 1.0, 50.0])
+def test_ablation_theta(benchmark, theta):
+    _run(benchmark, SoCLConfig(theta=theta), tag=f"theta={theta}")
+
+
+@pytest.mark.parametrize("enabled", [True, False])
+def test_ablation_candidate_nodes(benchmark, enabled):
+    _run(
+        benchmark,
+        SoCLConfig(candidate_nodes=enabled),
+        tag=f"candidates={enabled}",
+    )
+
+
+@pytest.mark.parametrize("enabled", [True, False])
+def test_ablation_storage_planning(benchmark, enabled):
+    _run(
+        benchmark,
+        SoCLConfig(storage_planning=enabled),
+        tag=f"fuzzy_storage={enabled}",
+    )
+
+
+@pytest.mark.parametrize("enabled", [True, False])
+def test_ablation_relocation(benchmark, enabled):
+    result = _run(
+        benchmark, SoCLConfig(relocation=enabled), tag=f"relocation={enabled}"
+    )
+    benchmark.extra_info["relocations"] = result.stats.relocations
+
+
+@pytest.mark.parametrize("routing", ["optimal", "greedy"])
+def test_ablation_routing(benchmark, routing):
+    _run(benchmark, SoCLConfig(routing=routing), tag=f"routing={routing}")
+
+
+@pytest.mark.parametrize("model", ["chain", "star"])
+def test_ablation_latency_model(benchmark, model):
+    _run(
+        benchmark,
+        SoCLConfig(),
+        instance=_instance(latency_model=model),
+        tag=f"model={model}",
+    )
+
+
+def test_ablation_relocation_improves(benchmark):
+    """The relocation polish must never hurt the objective."""
+
+    def compare():
+        inst = _instance()
+        with_reloc = SoCL(SoCLConfig(relocation=True)).solve(inst)
+        without = SoCL(SoCLConfig(relocation=False)).solve(inst)
+        return with_reloc.report.objective, without.report.objective
+
+    with_r, without_r = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["with_relocation"] = with_r
+    benchmark.extra_info["without_relocation"] = without_r
+    print(f"\nrelocation: {without_r:,.1f} → {with_r:,.1f}")
+    assert with_r <= without_r + 1e-6
+
+
+def test_ablation_dp_routing_improves(benchmark):
+    """DP routing must beat the greedy reliance rule on latency."""
+
+    def compare():
+        inst = _instance()
+        dp = SoCL(SoCLConfig(routing="optimal")).solve(inst)
+        greedy = SoCL(SoCLConfig(routing="greedy")).solve(inst)
+        return dp.report.latency_sum, greedy.report.latency_sum
+
+    dp_lat, greedy_lat = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["dp_latency"] = dp_lat
+    benchmark.extra_info["greedy_latency"] = greedy_lat
+    assert dp_lat <= greedy_lat + 1e-6
+
+
+def test_ablation_stage_contributions(benchmark):
+    """Per-stage contribution: pre-provisioning alone (generous, over
+    budget) → + parallel merges (budget-feasible) → full pipeline
+    (+ serial descent + relocation)."""
+    from repro.core import (
+        initial_partition,
+        multi_scale_combination,
+        preprovision,
+    )
+    from repro.model import evaluate, optimal_routing
+    from repro.model.cost import deployment_cost
+
+    def stages():
+        inst = _instance()
+        cfg = SoCLConfig()
+        parts = initial_partition(inst, cfg)
+        pre = preprovision(inst, parts, cfg)
+        pre_cost = deployment_cost(inst, pre)
+        placement, _ = multi_scale_combination(inst, parts, pre, cfg)
+        full = evaluate(inst, placement, optimal_routing(inst, placement))
+        pre_obj = evaluate(inst, pre, optimal_routing(inst, pre))
+        return pre_cost, pre_obj.objective, full.objective
+
+    pre_cost, pre_obj, full_obj = benchmark.pedantic(stages, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "ablation"
+    benchmark.extra_info["preprovision_cost"] = pre_cost
+    benchmark.extra_info["preprovision_objective"] = pre_obj
+    benchmark.extra_info["full_objective"] = full_obj
+    print(
+        f"\nstages: pre-provision cost {pre_cost:,.0f} "
+        f"(obj {pre_obj:,.0f}) → combined obj {full_obj:,.0f}"
+    )
+    # pre-provisioning is deliberately generous; combination must pay off
+    assert full_obj < pre_obj
+
+
+def test_ablation_kube_baseline(benchmark):
+    """Extension baseline: the demand-agnostic K8s-style scheduler loses
+    to SoCL on the same scenario."""
+    from repro.baselines import KubeScheduler
+
+    def compare():
+        inst = _instance()
+        kube = KubeScheduler().solve(inst)
+        socl = SoCL().solve(inst)
+        return kube.report.objective, socl.report.objective
+
+    kube_obj, socl_obj = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "ablation"
+    benchmark.extra_info["kube_objective"] = kube_obj
+    benchmark.extra_info["socl_objective"] = socl_obj
+    print(f"\nK8s scheduler {kube_obj:,.0f} vs SoCL {socl_obj:,.0f}")
+    assert socl_obj <= kube_obj

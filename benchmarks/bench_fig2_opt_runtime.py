@@ -1,0 +1,61 @@
+"""Fig. 2 — runtime of optimal solutions using the exact ILP solver.
+
+Paper: Gurobi runtime grows exponentially (log-scale y-axis) as users go
+40 → 60 on 10-30 edge servers.  Reduced scale here: 4-10 users on 5
+servers with HiGHS; the growth factor between the smallest and largest
+scale demonstrates the same explosion (asserted > 2×; typically > 100×).
+"""
+
+import pytest
+
+from repro.baselines import OptimalSolver
+from repro.experiments.scenarios import ScenarioParams, build_scenario
+
+USER_SCALES = (4, 8, 10)
+N_SERVERS = 5
+
+_runtimes: dict[int, float] = {}
+
+
+def _instance(n_users: int):
+    return build_scenario(
+        ScenarioParams(
+            n_servers=N_SERVERS, n_users=n_users, seed=0, max_chain=4
+        )
+    )
+
+
+@pytest.mark.parametrize("n_users", USER_SCALES)
+def test_fig2_opt_runtime(benchmark, n_users):
+    instance = _instance(n_users)
+    solver = OptimalSolver(time_limit=300.0)
+    result = benchmark.pedantic(
+        solver.solve, args=(instance,), rounds=1, iterations=1
+    )
+    _runtimes[n_users] = result.runtime
+    benchmark.extra_info["figure"] = "fig2"
+    benchmark.extra_info["n_users"] = n_users
+    benchmark.extra_info["n_servers"] = N_SERVERS
+    benchmark.extra_info["objective"] = result.report.objective
+    benchmark.extra_info["status"] = result.extra["status"]
+    benchmark.extra_info["n_variables"] = result.extra["n_variables"]
+    assert result.extra["status"] == "optimal"
+
+
+def test_fig2_runtime_explodes(benchmark):
+    """Growth check: exact solving gets disproportionately slower."""
+
+    def growth() -> float:
+        lo = _runtimes.get(USER_SCALES[0])
+        hi = _runtimes.get(USER_SCALES[-1])
+        if lo is None or hi is None:  # direct invocation order safety
+            lo = OptimalSolver().solve(_instance(USER_SCALES[0])).runtime
+            hi = OptimalSolver().solve(_instance(USER_SCALES[-1])).runtime
+        return hi / max(lo, 1e-9)
+
+    factor = benchmark.pedantic(growth, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "fig2"
+    benchmark.extra_info["runtime_growth_factor"] = factor
+    print(f"\nFig.2: OPT runtime growth x{factor:.1f} "
+          f"({USER_SCALES[0]}→{USER_SCALES[-1]} users, {N_SERVERS} servers)")
+    assert factor > 2.0

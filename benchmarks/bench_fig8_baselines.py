@@ -1,0 +1,75 @@
+"""Fig. 8 — objective (cost & latency) per algorithm across user scales.
+
+Paper (10 servers, users 80-200): SoCL lowest everywhere with the
+smallest growth; GC-OG second but orders slower; JDR suffers redundancy;
+RP worst and degrading fastest.  Reduced scale: 40 and 80 users.  The
+ordering benchmark asserts the paper's ranking.
+"""
+
+import pytest
+
+from repro.baselines import (
+    GreedyCombineOG,
+    JointDeploymentRouting,
+    RandomProvisioning,
+)
+from repro.core import SoCL
+from repro.experiments.scenarios import ScenarioParams, build_scenario
+
+USER_SCALES = (40, 80)
+_objectives: dict[tuple[str, int], float] = {}
+
+
+def _instance(n_users: int):
+    return build_scenario(ScenarioParams(n_servers=10, n_users=n_users, seed=0))
+
+
+SOLVERS = {
+    "RP": lambda: RandomProvisioning(seed=0),
+    "JDR": lambda: JointDeploymentRouting(),
+    "GC-OG": lambda: GreedyCombineOG(),
+    "SoCL": lambda: SoCL(),
+}
+
+
+@pytest.mark.parametrize("n_users", USER_SCALES)
+@pytest.mark.parametrize("name", list(SOLVERS))
+def test_fig8_algorithm(benchmark, name, n_users):
+    instance = _instance(n_users)
+    solver = SOLVERS[name]()
+    result = benchmark.pedantic(
+        solver.solve, args=(instance,), rounds=1, iterations=1
+    )
+    _objectives[(name, n_users)] = result.report.objective
+    benchmark.extra_info["figure"] = "fig8"
+    benchmark.extra_info["algorithm"] = name
+    benchmark.extra_info["n_users"] = n_users
+    benchmark.extra_info["objective"] = result.report.objective
+    benchmark.extra_info["cost"] = result.report.cost
+    benchmark.extra_info["latency_sum"] = result.report.latency_sum
+    assert result.feasibility.feasible
+
+
+def test_fig8_ordering(benchmark):
+    """Paper's ranking at the larger scale: SoCL < GC-OG < {JDR, RP}."""
+
+    def ordering():
+        n = USER_SCALES[-1]
+        objs = {
+            name: _objectives.get((name, n))
+            or SOLVERS[name]().solve(_instance(n)).report.objective
+            for name in SOLVERS
+        }
+        return objs
+
+    objs = benchmark.pedantic(ordering, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "fig8"
+    benchmark.extra_info.update({f"objective_{k}": v for k, v in objs.items()})
+    print(
+        "\nFig.8 ordering @"
+        + f"{USER_SCALES[-1]} users: "
+        + "  ".join(f"{k}={v:,.0f}" for k, v in sorted(objs.items(), key=lambda kv: kv[1]))
+    )
+    assert objs["SoCL"] <= objs["GC-OG"]
+    assert objs["GC-OG"] < objs["JDR"]
+    assert objs["GC-OG"] < objs["RP"]

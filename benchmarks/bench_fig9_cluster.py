@@ -1,0 +1,59 @@
+"""Fig. 9 — cluster evaluation: 8 edge nodes, RP / JDR / SoCL.
+
+Paper testbed result: RP and JDR reach low completion times only by
+exhausting the deployment budget; SoCL balances cost against latency and
+achieves the best objective, serving most requests as well as RP with
+fewer instances (median user latency 2.796 vs 2.795 at 50 users).
+
+Reduced scale: 12 users over 2 slots on the DES cluster.  Asserts
+SoCL's objective is lowest and its cost below the budget burners'.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import fig9_cluster
+from repro.experiments.reporting import format_table
+
+_rows: list[dict] = []
+
+
+def test_fig9_cluster(benchmark):
+    rows = benchmark.pedantic(
+        fig9_cluster,
+        kwargs=dict(user_counts=(12,), n_servers=8, n_slots=2, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    _rows.extend(rows)
+    benchmark.extra_info["figure"] = "fig9"
+    for row in rows:
+        benchmark.extra_info[f"objective_{row['algorithm']}"] = row["objective"]
+        benchmark.extra_info[f"cost_{row['algorithm']}"] = row["cost"]
+    print("\n" + format_table(rows, title="Fig.9 cluster results (8 nodes)"))
+
+    by_algo = {r["algorithm"]: r for r in rows}
+    assert by_algo["SoCL"]["objective"] <= by_algo["RP"]["objective"]
+    assert by_algo["SoCL"]["objective"] <= by_algo["JDR"]["objective"]
+    # SoCL deploys fewer instances (lower cost) yet serves well
+    assert by_algo["SoCL"]["cost"] < by_algo["JDR"]["cost"]
+
+
+def test_fig9_median_latency_competitive(benchmark):
+    """SoCL's per-user median latency stays close to the budget burners'."""
+
+    def medians():
+        rows = _rows or fig9_cluster(
+            user_counts=(12,), n_servers=8, n_slots=2, seed=0
+        )
+        return {r["algorithm"]: r["median_latency"] for r in rows}
+
+    med = benchmark.pedantic(medians, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "fig9"
+    benchmark.extra_info.update({f"median_{k}": v for k, v in med.items()})
+    print(
+        "\nFig.9 median latencies: "
+        + "  ".join(f"{k}={v:.3f}s" for k, v in med.items())
+    )
+    # paper: SoCL ≈ RP on median despite fewer instances; allow 2x slack
+    assert med["SoCL"] <= 2.0 * max(med["RP"], 1e-9)

@@ -1,0 +1,101 @@
+"""Extension bench: online warm-start SoCL and failure resilience.
+
+Not a paper figure — these quantify the repository's extensions
+(DESIGN.md §5 + paper future work):
+
+* warm-start (:class:`repro.core.online.OnlineSoCL`) must match
+  scratch-re-solve quality within 10 % while cutting per-slot solver
+  time;
+* under node-failure injection the pipeline must keep producing
+  feasible placements on the surviving nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineSoCL, SoCL
+from repro.microservices import eshop_application
+from repro.model import ProblemConfig, ProblemInstance
+from repro.network import stadium_topology
+from repro.runtime import OnlineSimulator, OutageSchedule
+from repro.workload import WorkloadSpec, generate_requests
+
+
+def _slot_instances(n_slots: int, n_users: int = 40, seed: int = 0):
+    net = stadium_topology(12, seed=3)
+    app = eshop_application()
+    cfg = ProblemConfig(weight=0.5, budget=6000.0)
+    rng = np.random.default_rng(seed)
+    return [
+        ProblemInstance(
+            net,
+            app,
+            generate_requests(
+                net, app, WorkloadSpec(n_users=n_users, data_scale=5.0), rng=rng
+            ),
+            cfg,
+        )
+        for _ in range(n_slots)
+    ]
+
+
+def test_online_warm_start_speed(benchmark):
+    instances = _slot_instances(6)
+
+    def run_online():
+        solver = OnlineSoCL(shift_threshold=10.0)  # warm after slot 1
+        return [solver.solve(inst) for inst in instances]
+
+    results = benchmark.pedantic(run_online, rounds=1, iterations=1)
+    scratch = [SoCL().solve(inst) for inst in instances]
+
+    online_obj = [r.report.objective for r in results]
+    scratch_obj = [r.report.objective for r in scratch]
+    online_rt = sum(r.runtime for r in results[1:])
+    scratch_rt = sum(r.runtime for r in scratch[1:])
+
+    benchmark.extra_info["figure"] = "online-extension"
+    benchmark.extra_info["online_runtime"] = online_rt
+    benchmark.extra_info["scratch_runtime"] = scratch_rt
+    benchmark.extra_info["worst_quality_ratio"] = max(
+        o / s for o, s in zip(online_obj[1:], scratch_obj[1:])
+    )
+    print(
+        f"\nwarm-start: solver time {scratch_rt:.2f}s → {online_rt:.2f}s, "
+        f"worst quality ratio "
+        f"{max(o / s for o, s in zip(online_obj[1:], scratch_obj[1:])):.3f}"
+    )
+    assert all(r.feasibility.feasible for r in results)
+    assert all(r.extra["mode"] == "incremental" for r in results[1:])
+    assert online_rt < scratch_rt
+    for o, s in zip(online_obj[1:], scratch_obj[1:]):
+        assert o <= 1.10 * s
+
+
+def test_online_failure_resilience(benchmark):
+    net = stadium_topology(12, seed=3)
+    app = eshop_application()
+
+    def run():
+        sim = OnlineSimulator(
+            net,
+            app,
+            ProblemConfig(weight=0.5, budget=6000.0),
+            WorkloadSpec(n_users=15, data_scale=5.0),
+            seed=42,
+        )
+        sched = OutageSchedule(12, fail_prob=0.2, repair_prob=0.5, seed=1)
+        return sim.run(SoCL(), n_slots=5, outages=sched)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    down_slots = sum(1 for s in res.slots if s.n_down_nodes > 0)
+    benchmark.extra_info["figure"] = "failure-extension"
+    benchmark.extra_info["mean_delay"] = res.mean_delay
+    benchmark.extra_info["slots_with_outage"] = down_slots
+    print(
+        f"\nfailure injection: {down_slots}/5 slots degraded, "
+        f"mean delay {res.mean_delay:.3f}s"
+    )
+    assert down_slots > 0  # the schedule actually injected failures
+    assert np.isfinite(res.mean_delay)
+    assert all(np.isfinite(s.mean_latency) for s in res.slots)

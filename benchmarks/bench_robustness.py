@@ -1,0 +1,84 @@
+"""Robustness benches: multi-seed win rates and cross-project coverage.
+
+The paper reports single-seed results; these benches quantify how stable
+the reproduction's headline ordering is:
+
+* **multi-seed win rate** — SoCL must beat RP and JDR on every
+  (scale, seed) cell and lose to GC-OG on at most a small minority;
+* **cross-project coverage** — SoCL must produce feasible, budget- and
+  storage-respecting placements on *all 20 projects* of the curated
+  dataset, not just eshopOnContainers.
+"""
+
+import pytest
+
+from repro.baselines import JointDeploymentRouting, RandomProvisioning
+from repro.core import SoCL
+from repro.experiments.scenarios import ScenarioParams, build_scenario
+from repro.experiments.sweeps import aggregate, grid_sweep, win_rate
+from repro.microservices import curated_dataset
+from repro.model import ProblemConfig, ProblemInstance
+from repro.network import stadium_topology
+from repro.workload import WorkloadSpec, generate_requests
+
+
+def test_multi_seed_win_rate(benchmark):
+    def sweep():
+        return grid_sweep(
+            axes={"n_users": [20, 60]},
+            seeds=[0, 1, 2],
+            solver_factories={
+                "SoCL": lambda: SoCL(),
+                "RP": lambda: RandomProvisioning(seed=0),
+                "JDR": lambda: JointDeploymentRouting(),
+            },
+            base=ScenarioParams(n_servers=10),
+        )
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rate = win_rate(cells, "SoCL")
+    summary = aggregate(cells, group_by=("algorithm",))
+    benchmark.extra_info["figure"] = "robustness"
+    benchmark.extra_info["socl_win_rate"] = rate
+    for row in summary:
+        benchmark.extra_info[f"objective_mean_{row['algorithm']}"] = row[
+            "objective_mean"
+        ]
+    print(f"\nSoCL win rate over RP/JDR across 6 cells: {rate:.0%}")
+    assert rate == 1.0
+    assert all(row["all_feasible"] for row in summary)
+
+
+def test_cross_project_coverage(benchmark):
+    """SoCL solves every curated-dataset project feasibly."""
+
+    def run_all():
+        network = stadium_topology(10, seed=0)
+        outcomes = []
+        for project in curated_dataset():
+            app = project.application
+            requests = generate_requests(
+                network,
+                app,
+                WorkloadSpec(n_users=20, data_scale=5.0, max_chain=5),
+                rng=0,
+            )
+            instance = ProblemInstance(
+                network, app, requests, ProblemConfig(weight=0.5, budget=12000.0)
+            )
+            result = SoCL().solve(instance)
+            outcomes.append((project.name, result))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "robustness"
+    benchmark.extra_info["n_projects"] = len(outcomes)
+    infeasible = [
+        name
+        for name, res in outcomes
+        if not (res.feasibility.budget_ok and res.feasibility.storage_ok
+                and res.feasibility.assignment_ok)
+    ]
+    print(f"\ncross-project: {len(outcomes)} projects, infeasible: {infeasible}")
+    assert len(outcomes) == 20
+    assert not infeasible

@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Benchmark scope note (applies to every file here): pytest-benchmark
+targets run *scaled-down* instances of each paper experiment so the full
+suite completes offline in a few minutes; the paper-scale versions live
+in ``examples/paper_scale.py`` and the generators accept the full sizes.
+Each benchmark attaches the figure's headline quantities (objective,
+gap, latency, ordering) to ``benchmark.extra_info`` so the JSON output
+doubles as the reproduction record behind EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["repro"] = "SoCL CLUSTER 2025 reproduction"

@@ -1,0 +1,81 @@
+"""Baseline comparison: RP vs JDR vs GC-OG vs SoCL vs OPT.
+
+Reproduces the structure of paper Figs. 7-8 at a scale that finishes in
+about a minute: the heuristics run at growing user scales (Fig. 8's
+sweep), and the exact ILP joins at a small scale to show the optimality
+gap and the runtime explosion (Fig. 7).
+
+Run:  python examples/compare_baselines.py
+"""
+
+from repro import (
+    GreedyCombineOG,
+    JointDeploymentRouting,
+    OptimalSolver,
+    RandomProvisioning,
+    SoCL,
+    compare_algorithms,
+    paper_scenario,
+    small_scenario,
+)
+from repro.experiments import format_table
+
+
+def heuristic_sweep() -> None:
+    print("=== heuristics across user scales (10 servers, budget 6000) ===")
+    rows = []
+    for n_users in (40, 80, 120):
+        instance = paper_scenario(n_servers=10, n_users=n_users, seed=0)
+        solvers = [
+            RandomProvisioning(seed=0),
+            JointDeploymentRouting(),
+            GreedyCombineOG(),
+            SoCL(),
+        ]
+        rows.extend(
+            compare_algorithms(instance, solvers, params={"n_users": n_users})
+        )
+    print(
+        format_table(
+            rows,
+            columns=[
+                "n_users",
+                "algorithm",
+                "objective",
+                "cost",
+                "latency_sum",
+                "runtime",
+                "feasible",
+            ],
+        )
+    )
+
+
+def optimal_gap() -> None:
+    print("\n=== SoCL vs exact ILP (small scale) ===")
+    rows = []
+    for n_users in (4, 6, 8):
+        instance = small_scenario(n_servers=6, n_users=n_users, seed=0)
+        opt = OptimalSolver(time_limit=120).solve(instance)
+        socl = SoCL().solve(instance)
+        gap = (
+            (socl.report.objective - opt.report.objective)
+            / opt.report.objective
+            * 100.0
+        )
+        rows.append(
+            {
+                "n_users": n_users,
+                "OPT_objective": opt.report.objective,
+                "OPT_runtime": opt.runtime,
+                "SoCL_objective": socl.report.objective,
+                "SoCL_runtime": socl.runtime,
+                "gap_pct": gap,
+            }
+        )
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    heuristic_sweep()
+    optimal_gap()

@@ -1,0 +1,109 @@
+"""Full paper-scale experiment runner (slow: several minutes).
+
+Runs the evaluation at the paper's actual sizes rather than the reduced
+benchmark scales:
+
+* Fig. 8 — 10 servers, user scales 80/120/160/200, all four heuristics;
+* Fig. 7 — SoCL vs exact ILP up to the point where the ILP takes
+  minutes (pass ``--opt-users`` to push further);
+* Fig. 10 — 16 nodes, 50 mobile users, 48 five-minute slots.
+
+Run:  python examples/paper_scale.py [--skip-opt] [--skip-trace]
+"""
+
+import argparse
+
+from repro import (
+    GreedyCombineOG,
+    JointDeploymentRouting,
+    OptimalSolver,
+    RandomProvisioning,
+    SoCL,
+    compare_algorithms,
+    paper_scenario,
+    small_scenario,
+)
+from repro.experiments import figures, format_table
+
+
+def fig8_full() -> None:
+    print("=== Fig. 8: heuristics at 80/120/160/200 users (10 servers) ===")
+    rows = []
+    for n_users in (80, 120, 160, 200):
+        instance = paper_scenario(n_servers=10, n_users=n_users, seed=0)
+        solvers = [
+            RandomProvisioning(seed=0),
+            JointDeploymentRouting(),
+            GreedyCombineOG(),
+            SoCL(),
+        ]
+        rows.extend(
+            compare_algorithms(instance, solvers, params={"n_users": n_users})
+        )
+        print(f"  ... {n_users} users done")
+    print(
+        format_table(
+            rows,
+            columns=[
+                "n_users",
+                "algorithm",
+                "objective",
+                "cost",
+                "latency_sum",
+                "runtime",
+            ],
+        )
+    )
+
+
+def fig7_full(max_users: int) -> None:
+    print(f"\n=== Fig. 7: SoCL vs OPT up to {max_users} users (8 servers) ===")
+    rows = []
+    n = 4
+    while n <= max_users:
+        instance = small_scenario(n_servers=8, n_users=n, seed=0)
+        opt = OptimalSolver(time_limit=600).solve(instance)
+        socl = SoCL().solve(instance)
+        gap = (
+            (socl.report.objective - opt.report.objective)
+            / opt.report.objective
+            * 100.0
+        )
+        rows.append(
+            {
+                "n_users": n,
+                "OPT_obj": opt.report.objective,
+                "OPT_runtime": opt.runtime,
+                "OPT_status": opt.extra["status"],
+                "SoCL_obj": socl.report.objective,
+                "SoCL_runtime": socl.runtime,
+                "gap_pct": gap,
+            }
+        )
+        print(f"  ... {n} users: OPT {opt.runtime:.1f}s, SoCL {socl.runtime:.2f}s")
+        n += 2
+    print(format_table(rows))
+
+
+def fig10_full() -> None:
+    print("\n=== Fig. 10: 4-hour mobility trace (16 nodes, 50 users) ===")
+    series = figures.fig10_trace(n_servers=16, n_users=50, n_slots=48, seed=0)
+    for name, data in series.items():
+        print(
+            f"{name:8s} mean_delay={data['mean_delay']:.3f}s "
+            f"max_delay={data['max_delay']:.3f}s"
+        )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-opt", action="store_true")
+    parser.add_argument("--skip-trace", action="store_true")
+    parser.add_argument("--opt-users", type=int, default=12)
+    args = parser.parse_args()
+
+    fig8_full()
+    if not args.skip_opt:
+        fig7_full(args.opt_users)
+    if not args.skip_trace:
+        fig10_full()

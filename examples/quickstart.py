@@ -1,0 +1,52 @@
+"""Quickstart: provision the eshopOnContainers app on an edge network.
+
+Builds the paper's §V.A simulation setting (stadium base stations, 10
+edge servers, 40 users), runs the full SoCL pipeline, and prints the
+objective breakdown, feasibility, stage timings and where each
+microservice ended up.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SoCL, SoCLConfig, paper_scenario
+
+
+def main() -> None:
+    instance = paper_scenario(n_servers=10, n_users=40, budget=6000.0, seed=0)
+    print(f"instance: {instance}")
+    print(
+        f"requested services: {len(instance.requested_services)} "
+        f"of {instance.n_services}"
+    )
+
+    result = SoCL(SoCLConfig(omega=0.2, theta=1.0)).solve(instance)
+
+    print("\n=== SoCL result ===")
+    print(result.report)
+    print(f"feasible: {result.feasibility.feasible}")
+    print(f"instances deployed: {result.placement.total_instances}")
+    print(
+        "stage times: "
+        + ", ".join(f"{k}={v * 1e3:.1f}ms" for k, v in result.stage_times.items())
+    )
+    print(
+        f"combination: {result.stats.parallel_merges} parallel merges in "
+        f"{result.stats.parallel_rounds} rounds, {result.stats.serial_merges} "
+        f"serial merges, {result.stats.rollbacks} rollbacks"
+    )
+
+    print("\n=== placement ===")
+    for svc in instance.requested_services:
+        hosts = result.placement.hosts(int(svc))
+        name = instance.app.service(int(svc)).name
+        print(f"  {name:<26s} on servers {list(map(int, hosts))}")
+
+    lat = result.report.latencies
+    print(
+        f"\nper-request latency: mean={lat.mean():.3f}s "
+        f"median={sorted(lat)[len(lat) // 2]:.3f}s max={lat.max():.3f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires a PEP-517 editable wheel build; on fully
+offline machines without ``wheel`` installed, use::
+
+    python setup.py develop
+
+which performs a legacy egg-link editable install with identical effect.
+"""
+
+from setuptools import setup
+
+setup()

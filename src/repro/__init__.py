@@ -1,0 +1,94 @@
+"""repro — SoCL: Scalable and Latency-Optimized Microservices in
+Serverless Edge Computing (CLUSTER 2025 reproduction).
+
+Public API quick tour::
+
+    from repro import (
+        paper_scenario, SoCL, SoCLConfig,
+        RandomProvisioning, JointDeploymentRouting, GreedyCombineOG,
+        OptimalSolver, evaluate,
+    )
+
+    instance = paper_scenario(n_servers=10, n_users=40, budget=6000, seed=0)
+    result = SoCL().solve(instance)
+    print(result.report)          # objective, cost, latency
+    print(result.feasibility)     # all paper constraints
+
+Sub-packages:
+
+* :mod:`repro.network` — edge topology, Shannon rates, virtual links
+* :mod:`repro.microservices` — applications, the eshopOnContainers dataset
+* :mod:`repro.workload` — requests, traces, mobility, Alibaba-style analysis
+* :mod:`repro.model` — decisions, objective (Eq. 3/8), constraints (Eq. 4-6)
+* :mod:`repro.ilp` — exact ILP (Gurobi stand-in) + branch & bound
+* :mod:`repro.core` — the SoCL framework (partition → pre-provision → combine)
+* :mod:`repro.baselines` — RP, JDR, GC-OG, OPT
+* :mod:`repro.runtime` — discrete-event serverless edge cluster (K8s substitute)
+* :mod:`repro.experiments` — scenario builders and per-figure generators
+"""
+
+from repro.baselines import (
+    GreedyCombineOG,
+    JointDeploymentRouting,
+    KubeScheduler,
+    OptimalSolver,
+    RandomProvisioning,
+)
+from repro.core import OnlineSoCL, SoCL, SoCLConfig, SoCLResult, solve_socl
+from repro.experiments import (
+    build_scenario,
+    compare_algorithms,
+    paper_scenario,
+    small_scenario,
+)
+from repro.microservices import Application, Microservice, eshop_application
+from repro.model import (
+    Placement,
+    ProblemConfig,
+    ProblemInstance,
+    Routing,
+    evaluate,
+    greedy_routing,
+    load_aware_routing,
+    optimal_routing,
+)
+from repro.network import EdgeNetwork, EdgeServer, Link, stadium_topology
+from repro.workload import UserRequest, WorkloadSpec, generate_requests
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SoCL",
+    "SoCLConfig",
+    "SoCLResult",
+    "solve_socl",
+    "RandomProvisioning",
+    "KubeScheduler",
+    "OnlineSoCL",
+    "JointDeploymentRouting",
+    "GreedyCombineOG",
+    "OptimalSolver",
+    "paper_scenario",
+    "small_scenario",
+    "build_scenario",
+    "compare_algorithms",
+    "Application",
+    "Microservice",
+    "eshop_application",
+    "ProblemInstance",
+    "ProblemConfig",
+    "Placement",
+    "Routing",
+    "evaluate",
+    "optimal_routing",
+    "greedy_routing",
+    "load_aware_routing",
+    "EdgeNetwork",
+    "EdgeServer",
+    "Link",
+    "stadium_topology",
+    "UserRequest",
+    "WorkloadSpec",
+    "generate_requests",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Baseline algorithms from the paper's evaluation (§V.A).
+
+* :class:`RandomProvisioning` (RP) — random placement and routing under
+  the budget/storage constraints;
+* :class:`JointDeploymentRouting` (JDR) — Peng et al. [11]: single-user
+  microservices deployed near their user, multi-user microservices on
+  high-capacity servers;
+* :class:`GreedyCombineOG` (GC-OG) — greedy combine with objective
+  gradient: starts from a full placement and repeatedly removes the
+  instance whose removal most decreases the true objective;
+* :class:`OptimalSolver` (OPT) — exact ILP via
+  :mod:`repro.ilp` (the Gurobi stand-in).
+
+All solvers share the ``solve(instance) -> BaselineResult`` protocol of
+:mod:`repro.baselines.base`, matching :class:`repro.core.socl.SoCL`.
+"""
+
+from repro.baselines.base import BaselineResult, Solver
+from repro.baselines.random_provisioning import RandomProvisioning
+from repro.baselines.jdr import JointDeploymentRouting
+from repro.baselines.gcog import GreedyCombineOG
+from repro.baselines.optimal import OptimalSolver
+from repro.baselines.kube import KubeScheduler
+from repro.baselines.autoscaler import ROIAutoscaler
+
+__all__ = [
+    "BaselineResult",
+    "Solver",
+    "RandomProvisioning",
+    "JointDeploymentRouting",
+    "GreedyCombineOG",
+    "OptimalSolver",
+    "KubeScheduler",
+    "ROIAutoscaler",
+]

@@ -1,0 +1,178 @@
+"""ROI auto-scaler baseline (extension; cf. paper ref. [24], "RIA:
+Return on Investment Auto-scaler for Serverless Edge Functions").
+
+A stateful online policy in the spirit of threshold auto-scalers: it
+never re-plans globally, it only nudges replica counts between slots.
+
+Per slot and per requested service:
+
+* **scale out** — while the estimated *return on investment* of the best
+  additional replica is positive: the marginal latency saving, priced at
+  ``(1−λ)``, must exceed ``roi_threshold ×`` the deployment cost priced
+  at ``λ``.  The candidate node is the one minimizing the service's
+  nearest-replica latency after addition (the same star estimate the
+  relocation polish uses).
+* **scale in** — replicas whose removal costs less latency than
+  ``roi_threshold ×`` their deployment cost are retired (reverse ROI).
+* budget and storage are enforced throughout; unrequested services are
+  retired; newly requested services get one coverage replica.
+
+Routing is greedy (nearest replica), as a lightweight function router
+would do.  Against SoCL this baseline shows what local replica-count
+control alone achieves without the partition/placement reasoning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, finalize
+from repro.model.cost import deployment_cost
+from repro.model.instance import ProblemInstance
+from repro.model.placement import Placement
+from repro.model.routing import greedy_routing
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import check_non_negative
+
+
+class ROIAutoscaler:
+    """Threshold-free ROI-driven replica controller."""
+
+    name = "ROI-AS"
+
+    def __init__(self, roi_threshold: float = 1.0, max_actions_per_slot: int = 64):
+        check_non_negative("roi_threshold", roi_threshold)
+        if max_actions_per_slot < 1:
+            raise ValueError(
+                f"max_actions_per_slot must be >= 1, got {max_actions_per_slot}"
+            )
+        self.roi_threshold = float(roi_threshold)
+        self.max_actions_per_slot = int(max_actions_per_slot)
+        self._placement: Optional[Placement] = None
+        self._shape: Optional[tuple[int, int]] = None
+
+    def reset(self) -> None:
+        self._placement = None
+        self._shape = None
+
+    # ------------------------------------------------------------------
+    def _service_latency(self, instance: ProblemInstance, svc: int, hosts) -> float:
+        """Nearest-replica latency estimate for one service's demand."""
+        hosts = np.asarray(hosts, dtype=np.int64)
+        demand_nodes = np.nonzero(instance.demand_counts[svc] > 0)[0]
+        if demand_nodes.size == 0 or hosts.size == 0:
+            return 0.0
+        inv = instance.inv_rate[: instance.n_servers, : instance.n_servers]
+        comp = instance.network.compute
+        w = instance.demand_data[svc][demand_nodes]
+        nf = instance.demand_counts[svc][demand_nodes].astype(np.float64)
+        q = instance.service_compute[svc]
+        cost = (
+            w[:, None] * inv[np.ix_(demand_nodes, hosts)]
+            + nf[:, None] * (q / comp[hosts])[None, :]
+        )
+        return float(cost.min(axis=1).sum())
+
+    def solve(self, instance: ProblemInstance) -> BaselineResult:
+        sw = Stopwatch()
+        sw.start()
+        lam = instance.config.weight
+        mu = 1.0 - lam
+        kappa = instance.service_cost
+        phi = instance.service_storage
+        capacity = instance.server_storage
+        budget = instance.config.budget
+        requested = set(int(i) for i in instance.requested_services)
+        shape = (instance.n_services, instance.n_servers)
+
+        if self._placement is None or self._shape != shape:
+            x = Placement.empty(instance)
+        else:
+            x = self._placement.copy()
+
+        # retire unrequested services
+        for svc, node in x.pairs():
+            if svc not in requested:
+                x.remove(svc, node)
+
+        used = phi @ x.matrix.astype(np.float64)
+        spent = deployment_cost(instance, x)
+        inv = instance.inv_rate
+
+        # coverage replica for new services (demand-weighted best node)
+        for svc in sorted(requested):
+            if x.instance_count(svc) > 0:
+                continue
+            demand_nodes = np.nonzero(instance.demand_counts[svc] > 0)[0]
+            weights = instance.demand_counts[svc, demand_nodes].astype(np.float64)
+            score = (
+                weights[:, None] * inv[demand_nodes, : instance.n_servers]
+            ).sum(axis=0)
+            order = np.argsort(score)
+            for k in (int(v) for v in order):
+                if used[k] + phi[svc] <= capacity[k] + 1e-9 and spent + kappa[svc] <= budget:
+                    x.add(svc, k)
+                    used[k] += phi[svc]
+                    spent += float(kappa[svc])
+                    break
+
+        actions = 0
+        # ---------------- scale out by positive ROI ----------------
+        for svc in sorted(requested, key=lambda s: -instance.demand_counts[s].sum()):
+            while actions < self.max_actions_per_slot:
+                hosts = x.hosts(svc)
+                if hosts.size == 0:
+                    break
+                base = self._service_latency(instance, svc, hosts)
+                best_gain, best_node = 0.0, None
+                for k in range(instance.n_servers):
+                    if x.has(svc, k):
+                        continue
+                    if used[k] + phi[svc] > capacity[k] + 1e-9:
+                        continue
+                    if spent + kappa[svc] > budget:
+                        continue
+                    gain = base - self._service_latency(
+                        instance, svc, np.append(hosts, k)
+                    )
+                    if gain > best_gain:
+                        best_gain, best_node = gain, k
+                if (
+                    best_node is None
+                    or mu * best_gain < self.roi_threshold * lam * kappa[svc]
+                ):
+                    break
+                x.add(svc, int(best_node))
+                used[best_node] += phi[svc]
+                spent += float(kappa[svc])
+                actions += 1
+
+        # ---------------- scale in by negative ROI ----------------
+        for svc in sorted(requested):
+            while actions < self.max_actions_per_slot:
+                hosts = x.hosts(svc)
+                if hosts.size <= 1:
+                    break
+                base = self._service_latency(instance, svc, hosts)
+                best_loss, victim = np.inf, None
+                for k in (int(v) for v in hosts):
+                    remaining = hosts[hosts != k]
+                    loss = self._service_latency(instance, svc, remaining) - base
+                    if loss < best_loss:
+                        best_loss, victim = loss, k
+                if victim is None or mu * best_loss > self.roi_threshold * lam * kappa[svc]:
+                    break
+                x.remove(svc, victim)
+                used[victim] -= phi[svc]
+                spent -= float(kappa[svc])
+                actions += 1
+
+        routing = greedy_routing(instance, x)
+        self._placement = x.copy()
+        self._shape = shape
+        runtime = sw.stop()
+        return finalize(
+            instance, x, routing, runtime, extra={"actions": actions}
+        )

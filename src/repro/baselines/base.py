@@ -1,0 +1,55 @@
+"""Shared solver protocol and result type for all algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.model.constraints import FeasibilityReport, feasibility_report
+from repro.model.instance import ProblemInstance
+from repro.model.objective import ObjectiveReport, evaluate
+from repro.model.placement import Placement, Routing
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Uniform outcome record for baseline solvers."""
+
+    placement: Placement
+    routing: Routing
+    report: ObjectiveReport
+    feasibility: FeasibilityReport
+    runtime: float
+    extra: dict = None  # solver-specific diagnostics
+
+    @property
+    def objective(self) -> float:
+        return self.report.objective
+
+
+def finalize(
+    instance: ProblemInstance,
+    placement: Placement,
+    routing: Routing,
+    runtime: float,
+    extra: Optional[dict] = None,
+) -> BaselineResult:
+    """Score a (placement, routing) pair into a :class:`BaselineResult`."""
+    return BaselineResult(
+        placement=placement,
+        routing=routing,
+        report=evaluate(instance, placement, routing),
+        feasibility=feasibility_report(instance, placement, routing),
+        runtime=runtime,
+        extra=extra or {},
+    )
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """Protocol every algorithm implements (SoCL and all baselines)."""
+
+    name: str
+
+    def solve(self, instance: ProblemInstance):  # pragma: no cover - protocol
+        ...

@@ -1,0 +1,114 @@
+"""Greedy Combine with Objective Gradient (GC-OG) baseline.
+
+The paper's strongest heuristic baseline: "combines greedy strategies
+with objective gradient descent, … selecting instance combinations that
+most effectively reduce objective values.  However, its low search
+efficiency became a limiting factor as user requests grew, resulting in
+an exponentially growing search space" — with 120 users it needed
+2 274.8 s against SoCL's seconds.
+
+Implementation: start from the storage-feasible *full* placement (every
+requested service on every server with room), then repeatedly evaluate
+**every** feasible single-instance removal by its *true* objective
+change (re-routing all requests optimally each time — this full
+re-evaluation is exactly why GC-OG is slow) and apply the best removal.
+Stops when the budget and storage are satisfied and no removal improves
+the objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, finalize
+from repro.model.cost import deployment_cost, storage_used
+from repro.model.instance import ProblemInstance
+from repro.model.objective import objective_value
+from repro.model.placement import Placement
+from repro.model.routing import optimal_routing
+from repro.utils.timing import Stopwatch
+
+
+class GreedyCombineOG:
+    """GC-OG: exhaustive greedy removal by true objective gradient."""
+
+    name = "GC-OG"
+
+    def __init__(self, max_iterations: int = 100_000):
+        if max_iterations <= 0:
+            raise ValueError(f"max_iterations must be positive, got {max_iterations}")
+        self.max_iterations = max_iterations
+
+    def _initial_placement(self, instance: ProblemInstance) -> Placement:
+        """Full placement trimmed to per-server storage capacity.
+
+        Services are admitted per server in descending local demand so
+        the trim keeps the most useful instances.
+        """
+        x = Placement.empty(instance)
+        phi = instance.service_storage
+        counts = instance.demand_counts
+        room = instance.server_storage.astype(np.float64).copy()
+
+        # Coverage pass first (capacity-respecting): every requested
+        # service gets one instance at its highest-demand node with room.
+        coverage_order = sorted(
+            (int(i) for i in instance.requested_services),
+            key=lambda s: -counts[s].sum(),
+        )
+        for svc in coverage_order:
+            by_demand = np.argsort(-counts[svc])
+            for k in (int(v) for v in by_demand):
+                if phi[svc] <= room[k]:
+                    x.add(svc, k)
+                    room[k] -= float(phi[svc])
+                    break
+
+        # Fill pass: pack remaining room per server in descending local
+        # demand (the "full placement" GC-OG starts its descent from).
+        for k in range(instance.n_servers):
+            order = sorted(
+                (int(i) for i in instance.requested_services),
+                key=lambda s: -counts[s, k],
+            )
+            for svc in order:
+                if not x.has(svc, k) and phi[svc] <= room[k]:
+                    x.add(svc, k)
+                    room[k] -= float(phi[svc])
+        return x
+
+    def solve(self, instance: ProblemInstance) -> BaselineResult:
+        sw = Stopwatch()
+        sw.start()
+        budget = instance.config.budget
+        x = self._initial_placement(instance)
+
+        evaluations = 0
+        for _ in range(self.max_iterations):
+            over_budget = deployment_cost(instance, x) > budget
+            current = objective_value(instance, x, optimal_routing(instance, x))
+
+            best_key = None
+            best_obj = np.inf
+            for svc, k in x.pairs():
+                if x.instance_count(svc) <= 1:
+                    continue
+                x.remove(svc, k)
+                obj = objective_value(instance, x, optimal_routing(instance, x))
+                evaluations += 1
+                x.add(svc, k)
+                if obj < best_obj:
+                    best_obj = obj
+                    best_key = (svc, k)
+
+            if best_key is None:
+                break
+            if not over_budget and best_obj >= current:
+                break
+            x.remove(*best_key)
+
+        routing = optimal_routing(instance, x)
+        runtime = sw.stop()
+        return finalize(
+            instance, x, routing, runtime, extra={"evaluations": evaluations}
+        )

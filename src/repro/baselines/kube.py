@@ -1,0 +1,106 @@
+"""Kubernetes-default-scheduler baseline (extension, not in the paper).
+
+The paper's testbed runs on Kubernetes but all compared algorithms make
+their own placement decisions.  For context we add what a stock K8s
+scheduler would do with the same pods: filter nodes by resource fit,
+then score by
+
+* **LeastAllocated** — prefer nodes with the most free storage (the
+  default bin-spreading behaviour), and
+* **topology spread** — penalize putting replicas of the same service
+  on one node,
+
+with replica counts chosen by a simple horizontal-pod-autoscaler analog
+(one replica per ``hpa_users_per_replica`` requesting users, capped by
+the budget).  Routing is round-robin across ready replicas, as a plain
+ClusterIP Service would balance.  It is demand-agnostic about *where*
+users are — exactly the blindness SoCL's partitioning fixes — so it
+lands between RP and JDR on the objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, finalize
+from repro.model.instance import ProblemInstance
+from repro.model.placement import Placement, Routing
+from repro.utils.validation import check_positive
+from repro.utils.timing import Stopwatch
+
+
+class KubeScheduler:
+    """K8s-style spread scheduler with an HPA-like replica policy."""
+
+    name = "K8s"
+
+    def __init__(self, hpa_users_per_replica: int = 20):
+        check_positive("hpa_users_per_replica", hpa_users_per_replica)
+        self.hpa_users_per_replica = int(hpa_users_per_replica)
+
+    def _replicas(self, instance: ProblemInstance, service: int) -> int:
+        demand = int(instance.demand_counts[service].sum())
+        return max(1, int(np.ceil(demand / self.hpa_users_per_replica)))
+
+    def solve(self, instance: ProblemInstance) -> BaselineResult:
+        sw = Stopwatch()
+        sw.start()
+        phi = instance.service_storage
+        kappa = instance.service_cost
+        budget = instance.config.budget
+        free = instance.server_storage.astype(np.float64).copy()
+        x = Placement.empty(instance)
+        spent = 0.0
+
+        # schedule services by demand (heaviest deployments first)
+        services = sorted(
+            (int(i) for i in instance.requested_services),
+            key=lambda s: -int(instance.demand_counts[s].sum()),
+        )
+        for svc in services:
+            replicas = self._replicas(instance, svc)
+            for _ in range(replicas):
+                if spent + kappa[svc] > budget:
+                    break
+                # Filter: fits and not already hosting this service
+                feasible = [
+                    k
+                    for k in range(instance.n_servers)
+                    if free[k] >= phi[svc] and not x.has(svc, k)
+                ]
+                if not feasible:
+                    break
+                # Score: LeastAllocated (max free fraction)
+                scores = [
+                    free[k] / instance.server_storage[k] for k in feasible
+                ]
+                k = feasible[int(np.argmax(scores))]
+                x.add(svc, k)
+                free[k] -= phi[svc]
+                spent += float(kappa[svc])
+            if x.instance_count(svc) == 0 and spent + kappa[svc] <= budget:
+                # mandatory single replica on the roomiest node; if even
+                # that breaks the resource quota the pod stays Pending
+                # and its traffic falls back to the cloud.
+                k = int(np.argmax(free))
+                if free[k] >= phi[svc]:
+                    x.add(svc, k)
+                    free[k] -= phi[svc]
+                    spent += float(kappa[svc])
+
+        # ClusterIP-style round-robin routing across replicas
+        H, L = instance.n_requests, instance.max_chain
+        a = np.full((H, L), -1, dtype=np.int64)
+        rr: dict[int, int] = {}
+        for h, req in enumerate(instance.requests):
+            for j, svc in enumerate(req.chain):
+                hosts = x.hosts(svc)
+                if hosts.size == 0:
+                    a[h, j] = instance.cloud
+                    continue
+                idx = rr.get(svc, 0)
+                a[h, j] = int(hosts[idx % hosts.size])
+                rr[svc] = idx + 1
+        routing = Routing(instance, a)
+        runtime = sw.stop()
+        return finalize(instance, x, routing, runtime)

@@ -1,0 +1,57 @@
+"""OPT: exact ILP solver wrapper (the paper's Gurobi baseline).
+
+Wraps :func:`repro.ilp.scipy_backend.solve_milp` behind the uniform
+solver protocol.  Raises on infeasible instances (the experiment
+scenarios are constructed feasible); a time limit can be set for the
+runtime-explosion experiments (Figs. 2 and 7), in which case the HiGHS
+incumbent is reported with ``extra["status"] == "timeout"``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import BaselineResult, finalize
+from repro.ilp.scipy_backend import solve_milp
+from repro.model.instance import ProblemInstance
+
+
+class OptimalSolver:
+    """Exact ILP baseline ("OPT" in the paper's tables)."""
+
+    name = "OPT"
+
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        mip_rel_gap: float = 0.0,
+        model: Optional[str] = None,
+    ):
+        self.time_limit = time_limit
+        self.mip_rel_gap = mip_rel_gap
+        self.model = model
+
+    def solve(self, instance: ProblemInstance) -> BaselineResult:
+        res = solve_milp(
+            instance,
+            model=self.model,
+            time_limit=self.time_limit,
+            mip_rel_gap=self.mip_rel_gap,
+        )
+        if res.placement is None or res.routing is None:
+            raise RuntimeError(
+                f"exact solver returned no solution (status={res.status!r})"
+            )
+        return finalize(
+            instance,
+            res.placement,
+            res.routing,
+            res.runtime,
+            extra={
+                "status": res.status,
+                "mip_gap": res.mip_gap,
+                "n_variables": res.n_variables,
+                "n_constraints": res.n_constraints,
+                "solver_objective": res.objective,
+            },
+        )

@@ -1,0 +1,88 @@
+"""Random Provisioning (RP) baseline.
+
+The paper's weakest baseline: "random placement and routing strategy,
+which led to highly unbalanced resource allocation and failed to
+optimize both provisioning costs and latency".
+
+Implementation: every requested service receives a uniformly random
+number of instances (between 1 and its budget bound) on uniformly random
+servers, subject to storage capacity and the global budget; each chain
+position is then routed to a uniformly random hosting instance.  The
+randomness is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, finalize
+from repro.model.instance import ProblemInstance
+from repro.model.placement import Placement, Routing
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.timing import Stopwatch
+
+
+class RandomProvisioning:
+    """RP: random feasible placement, random routing."""
+
+    name = "RP"
+
+    def __init__(self, seed: SeedLike = None):
+        self._seed = seed
+
+    def solve(self, instance: ProblemInstance) -> BaselineResult:
+        rng = as_generator(self._seed)
+        sw = Stopwatch()
+        sw.start()
+
+        kappa = instance.service_cost
+        phi = instance.service_storage
+        capacity = instance.server_storage.copy()
+        budget = instance.config.budget
+        x = Placement.empty(instance)
+        spent = 0.0
+
+        # One mandatory instance per requested service (random feasible
+        # server), then extra instances while budget/storage allow.
+        services = [int(i) for i in instance.requested_services]
+        rng.shuffle(services)
+        for svc in services:
+            order = rng.permutation(instance.n_servers)
+            for k in order:
+                if capacity[k] >= phi[svc] and spent + kappa[svc] <= budget:
+                    x.add(svc, int(k))
+                    capacity[k] -= phi[svc]
+                    spent += kappa[svc]
+                    break
+            # If no server fits, the service falls back to the cloud.
+
+        # Random extras: keep adding until the budget is (nearly) used,
+        # mirroring RP's tendency to exhaust the deployment budget.
+        attempts = 4 * instance.n_services * instance.n_servers
+        while attempts > 0:
+            attempts -= 1
+            svc = int(rng.choice(services))
+            k = int(rng.integers(0, instance.n_servers))
+            if x.has(svc, k):
+                continue
+            if capacity[k] < phi[svc] or spent + kappa[svc] > budget:
+                continue
+            x.add(svc, k)
+            capacity[k] -= phi[svc]
+            spent += kappa[svc]
+
+        # Random routing: uniform choice among hosts per position.
+        a = np.full((instance.n_requests, instance.max_chain), -1, dtype=np.int64)
+        for h, req in enumerate(instance.requests):
+            for j, svc in enumerate(req.chain):
+                hosts = x.hosts(svc)
+                if hosts.size == 0:
+                    a[h, j] = instance.cloud
+                else:
+                    a[h, j] = int(rng.choice(hosts))
+        routing = Routing(instance, a)
+
+        runtime = sw.stop()
+        return finalize(instance, x, routing, runtime)

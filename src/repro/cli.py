@@ -1,0 +1,338 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``solve``    — run one algorithm on a paper scenario and print the
+  result (placement, objective, feasibility);
+* ``compare``  — run the full baseline lineup on one scenario;
+* ``figure``   — regenerate a paper figure's data at a chosen scale
+  (fig2 / fig3 / fig4 / fig7 / fig8 / fig9 / fig10);
+* ``trace``    — the online mobility experiment with optional failure
+  injection, printing the per-slot delay series as a sparkline;
+* ``dataset``  — list the curated 20-project microservice registry.
+
+Everything is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines import (
+    GreedyCombineOG,
+    JointDeploymentRouting,
+    OptimalSolver,
+    RandomProvisioning,
+)
+from repro.core import SoCL, SoCLConfig
+from repro.core.online import OnlineSoCL
+
+SOLVER_CHOICES = ("socl", "socl-online", "rp", "jdr", "gcog", "opt")
+
+
+def make_solver(name: str, seed: int = 0, time_limit: Optional[float] = None):
+    """Instantiate a solver by CLI name."""
+    name = name.lower()
+    if name == "socl":
+        return SoCL(SoCLConfig())
+    if name == "socl-online":
+        return OnlineSoCL()
+    if name == "rp":
+        return RandomProvisioning(seed=seed)
+    if name == "jdr":
+        return JointDeploymentRouting()
+    if name == "gcog":
+        return GreedyCombineOG()
+    if name == "opt":
+        return OptimalSolver(time_limit=time_limit or 300.0)
+    raise ValueError(f"unknown solver {name!r}; choices: {SOLVER_CHOICES}")
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--servers", type=int, default=10)
+    parser.add_argument("--users", type=int, default=40)
+    parser.add_argument("--budget", type=float, default=6000.0)
+    parser.add_argument("--weight", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    from repro.experiments import paper_scenario
+
+    instance = paper_scenario(
+        n_servers=args.servers,
+        n_users=args.users,
+        budget=args.budget,
+        seed=args.seed,
+        weight=args.weight,
+    )
+    solver = make_solver(args.solver, seed=args.seed, time_limit=args.time_limit)
+    result = solver.solve(instance)
+    print(f"algorithm : {getattr(solver, 'name', type(solver).__name__)}")
+    print(f"objective : {result.report.objective:,.3f}")
+    print(f"cost      : {result.report.cost:,.1f}")
+    print(f"latency   : Σ={result.report.latency_sum:.3f}s "
+          f"mean={result.report.mean_latency:.3f}s max={result.report.max_latency:.3f}s")
+    print(f"runtime   : {result.runtime:.3f}s")
+    print(f"feasible  : {result.feasibility.feasible}")
+    if args.placement:
+        print("placement :")
+        for svc in instance.requested_services:
+            hosts = list(map(int, result.placement.hosts(int(svc))))
+            print(f"  {instance.app.service(int(svc)).name:<26s} {hosts}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments import compare_algorithms, format_table, paper_scenario
+
+    instance = paper_scenario(
+        n_servers=args.servers,
+        n_users=args.users,
+        budget=args.budget,
+        seed=args.seed,
+        weight=args.weight,
+    )
+    solvers = [make_solver(name, seed=args.seed) for name in args.solvers]
+    rows = compare_algorithms(instance, solvers)
+    print(
+        format_table(
+            rows,
+            columns=[
+                "algorithm",
+                "objective",
+                "cost",
+                "latency_sum",
+                "runtime",
+                "feasible",
+            ],
+            title=f"{args.users} users on {args.servers} servers "
+            f"(budget {args.budget:g}, λ={args.weight})",
+        )
+    )
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import figures, format_table
+    from repro.experiments.ascii_plots import bar_chart, line_panel, sparkline
+
+    fig = args.name.lower()
+    if fig == "fig2":
+        rows = figures.fig2_opt_runtime(seed=args.seed)
+        print(format_table(rows, title="Fig.2 exact-ILP runtime"))
+        runtimes = {
+            f"{r['n_servers']}sv/{r['n_users']}u": r["runtime"] for r in rows
+        }
+        print("\n" + bar_chart(runtimes, unit="s", log=True))
+    elif fig == "fig3":
+        out = figures.fig3_similarity(seed=args.seed)
+        print(format_table(out["per_service"], title="Fig.3(b) similarity per service"))
+        print(f"\nmax similarity {out['max_similarity']:.3f} "
+              f"(paper ≈0.65); cross-file mean {out['cross_file_mean']:.3f}")
+    elif fig == "fig4":
+        out = figures.fig4_temporal(seed=args.seed)
+        print("Fig.4 request volume: " + sparkline(out["volumes"], width=80))
+        print(f"peak-to-mean {out['peak_to_mean']:.2f}, "
+              f"CoV {out['coefficient_of_variation']:.2f}")
+    elif fig == "fig7":
+        rows = figures.fig7_socl_vs_opt(seed=args.seed)
+        print(format_table(rows, title="Fig.7 SoCL vs OPT"))
+    elif fig == "fig8":
+        rows = figures.fig8_baselines(seed=args.seed)
+        print(format_table(
+            rows,
+            columns=["n_users", "algorithm", "objective", "cost", "latency_sum", "runtime"],
+            title="Fig.8 baselines across user scales",
+        ))
+    elif fig == "fig9":
+        rows = figures.fig9_cluster(seed=args.seed)
+        print(format_table(rows, title="Fig.9 cluster results"))
+    elif fig == "fig10":
+        series = figures.fig10_trace(seed=args.seed, n_slots=args.slots)
+        print(line_panel(
+            {k: v["slot_means"] for k, v in series.items()},
+            title="Fig.10 per-slot average delay (s)",
+        ))
+        for name, data in series.items():
+            print(f"{name:8s} avg={data['mean_delay']:.3f}s max={data['max_delay']:.3f}s")
+    else:
+        print(f"unknown figure {args.name!r}; choices: fig2 fig3 fig4 fig7 fig8 fig9 fig10",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.ascii_plots import sparkline
+    from repro.microservices import eshop_application
+    from repro.model import ProblemConfig
+    from repro.network import stadium_topology
+    from repro.runtime import OnlineSimulator
+    from repro.runtime.failures import OutageSchedule
+    from repro.workload import WorkloadSpec
+
+    network = stadium_topology(args.servers, seed=args.seed)
+    sim = OnlineSimulator(
+        network,
+        eshop_application(),
+        ProblemConfig(weight=args.weight, budget=args.budget),
+        WorkloadSpec(n_users=args.users, data_scale=5.0),
+        seed=args.seed,
+    )
+    outages = (
+        OutageSchedule(args.servers, fail_prob=args.fail_prob, seed=args.seed)
+        if args.fail_prob > 0
+        else None
+    )
+    solver = make_solver(args.solver, seed=args.seed)
+    result = sim.run(solver, n_slots=args.slots, outages=outages)
+    print(f"{result.solver_name}: mean delay {result.mean_delay:.3f}s, "
+          f"max {result.max_delay:.3f}s over {args.slots} slots")
+    print("per-slot mean delay: " + sparkline(result.slot_means(), width=args.slots))
+    cold = sum(s.cold_starts for s in result.slots)
+    down = sum(s.n_down_nodes for s in result.slots)
+    print(f"cold starts {cold}, node-down slots {down}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import format_table
+    from repro.experiments.scenarios import ScenarioParams
+    from repro.experiments.sweeps import aggregate, grid_sweep, win_rate
+
+    factories = {
+        name.upper() if name in ("rp", "jdr") else name: (
+            lambda n=name: make_solver(n, seed=0)
+        )
+        for name in args.solvers
+    }
+    cells = grid_sweep(
+        axes={"n_users": args.users},
+        seeds=list(range(args.seeds)),
+        solver_factories=factories,
+        base=ScenarioParams(n_servers=args.servers, budget=args.budget),
+    )
+    rows = aggregate(cells, group_by=("n_users", "algorithm"))
+    print(
+        format_table(
+            rows,
+            columns=[
+                "n_users",
+                "algorithm",
+                "n",
+                "objective_mean",
+                "objective_std",
+                "runtime_mean",
+                "all_feasible",
+            ],
+            title=f"{args.seeds}-seed sweep on {args.servers} servers",
+        )
+    )
+    try:
+        rate = win_rate(cells, "socl")
+        print(f"\nsocl win rate: {rate:.0%}")
+    except ValueError:
+        pass
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    try:
+        text = generate_report(seed=args.seed, fast=not args.full, only=args.only)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.microservices import curated_dataset
+
+    for proj in curated_dataset():
+        kind = "encoded" if not proj.synthesized else "synthesized"
+        app = proj.application
+        print(f"{proj.name:<28s} {app.n_services:3d} services "
+              f"{app.graph.number_of_edges():3d} deps "
+              f"{len(app.entrypoints)} entrypoints  [{kind}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SoCL serverless-edge microservice provisioning (CLUSTER 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="run one algorithm on a scenario")
+    _add_scenario_args(p)
+    p.add_argument("--solver", choices=SOLVER_CHOICES, default="socl")
+    p.add_argument("--time-limit", type=float, default=None)
+    p.add_argument("--placement", action="store_true", help="print the placement")
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("compare", help="run the baseline lineup")
+    _add_scenario_args(p)
+    p.add_argument(
+        "--solvers", nargs="+", choices=SOLVER_CHOICES,
+        default=["rp", "jdr", "gcog", "socl"],
+    )
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure's data")
+    p.add_argument("name", help="fig2|fig3|fig4|fig7|fig8|fig9|fig10")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--slots", type=int, default=12)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("trace", help="online mobility trace (Fig.10 setting)")
+    _add_scenario_args(p)
+    p.set_defaults(servers=16, users=30)
+    p.add_argument("--solver", choices=SOLVER_CHOICES, default="socl")
+    p.add_argument("--slots", type=int, default=12)
+    p.add_argument("--fail-prob", type=float, default=0.0,
+                   help="per-slot node failure probability (failure injection)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("dataset", help="list the curated project registry")
+    p.set_defaults(func=cmd_dataset)
+
+    p = sub.add_parser("sweep", help="multi-seed sweep with mean±std aggregation")
+    p.add_argument("--servers", type=int, default=10)
+    p.add_argument("--users", type=int, nargs="+", default=[20, 60])
+    p.add_argument("--budget", type=float, default=6000.0)
+    p.add_argument("--seeds", type=int, default=3)
+    p.add_argument(
+        "--solvers", nargs="+", choices=SOLVER_CHOICES, default=["rp", "jdr", "socl"]
+    )
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("report", help="regenerate all figures into a Markdown report")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--full", action="store_true", help="bench-scale sweeps (slower)")
+    p.add_argument("--only", nargs="+", default=None,
+                   help="restrict to figure keys, e.g. fig4 fig8")
+    p.add_argument("--output", default=None, help="write to file instead of stdout")
+    p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""SoCL: the paper's three-stage provisioning/routing framework (§IV).
+
+* :mod:`repro.core.partition` — region-based initial partition (Alg. 1)
+* :mod:`repro.core.preprovision` — budget-bounded pre-provisioning (Alg. 2)
+* :mod:`repro.core.combination` — multi-scale combination (Alg. 3/4)
+* :mod:`repro.core.storage` — FuzzyAHP storage planning (Alg. 5)
+* :mod:`repro.core.socl` — the end-to-end facade (:func:`solve_socl`)
+"""
+
+from repro.core.config import SoCLConfig
+from repro.core.fuzzy_ahp import (
+    TriangularFuzzyNumber,
+    fuzzy_ahp_weights,
+    score_alternatives,
+    DEFAULT_CRITERIA_MATRIX,
+)
+from repro.core.partition import (
+    ServicePartition,
+    PartitionResult,
+    initial_partition,
+    proactive_factor,
+)
+from repro.core.preprovision import (
+    instance_bound,
+    instance_contribution,
+    preprovision,
+)
+from repro.core.storage import storage_plan, StoragePlanOutcome, order_factor
+from repro.core.combination import (
+    CombinationState,
+    latency_losses,
+    multi_scale_combination,
+    relocation_pass,
+)
+from repro.core.socl import SoCL, SoCLResult, solve_socl
+from repro.core.online import OnlineSoCL, demand_shift
+
+__all__ = [
+    "SoCLConfig",
+    "TriangularFuzzyNumber",
+    "fuzzy_ahp_weights",
+    "score_alternatives",
+    "DEFAULT_CRITERIA_MATRIX",
+    "ServicePartition",
+    "PartitionResult",
+    "initial_partition",
+    "proactive_factor",
+    "instance_bound",
+    "instance_contribution",
+    "preprovision",
+    "storage_plan",
+    "StoragePlanOutcome",
+    "order_factor",
+    "CombinationState",
+    "latency_losses",
+    "multi_scale_combination",
+    "relocation_pass",
+    "SoCL",
+    "SoCLResult",
+    "solve_socl",
+    "OnlineSoCL",
+    "demand_shift",
+]

@@ -1,0 +1,489 @@
+"""Multi-scale combination (paper Alg. 3 and Alg. 4, §IV.C).
+
+Starting from the (generous) pre-provisioning, SoCL *combines* instances
+— merging two instances of the same microservice into one — to trade
+latency for cost at two granularities:
+
+* **large-scale parallel descent** (Alg. 3 lines 1-5): while the budget
+  is exceeded, compute the latency loss ``ζ_{i,k}`` of every removable
+  instance (Alg. 4), take the ``ω`` fraction with the smallest losses,
+  drop dependency-conflicted picks (adjacent services in some user's
+  chain keep only the smaller-ζ instance), and merge them all at once;
+* **small-scale serial descent** (lines 6-15): merge one instance at a
+  time by minimum ζ, re-running storage planning (Alg. 5) after each
+  merge, rolling back merges that violate a deadline (Eq. 4), and
+  stopping when the objective gradient ``δ = Q' − Q'' + Θ`` turns
+  non-positive.
+
+Users displaced by a merge re-attach via the paper's *connection update*
+rule: the new reliance node must belong to the same partition group,
+still host the instance, and maximize channel speed from the user's home
+(``v_q = argmax B(l'_{f(u_h),q})``); when the group has no host left the
+nearest host overall is used (cross-group fallback), and only if the
+service has no edge instance at all does traffic go to the cloud — which
+the single-instance skip in Alg. 4 prevents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import SoCLConfig
+from repro.core.partition import PartitionResult
+from repro.core.storage import storage_plan
+from repro.model.cost import deployment_cost
+from repro.model.instance import ProblemInstance
+from repro.model.latency import total_latency
+from repro.model.placement import Placement, Routing
+
+
+#: Number of near-minimal-ζ merge candidates the serial stage evaluates
+#: against the true objective per iteration.
+_SERIAL_CANDIDATES = 3
+
+
+def dependency_conflict_pairs(instance: ProblemInstance) -> set[frozenset[int]]:
+    """Unordered service pairs adjacent in at least one request chain."""
+    pairs: set[frozenset[int]] = set()
+    for req in instance.requests:
+        for a, b in req.edges:
+            pairs.add(frozenset((a, b)))
+    return pairs
+
+
+class CombinationState:
+    """Mutable working state of the combination stage.
+
+    Tracks the placement, per-(service, home) reliance choices and the
+    derived routing/objective, recomputing lazily after each mutation.
+    """
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        partitions: PartitionResult,
+        placement: Placement,
+        config: SoCLConfig = SoCLConfig(),
+    ):
+        self.instance = instance
+        self.partitions = partitions
+        self.placement = placement.copy()
+        self.config = config
+        # group id of each node per service (−1 = outside all groups)
+        self._group_id: dict[int, np.ndarray] = {}
+        for service in partitions.services:
+            part = partitions.partition(service)
+            gid = np.full(instance.n_servers, -1, dtype=np.int64)
+            for s, group in enumerate(part.groups):
+                for v in group:
+                    gid[v] = s
+            self._group_id[service] = gid
+        self._reliance: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        self._reliance = None
+
+    def _reliance_for_service(self, service: int) -> np.ndarray:
+        """Per-home reliance node for one service (−1 where no demand)."""
+        inst = self.instance
+        hosts = self.placement.hosts(service)
+        out = np.full(inst.n_servers, -1, dtype=np.int64)
+        demand_nodes = np.nonzero(inst.demand_counts[service] > 0)[0]
+        if demand_nodes.size == 0:
+            return out
+        if hosts.size == 0:
+            out[demand_nodes] = inst.cloud
+            return out
+        inv = inst.inv_rate
+        gid = self._group_id.get(service)
+        for f in demand_nodes:
+            cand = hosts
+            if gid is not None and gid[f] >= 0:
+                same = hosts[gid[hosts] == gid[f]]
+                if same.size:
+                    cand = same
+            # highest channel speed == smallest transfer coefficient;
+            # tie-break toward higher compute.
+            key = inv[f, cand] - 1e-12 * inst.compute_ext[cand]
+            out[f] = cand[int(np.argmin(key))]
+        return out
+
+    @property
+    def reliance(self) -> np.ndarray:
+        """``(S, N)`` reliance matrix: node serving service ``i`` for
+        users homed at ``n`` (−1 where irrelevant)."""
+        if self._reliance is None:
+            inst = self.instance
+            rel = np.full((inst.n_services, inst.n_servers), -1, dtype=np.int64)
+            for service in (int(i) for i in inst.requested_services):
+                rel[service] = self._reliance_for_service(service)
+            self._reliance = rel
+        return self._reliance
+
+    def routing(self) -> Routing:
+        """Materialize the reliance choices as a :class:`Routing`."""
+        inst = self.instance
+        rel = self.reliance
+        a = np.full((inst.n_requests, inst.max_chain), -1, dtype=np.int64)
+        chain = inst.chain_matrix
+        mask = inst.chain_mask
+        homes = inst.homes
+        chain_safe = np.where(mask, chain, 0)
+        assigned = rel[chain_safe, homes[:, None]]
+        a[mask] = assigned[mask]
+        return Routing(inst, a)
+
+    def objective(self, routing: str = "reliance") -> float:
+        """Eq. (8) objective value Q.
+
+        ``routing="reliance"`` scores under the paper's connection-update
+        routing (cheap, used inside the parallel stage); ``"optimal"``
+        re-routes every request optimally first — the value the serial
+        stage's gradient δ compares (Alg. 3 lines 7/9 evaluate the true
+        objective).
+        """
+        inst = self.instance
+        lam = inst.config.weight
+        cost = deployment_cost(inst, self.placement)
+        if routing == "optimal":
+            from repro.model.routing import optimal_routing
+
+            r = optimal_routing(inst, self.placement)
+        else:
+            r = self.routing()
+        lat = float(total_latency(inst, r).sum())
+        return lam * cost + (1.0 - lam) * lat
+
+    def cost(self) -> float:
+        return deployment_cost(self.instance, self.placement)
+
+    # ------------------------------------------------------------------
+    def latency_loss(self, service: int, node: int) -> Optional[float]:
+        """Latency loss ``ζ_{i,k}`` of removing ``(service, node)``.
+
+        Returns ``None`` when removal is not allowed: the node hosts no
+        instance, or it is the service's last instance (Alg. 4's skip).
+        """
+        inst = self.instance
+        if not self.placement.has(service, node):
+            return None
+        hosts = self.placement.hosts(service)
+        if hosts.size <= 1:
+            return None
+        rel = self.reliance[service]
+        affected = np.nonzero(rel == node)[0]
+        if affected.size == 0:
+            return 0.0
+
+        inv = inst.inv_rate
+        comp = inst.compute_ext
+        q = inst.service_compute[service]
+        w = inst.demand_data[service][affected]
+        n_users = inst.demand_counts[service][affected].astype(np.float64)
+
+        remaining = hosts[hosts != node]
+        gid = self._group_id.get(service)
+        before = w * inv[affected, node] + n_users * (q / comp[node])
+        after = np.empty_like(before)
+        for idx, f in enumerate(affected):
+            cand = remaining
+            if gid is not None and gid[f] >= 0:
+                same = remaining[gid[remaining] == gid[f]]
+                if same.size:
+                    cand = same
+            key = inv[f, cand] - 1e-12 * comp[cand]
+            alt = cand[int(np.argmin(key))]
+            after[idx] = w[idx] * inv[f, alt] + n_users[idx] * (q / comp[alt])
+        return float(after.sum() - before.sum())
+
+    def remove(self, service: int, node: int) -> None:
+        self.placement.remove(service, node)
+        self.invalidate()
+
+    def add(self, service: int, node: int) -> None:
+        self.placement.add(service, node)
+        self.invalidate()
+
+    def set_placement(self, placement: Placement) -> None:
+        self.placement = placement.copy()
+        self.invalidate()
+
+
+def latency_losses(
+    state: CombinationState,
+    tabu: Optional[set[tuple[int, int]]] = None,
+    n_jobs: int = 1,
+) -> dict[tuple[int, int], float]:
+    """Alg. 4: ζ for every removable instance (single-instance services
+    and tabu entries skipped).
+
+    ``n_jobs > 1`` evaluates services across a thread pool — the
+    "parallel" in the paper's parallel local search.  The per-service
+    kernels are numpy-bound, so threads (not processes) are the right
+    fan-out; results are identical to the serial sweep.
+    """
+    tabu = tabu or set()
+    inst = state.instance
+    services = [int(i) for i in inst.requested_services]
+    # materialize reliance once up front; thread workers then only read
+    state.reliance
+
+    def sweep_service(service: int) -> list[tuple[tuple[int, int], float]]:
+        hosts = state.placement.hosts(service)
+        if hosts.size <= 1:
+            return []
+        out = []
+        for node in (int(k) for k in hosts):
+            if (service, node) in tabu:
+                continue
+            z = state.latency_loss(service, node)
+            if z is not None:
+                out.append(((service, node), z))
+        return out
+
+    if n_jobs == 1:
+        chunks = [sweep_service(s) for s in services]
+    else:
+        from repro.utils.parallel import parallel_map
+
+        chunks = parallel_map(
+            sweep_service,
+            services,
+            n_jobs=n_jobs,
+            min_items_per_worker=1,
+            use_threads=True,
+        )
+    return {key: z for chunk in chunks for key, z in chunk}
+
+
+def _filter_conflicts(
+    chosen: list[tuple[int, int]],
+    zetas: dict[tuple[int, int], float],
+    conflicts: set[frozenset[int]],
+    counts: dict[int, int],
+) -> list[tuple[int, int]]:
+    """Drop dependency-conflicted picks (keep smaller ζ) and cap removals
+    so no service loses all instances in one round."""
+    accepted: list[tuple[int, int]] = []
+    accepted_services: set[int] = set()
+    removals: dict[int, int] = {}
+    for key in sorted(chosen, key=lambda ik: zetas[ik]):
+        service, _node = key
+        if any(
+            frozenset((service, other)) in conflicts
+            for other in accepted_services
+            if other != service
+        ):
+            continue
+        if removals.get(service, 0) + 1 >= counts[service]:
+            continue  # must keep at least one instance
+        accepted.append(key)
+        accepted_services.add(service)
+        removals[service] = removals.get(service, 0) + 1
+    return accepted
+
+
+@dataclass
+class CombinationStats:
+    """Diagnostics of one combination run."""
+
+    parallel_rounds: int = 0
+    parallel_merges: int = 0
+    serial_merges: int = 0
+    rollbacks: int = 0
+    migrations: int = 0
+    forced_merges: int = 0
+    relocations: int = 0
+
+
+def relocation_pass(
+    state: CombinationState,
+    config: SoCLConfig = SoCLConfig(),
+) -> int:
+    """Cost-neutral relocation polish (storage-aware adaptive placement).
+
+    After the merge descent fixes *how many* instances each service
+    keeps, this pass improves *where* they live: for each instance
+    ``(i, k)`` it evaluates moving it to any storage-feasible node ``q``
+    (same deployment cost — κ is per instance, not per node) and applies
+    the move with the best estimated latency reduction.  The estimate
+    prices every demand node at its nearest host (the same star-shaped
+    approximation behind ζ); the final optimal routing can only improve
+    on it.  Returns the number of moves applied.
+    """
+    inst = state.instance
+    inv = inst.inv_rate[: inst.n_servers, : inst.n_servers]
+    comp = inst.network.compute
+    phi = inst.service_storage
+    capacity = inst.server_storage
+    moves = 0
+
+    for _ in range(config.max_relocation_rounds):
+        moved_this_round = False
+        used = phi @ state.placement.matrix.astype(np.float64)
+        for service in (int(i) for i in inst.requested_services):
+            hosts = state.placement.hosts(service)
+            if hosts.size == 0:
+                continue
+            demand_nodes = np.nonzero(inst.demand_counts[service] > 0)[0]
+            if demand_nodes.size == 0:
+                continue
+            w = inst.demand_data[service][demand_nodes]
+            nf = inst.demand_counts[service][demand_nodes].astype(np.float64)
+            q_i = inst.service_compute[service]
+            # C[f, k]: latency of serving demand node f from host k
+            cost_fk = (
+                w[:, None] * inv[np.ix_(demand_nodes, np.arange(inst.n_servers))]
+                + nf[:, None] * (q_i / comp)[None, :]
+            )
+
+            def group_latency(host_list: np.ndarray) -> float:
+                return float(cost_fk[:, host_list].min(axis=1).sum())
+
+            base = group_latency(hosts)
+            best_delta = -1e-9
+            best_move: Optional[tuple[int, int]] = None
+            host_set = set(int(k) for k in hosts)
+            for k in (int(v) for v in hosts):
+                others = np.array([v for v in hosts if v != k], dtype=np.int64)
+                for q in range(inst.n_servers):
+                    if q in host_set:
+                        continue
+                    if used[q] + phi[service] > capacity[q] + 1e-9:
+                        continue
+                    candidate = np.append(others, q)
+                    delta = group_latency(candidate) - base
+                    if delta < best_delta:
+                        best_delta = delta
+                        best_move = (k, q)
+            if best_move is not None:
+                k, q = best_move
+                state.remove(service, k)
+                state.add(service, q)
+                used[k] -= phi[service]
+                used[q] += phi[service]
+                moves += 1
+                moved_this_round = True
+        if not moved_this_round:
+            break
+    return moves
+
+
+def multi_scale_combination(
+    instance: ProblemInstance,
+    partitions: PartitionResult,
+    preprovisioned: Placement,
+    config: SoCLConfig = SoCLConfig(),
+) -> tuple[Placement, CombinationStats]:
+    """Run Alg. 3 end-to-end; returns the final placement and stats."""
+    state = CombinationState(instance, partitions, preprovisioned, config)
+    stats = CombinationStats()
+    conflicts = dependency_conflict_pairs(instance)
+    budget = instance.config.budget
+
+    # ---------------- large-scale parallel descent ----------------
+    while state.cost() > budget and stats.parallel_rounds < config.max_parallel_rounds:
+        zetas = latency_losses(state, n_jobs=config.n_jobs)
+        if not zetas:
+            break
+        n_pick = max(1, int(np.floor(config.omega * len(zetas))))
+        ranked = sorted(zetas, key=zetas.get)[:n_pick]
+        counts = {
+            svc: state.placement.instance_count(svc)
+            for svc in {ik[0] for ik in ranked}
+        }
+        accepted = _filter_conflicts(ranked, zetas, conflicts, counts)
+        if not accepted:
+            # conflict filtering removed everything — fall back to the
+            # single best merge so the loop always progresses.
+            best = min(zetas, key=zetas.get)
+            if state.placement.instance_count(best[0]) > 1:
+                accepted = [best]
+            else:
+                break
+        for service, node in accepted:
+            state.remove(service, node)
+            stats.parallel_merges += 1
+        stats.parallel_rounds += 1
+
+    # Initial storage repair before the serial stage.
+    plan = storage_plan(instance, state.placement, config)
+    state.set_placement(plan.placement)
+    stats.migrations += len(plan.migrations)
+    storage_ok = plan.success
+
+    # ---------------- small-scale serial descent ----------------
+    # Each iteration merges the min-ζ instance (the paper examines a few
+    # near-minimal candidates per round; ``_SERIAL_CANDIDATES`` bounds
+    # that look-ahead) and accepts via the true-objective gradient
+    # δ = Q' − Q'' + Θ, with deadline roll-back and storage planning.
+    tabu: set[tuple[int, int]] = set()
+    theta = config.theta
+    for _ in range(config.max_serial_iterations):
+        forced = (not storage_ok) or (state.cost() > budget)
+        zetas = latency_losses(state, tabu, n_jobs=config.n_jobs)
+        if not zetas:
+            break
+        q_before = state.objective("optimal")
+        snapshot = state.placement.copy()
+
+        candidates = sorted(zetas, key=zetas.get)[:_SERIAL_CANDIDATES]
+        best: Optional[tuple[float, tuple[int, int], object]] = None
+        for service, node in candidates:
+            state.set_placement(snapshot)
+            state.remove(service, node)
+            plan = storage_plan(instance, state.placement, config)
+            state.set_placement(plan.placement)
+            # deadline check (Eq. 4) with roll-back
+            lat = total_latency(instance, state.routing())
+            if np.any(lat > instance.deadlines + 1e-9):
+                tabu.add((service, node))
+                stats.rollbacks += 1
+                continue
+            q_after = state.objective("optimal")
+            if best is None or q_after < best[0]:
+                best = (q_after, (service, node), plan)
+        if best is None:
+            state.set_placement(snapshot)
+            continue
+
+        q_after, (service, node), plan = best
+        # rebuild the chosen merge (the loop leaves the last candidate set)
+        state.set_placement(snapshot)
+        state.remove(service, node)
+        plan = storage_plan(instance, state.placement, config)
+        state.set_placement(plan.placement)
+
+        if forced:
+            # Budget/storage still violated: merging is mandatory, the
+            # gradient test does not apply (Alg. 5 line 17 path).
+            storage_ok = plan.success
+            stats.migrations += len(plan.migrations)
+            stats.serial_merges += 1
+            stats.forced_merges += 1
+            continue
+
+        delta = q_before - q_after + theta
+        if delta <= 0:
+            state.set_placement(snapshot)
+            break
+        storage_ok = plan.success
+        stats.migrations += len(plan.migrations)
+        stats.serial_merges += 1
+
+    # ---------------- relocation polish ----------------
+    if config.relocation:
+        snapshot = state.placement.copy()
+        stats.relocations = relocation_pass(state, config)
+        if stats.relocations:
+            # deadline guard: relocations must not break Eq. (4)
+            lat = total_latency(instance, state.routing())
+            if np.any(lat > instance.deadlines + 1e-9):
+                state.set_placement(snapshot)
+                stats.relocations = 0
+
+    return state.placement, stats

@@ -1,0 +1,181 @@
+"""Fuzzy Analytic Hierarchy Process (FuzzyAHP) — paper Alg. 5, Def. 9.
+
+The storage planner ranks instances by a *local demand factor* ρ computed
+"using the FuzzyAHP method" over four criteria: deployment cost κ(m_i),
+storage requirement φ(m_i), number of requesting users |U^{m_i}_{v_k}|
+and the chain-order factor R^{m_i}_{v_k}.  This module implements the
+standard triangular-fuzzy-number AHP with Chang's extent analysis:
+
+1. experts (here: fixed defaults) give pairwise criterion comparisons as
+   triangular fuzzy numbers (TFNs),
+2. per-criterion fuzzy synthetic extents are computed,
+3. the degree-of-possibility ordering V(S_i ≥ S_j) is defuzzified into a
+   normalized crisp weight vector,
+4. alternatives are scored by min-max-normalized criteria (benefit
+   criteria ascending, cost criteria descending) dotted with the weights.
+
+The implementation is generic (any number of criteria/alternatives) and
+fully unit/property tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TriangularFuzzyNumber:
+    """A triangular fuzzy number (l ≤ m ≤ u)."""
+
+    l: float
+    m: float
+    u: float
+
+    def __post_init__(self) -> None:
+        if not (self.l <= self.m <= self.u):
+            raise ValueError(
+                f"TFN requires l <= m <= u, got ({self.l}, {self.m}, {self.u})"
+            )
+        if self.l <= 0:
+            raise ValueError(f"AHP scale TFNs must be positive, got l={self.l}")
+
+    def __add__(self, other: "TriangularFuzzyNumber") -> "TriangularFuzzyNumber":
+        return TriangularFuzzyNumber(
+            self.l + other.l, self.m + other.m, self.u + other.u
+        )
+
+    def __mul__(self, other: "TriangularFuzzyNumber") -> "TriangularFuzzyNumber":
+        return TriangularFuzzyNumber(
+            self.l * other.l, self.m * other.m, self.u * other.u
+        )
+
+    def inverse(self) -> "TriangularFuzzyNumber":
+        """Fuzzy reciprocal: (l, m, u)⁻¹ = (1/u, 1/m, 1/l)."""
+        return TriangularFuzzyNumber(1.0 / self.u, 1.0 / self.m, 1.0 / self.l)
+
+    def possibility_geq(self, other: "TriangularFuzzyNumber") -> float:
+        """Degree of possibility V(self ≥ other) (Chang 1996)."""
+        if self.m >= other.m:
+            return 1.0
+        if other.l >= self.u:
+            return 0.0
+        return (other.l - self.u) / ((self.m - self.u) - (other.m - other.l))
+
+
+TFN = TriangularFuzzyNumber
+
+
+def tfn(l: float, m: float, u: float) -> TFN:
+    """Shorthand constructor."""
+    return TFN(l, m, u)
+
+
+#: Default pairwise comparison of the storage planner's four criteria,
+#: ordered (deploy cost κ, storage φ, user demand |U|, order factor R).
+#: Demand dominates (losing a heavily used instance hurts most), the
+#: order factor matters next (first/last chain services pin entry/exit
+#: latency), then cost, then storage footprint.
+DEFAULT_CRITERIA_MATRIX: tuple[tuple[TFN, ...], ...] = (
+    # κ vs (κ, φ, |U|, R)
+    (tfn(1, 1, 1), tfn(1, 2, 3), tfn(1 / 4, 1 / 3, 1 / 2), tfn(1 / 3, 1 / 2, 1)),
+    # φ
+    (tfn(1 / 3, 1 / 2, 1), tfn(1, 1, 1), tfn(1 / 5, 1 / 4, 1 / 3), tfn(1 / 4, 1 / 3, 1 / 2)),
+    # |U|
+    (tfn(2, 3, 4), tfn(3, 4, 5), tfn(1, 1, 1), tfn(1, 2, 3)),
+    # R
+    (tfn(1, 2, 3), tfn(2, 3, 4), tfn(1 / 3, 1 / 2, 1), tfn(1, 1, 1)),
+)
+
+
+def fuzzy_ahp_weights(
+    matrix: Sequence[Sequence[TFN]] = DEFAULT_CRITERIA_MATRIX,
+) -> np.ndarray:
+    """Crisp criterion weights from a fuzzy pairwise-comparison matrix.
+
+    Implements Chang's extent analysis; returns a vector summing to 1.
+    Raises when the matrix is not square or the possibility ordering
+    degenerates to all-zero weights (fully contradictory comparisons).
+    """
+    n = len(matrix)
+    if n == 0 or any(len(row) != n for row in matrix):
+        raise ValueError("comparison matrix must be square and non-empty")
+
+    # Fuzzy synthetic extent per criterion: S_i = Σ_j M_ij ⊘ Σ_i Σ_j M_ij
+    row_sums: list[TFN] = []
+    for row in matrix:
+        total = row[0]
+        for entry in row[1:]:
+            total = total + entry
+        row_sums.append(total)
+    grand = row_sums[0]
+    for rs in row_sums[1:]:
+        grand = grand + rs
+    grand_inv = grand.inverse()
+    extents = [rs * grand_inv for rs in row_sums]
+
+    # d(A_i) = min_j V(S_i ≥ S_j)
+    weights = np.empty(n)
+    for i in range(n):
+        poss = [
+            extents[i].possibility_geq(extents[j]) for j in range(n) if j != i
+        ]
+        weights[i] = min(poss) if poss else 1.0
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError(
+            "degenerate fuzzy comparisons: all possibility degrees are zero"
+        )
+    return weights / total
+
+
+def score_alternatives(
+    values: np.ndarray,
+    benefit: Sequence[bool],
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Weighted min-max-normalized scores of alternatives.
+
+    Parameters
+    ----------
+    values:
+        ``(n_alternatives, n_criteria)`` raw criterion values.
+    benefit:
+        Per criterion: ``True`` if larger is better, ``False`` if smaller
+        is better (cost criterion; normalization is inverted).
+    weights:
+        Crisp criterion weights (need not be normalized).
+
+    Returns
+    -------
+    ``(n_alternatives,)`` scores in [0, 1]; higher means higher priority.
+    Constant criteria contribute a neutral 0.5.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError(f"values must be 2-D, got shape {values.shape}")
+    n_alt, n_crit = values.shape
+    if len(benefit) != n_crit:
+        raise ValueError(
+            f"benefit flags ({len(benefit)}) must match criteria ({n_crit})"
+        )
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (n_crit,):
+        raise ValueError(
+            f"weights shape {weights.shape} must be ({n_crit},)"
+        )
+
+    lo = values.min(axis=0)
+    hi = values.max(axis=0)
+    span = hi - lo
+    normalized = np.full_like(values, 0.5)
+    varying = span > 0
+    normalized[:, varying] = (values[:, varying] - lo[varying]) / span[varying]
+    flip = ~np.asarray(benefit, dtype=bool)
+    normalized[:, flip] = 1.0 - normalized[:, flip]
+    wsum = weights.sum()
+    if wsum <= 0:
+        raise ValueError("weights must have positive sum")
+    return normalized @ (weights / wsum)

@@ -1,0 +1,202 @@
+"""Region-based initial partition (paper Alg. 1, §IV.A).
+
+For each microservice ``m_i``:
+
+1. collect ``V(m_i)`` — the edge servers whose users request ``m_i``;
+2. reconnect them in a *virtual graph* ``G'(m_i)`` whose links carry the
+   harmonic-mean channel speed ``B(l'_{k,q})`` of the hop-shortest
+   physical path;
+3. keep virtual links with ``B(l') > ξ`` and take connected components as
+   the initial partitions ``P(m_i) = {p_s}``;
+4. extend each partition with *candidate nodes* — servers that host no
+   requests for ``m_i`` but would reduce group completion time if the
+   instance lived there.  Theorem 1 restricts candidates to nodes with
+   degree ``H(v) > 2``; validation computes the proactive factor
+   ``Δ^η`` (Def. 5) against partition members in ascending order of
+   communication intensity ``χ`` and accepts on the first ``Δ^η < 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SoCLConfig
+from repro.model.instance import ProblemInstance
+from repro.network.paths import communication_intensity
+
+
+@dataclass
+class ServicePartition:
+    """Partitions of one microservice's hosting region.
+
+    ``groups[s]`` lists the member node indices of partition ``p_s``;
+    ``candidates[s]`` flags which members are Theorem-1 candidates
+    (added by Δ-validation) rather than demand hosts.
+    """
+
+    service: int
+    groups: list[list[int]]
+    candidates: list[set[int]]
+    xi: float
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def members(self) -> set[int]:
+        return {v for group in self.groups for v in group}
+
+    def group_of(self, node: int) -> Optional[int]:
+        """Group index containing ``node`` (None if outside all groups)."""
+        for s, group in enumerate(self.groups):
+            if node in group:
+                return s
+        return None
+
+
+@dataclass
+class PartitionResult:
+    """Alg. 1 output: one :class:`ServicePartition` per requested service."""
+
+    by_service: dict[int, ServicePartition]
+
+    def partition(self, service: int) -> ServicePartition:
+        return self.by_service[service]
+
+    @property
+    def services(self) -> list[int]:
+        return sorted(self.by_service)
+
+    def total_groups(self) -> int:
+        return sum(p.n_groups for p in self.by_service.values())
+
+
+def proactive_factor(
+    instance: ProblemInstance,
+    service: int,
+    group: Sequence[int],
+    eta: int,
+    anchor: int,
+) -> float:
+    """Proactive factor ``Δ^η`` (Def. 5) of node ``eta`` vs anchor ``v_a``.
+
+    ``Δ^η < 0`` means provisioning ``m_i`` on ``eta`` yields lower total
+    transfer time for the group's demand than provisioning on the anchor
+    member ``v_a`` — the candidate-node acceptance criterion (Def. 6).
+    """
+    inv = instance.inv_rate
+    weights = instance.demand_data[service]  # r_i per node (GB)
+    members = np.asarray(list(group), dtype=np.int64)
+    r = weights[members]
+    delay_eta = float((r * inv[members, eta]).sum())
+    delay_anchor = float((r * inv[members, anchor]).sum())
+    return delay_eta - delay_anchor
+
+
+def _virtual_components(
+    nodes: np.ndarray, virtual_rate: np.ndarray, xi: float
+) -> list[list[int]]:
+    """Connected components of the ξ-thresholded virtual graph."""
+    index = {int(v): i for i, v in enumerate(nodes)}
+    n = len(nodes)
+    adj = [[] for _ in range(n)]
+    for a in range(n):
+        for b in range(a + 1, n):
+            if virtual_rate[nodes[a], nodes[b]] > xi:
+                adj[a].append(b)
+                adj[b].append(a)
+    seen = [False] * n
+    components: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        comp = []
+        while stack:
+            cur = stack.pop()
+            comp.append(int(nodes[cur]))
+            for nb in adj[cur]:
+                if not seen[nb]:
+                    seen[nb] = True
+                    stack.append(nb)
+        components.append(sorted(comp))
+    return components
+
+
+def _auto_threshold(
+    nodes: np.ndarray, virtual_rate: np.ndarray, percentile: float
+) -> float:
+    """Per-service ξ: the requested percentile of pairwise virtual rates."""
+    if len(nodes) < 2:
+        return 0.0
+    rates = [
+        virtual_rate[nodes[a], nodes[b]]
+        for a in range(len(nodes))
+        for b in range(a + 1, len(nodes))
+    ]
+    rates = np.asarray(rates)
+    finite = rates[np.isfinite(rates) & (rates > 0)]
+    if finite.size == 0:
+        return 0.0
+    return float(np.quantile(finite, percentile))
+
+
+def initial_partition(
+    instance: ProblemInstance,
+    config: SoCLConfig = SoCLConfig(),
+) -> PartitionResult:
+    """Run Alg. 1 over every requested microservice."""
+    vr = instance.network.paths.virtual_rate_matrix
+    chi = communication_intensity(instance.network.paths.inv_rate)
+    degrees = instance.network.degrees
+
+    by_service: dict[int, ServicePartition] = {}
+    for service in (int(i) for i in instance.requested_services):
+        hosts = instance.hosting_servers(service)
+        xi = (
+            config.xi
+            if config.xi is not None
+            else _auto_threshold(hosts, vr, config.xi_percentile)
+        )
+        groups = _virtual_components(hosts, vr, xi)
+        candidates: list[set[int]] = [set() for _ in groups]
+
+        if config.candidate_nodes:
+            host_set = set(int(v) for v in hosts)
+            outside = [
+                int(v)
+                for v in range(instance.n_servers)
+                if v not in host_set and degrees[v] >= config.min_degree
+            ]
+            for s, group in enumerate(groups):
+                # Validate against members in ascending communication
+                # intensity; accept on the first Δ^η < 0 (paper's early
+                # termination).
+                anchors = sorted(group, key=lambda v: chi[v])
+                for eta in outside:
+                    taken = any(eta in g for g in groups) or any(
+                        eta in c for c in candidates
+                    )
+                    if taken:
+                        continue
+                    for anchor in anchors:
+                        if (
+                            proactive_factor(instance, service, group, eta, anchor)
+                            < 0.0
+                        ):
+                            group.append(eta)
+                            candidates[s].add(eta)
+                            break
+
+        by_service[service] = ServicePartition(
+            service=service,
+            groups=[sorted(g) for g in groups],
+            candidates=candidates,
+            xi=xi,
+        )
+    return PartitionResult(by_service=by_service)

@@ -1,0 +1,124 @@
+"""Instance pre-provisioning (paper Alg. 2, §IV.B).
+
+Stage 2 of SoCL turns the initial partitions into a concrete (generous)
+placement:
+
+* **budget-based bound** — each microservice may receive at most
+  ``N̄(m_i) = min(|V(m_i)|, N^u(m_i))`` instances, where
+  ``N^u(m_i) = ⌊K^u(m_i)/κ(m_i)⌋`` and ``K^u(m_i) = K^max −
+  Σ_{j≠i} κ(m_j)`` is the budget remaining after every other requested
+  service gets one instance.  The bound is clamped to ≥ 1 so no service
+  is starved (the combination stage preserves this invariant).
+* **quota allocation** — partition ``p_s`` receives the demand share
+  ``ε_s(m_i) = |U_{p_s}| / Σ_s |U_{p_s}|`` of the bound.  If the quota
+  covers the whole partition, all members are provisioned; otherwise
+  members are picked greedily by minimum *instance contribution*
+  ``D_{p_s}(v_k)`` (Def. 7) — the estimated group completion time if
+  ``v_k`` were the partition's only host.
+
+Every partition ends with at least one instance (the ``while |p^t| <
+ε_s·N̄`` loop always admits the first pick), realizing the paper's
+"optimized for routing" guarantee ③.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import SoCLConfig
+from repro.core.partition import PartitionResult, ServicePartition
+from repro.model.instance import ProblemInstance
+from repro.model.placement import Placement
+
+
+def instance_bound(instance: ProblemInstance, service: int) -> int:
+    """Budget-based maximum instance count ``N̄(m_i)`` (≥ 1)."""
+    requested = instance.requested_services
+    if service not in requested:
+        raise ValueError(f"service {service} has no requests")
+    kappa = instance.service_cost
+    others = float(kappa[requested].sum() - kappa[service])
+    remaining = instance.config.budget - others
+    n_upper = int(np.floor(remaining / kappa[service]))
+    n_hosts = int(instance.hosting_servers(service).size)
+    return max(1, min(n_hosts, n_upper))
+
+
+def instance_contribution(
+    instance: ProblemInstance,
+    service: int,
+    group: Sequence[int],
+    node: int,
+) -> float:
+    """Instance contribution ``D_{p_s(m_i)}(v_k)`` (Def. 7).
+
+    Estimated group completion time if ``node`` were the only host:
+    every other member ships its demand over the virtual link plus the
+    processing delay at ``node``.  Smaller is better.
+    """
+    inv = instance.inv_rate
+    members = np.asarray([v for v in group if v != node], dtype=np.int64)
+    r = instance.demand_data[service][members]
+    transfer = float((r * inv[members, node]).sum())
+    processing = float(
+        instance.service_compute[service] / instance.compute_ext[node]
+    )
+    return transfer + processing
+
+
+def _provision_group(
+    instance: ProblemInstance,
+    service: int,
+    group: Sequence[int],
+    quota: float,
+) -> list[int]:
+    """Select hosts within one partition under its quota (Alg. 2, 8-14)."""
+    group = list(group)
+    if quota >= len(group):
+        return group
+    contributions = {
+        node: instance_contribution(instance, service, group, node)
+        for node in group
+    }
+    chosen: list[int] = []
+    remaining = sorted(group, key=lambda v: contributions[v])
+    while len(chosen) < quota and remaining:
+        chosen.append(remaining.pop(0))
+    if not chosen:  # quota rounded to zero — keep the best single host
+        chosen.append(remaining.pop(0))
+    return sorted(chosen)
+
+
+def preprovision(
+    instance: ProblemInstance,
+    partitions: PartitionResult,
+    config: SoCLConfig = SoCLConfig(),
+) -> Placement:
+    """Run Alg. 2: produce the pre-provisioning placement ``P^t``."""
+    x = Placement.empty(instance)
+    counts = instance.demand_counts
+
+    for service in partitions.services:
+        part = partitions.partition(service)
+        bound = instance_bound(instance, service)
+
+        group_demand = np.array(
+            [sum(int(counts[service, v]) for v in group) for group in part.groups],
+            dtype=np.float64,
+        )
+        total = group_demand.sum()
+        if total <= 0:
+            # Degenerate (no demand despite being requested) — one
+            # instance on the first member of each group.
+            for group in part.groups:
+                x.add(service, group[0])
+            continue
+        shares = group_demand / total
+
+        for group, share in zip(part.groups, shares):
+            quota = share * bound
+            for node in _provision_group(instance, service, group, quota):
+                x.add(service, node)
+    return x

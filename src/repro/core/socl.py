@@ -1,0 +1,111 @@
+"""SoCL facade: partition → pre-provision → combine → route (§IV).
+
+:func:`solve_socl` runs the full three-stage pipeline on a
+:class:`repro.model.instance.ProblemInstance` and returns a
+:class:`SoCLResult` bundling the decisions, the evaluation report, the
+per-stage wall-clock times and combination diagnostics — everything the
+experiment harness tabulates.
+
+The :class:`SoCL` class wraps the same pipeline as a reusable solver
+object (matching the baseline interface in :mod:`repro.baselines`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.combination import CombinationStats, multi_scale_combination
+from repro.core.config import SoCLConfig
+from repro.core.partition import PartitionResult, initial_partition
+from repro.core.preprovision import preprovision
+from repro.model.constraints import FeasibilityReport, feasibility_report
+from repro.model.instance import ProblemInstance
+from repro.model.objective import ObjectiveReport, evaluate
+from repro.model.placement import Placement, Routing
+from repro.model.routing import greedy_routing, optimal_routing
+from repro.utils.timing import Stopwatch
+
+
+@dataclass(frozen=True)
+class SoCLResult:
+    """Full outcome of one SoCL run."""
+
+    placement: Placement
+    routing: Routing
+    report: ObjectiveReport
+    feasibility: FeasibilityReport
+    partitions: PartitionResult
+    stats: CombinationStats
+    stage_times: dict[str, float]
+    runtime: float
+
+    @property
+    def objective(self) -> float:
+        return self.report.objective
+
+
+def solve_socl(
+    instance: ProblemInstance,
+    config: SoCLConfig = SoCLConfig(),
+) -> SoCLResult:
+    """Run the three-stage SoCL pipeline on ``instance``."""
+    total = Stopwatch()
+    total.start()
+    stage_times: dict[str, float] = {}
+
+    sw = Stopwatch()
+    with sw.measure():
+        partitions = initial_partition(instance, config)
+    stage_times["partition"] = sw.elapsed
+
+    sw = Stopwatch()
+    with sw.measure():
+        pre = preprovision(instance, partitions, config)
+    stage_times["preprovision"] = sw.elapsed
+
+    sw = Stopwatch()
+    with sw.measure():
+        placement, stats = multi_scale_combination(instance, partitions, pre, config)
+    stage_times["combination"] = sw.elapsed
+
+    sw = Stopwatch()
+    with sw.measure():
+        if config.routing == "optimal":
+            routing = optimal_routing(instance, placement)
+        else:
+            routing = greedy_routing(instance, placement)
+    stage_times["routing"] = sw.elapsed
+
+    runtime = total.stop()
+    report = evaluate(instance, placement, routing)
+    feas = feasibility_report(instance, placement, routing)
+    return SoCLResult(
+        placement=placement,
+        routing=routing,
+        report=report,
+        feasibility=feas,
+        partitions=partitions,
+        stats=stats,
+        stage_times=stage_times,
+        runtime=runtime,
+    )
+
+
+class SoCL:
+    """Solver-object interface around :func:`solve_socl`.
+
+    Mirrors the baseline solvers' ``solve(instance)`` protocol so the
+    experiment harness can treat every algorithm uniformly.
+    """
+
+    name = "SoCL"
+
+    def __init__(self, config: SoCLConfig = SoCLConfig()):
+        self.config = config
+
+    def solve(self, instance: ProblemInstance) -> SoCLResult:
+        return solve_socl(instance, self.config)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SoCL(config={self.config!r})"

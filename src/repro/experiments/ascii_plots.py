@@ -1,0 +1,142 @@
+"""Dependency-free terminal plots for the figure reproductions.
+
+The benchmark harness runs offline without matplotlib, so the figure
+shapes (log-runtime growth, delay traces, objective bars) are rendered
+as Unicode text: sparklines, horizontal bar charts, and multi-series
+line panels.  These renderers are pure functions string-in/string-out
+and fully unit-tested.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render ``values`` as a one-line Unicode sparkline.
+
+    ``width`` resamples the series to at most that many characters.
+    Constant series render at the middle level.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if width is not None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if arr.size > width:
+            idx = np.linspace(0, arr.size - 1, width).round().astype(int)
+            arr = arr[idx]
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _SPARK_LEVELS[len(_SPARK_LEVELS) // 2] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(v))] for v in scaled)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    log: bool = False,
+) -> str:
+    """Horizontal bar chart, one labelled row per entry.
+
+    ``log=True`` scales bars by log10 (for the Fig. 2-style runtime
+    explosion); values must then be positive.
+    """
+    if width < 5:
+        raise ValueError(f"width must be >= 5, got {width}")
+    if not values:
+        return "(no data)"
+    items = list(values.items())
+    raw = np.array([v for _, v in items], dtype=np.float64)
+    if log:
+        if (raw <= 0).any():
+            raise ValueError("log scale requires positive values")
+        scale_vals = np.log10(raw)
+        scale_vals = scale_vals - scale_vals.min()
+    else:
+        scale_vals = raw
+    top = scale_vals.max()
+    label_w = max(len(k) for k, _ in items)
+    lines = []
+    for (label, value), sv in zip(items, scale_vals):
+        n = int(round(width * sv / top)) if top > 0 else 0
+        bar = "█" * max(n, 1 if value > 0 else 0)
+        lines.append(f"{label.ljust(label_w)} │{bar.ljust(width)}│ {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def line_panel(
+    series: Mapping[str, Sequence[float]],
+    height: int = 8,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Multi-series character plot: one glyph per series, shared axes."""
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    if not series:
+        return "(no data)"
+    glyphs = "•ox+*#@%"
+    arrays = {
+        name: np.asarray(list(vals), dtype=np.float64)
+        for name, vals in series.items()
+    }
+    arrays = {k: v for k, v in arrays.items() if v.size}
+    if not arrays:
+        return "(no data)"
+    lo = min(float(v.min()) for v in arrays.values())
+    hi = max(float(v.max()) for v in arrays.values())
+    span = hi - lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for gi, (name, vals) in enumerate(arrays.items()):
+        glyph = glyphs[gi % len(glyphs)]
+        xs = (
+            np.linspace(0, width - 1, vals.size).round().astype(int)
+            if vals.size > 1
+            else np.array([0])
+        )
+        ys = ((vals - lo) / span * (height - 1)).round().astype(int)
+        for x, y in zip(xs, ys):
+            grid[height - 1 - y][x] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{lo:10.3g} ┤" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(arrays)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float], bins: int = 10, width: int = 40
+) -> str:
+    """Text histogram with bin ranges and counts."""
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return "(no data)"
+    counts, edges = np.histogram(arr, bins=bins)
+    top = counts.max() or 1
+    lines = []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "█" * int(round(width * c / top))
+        lines.append(f"[{lo:9.3g}, {hi:9.3g}) │{bar.ljust(width)}│ {c}")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Algorithm-comparison harness: run solvers on scenarios, tabulate rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.baselines import (
+    GreedyCombineOG,
+    JointDeploymentRouting,
+    RandomProvisioning,
+)
+from repro.core import SoCL, SoCLConfig
+from repro.model.instance import ProblemInstance
+
+
+@dataclass(frozen=True)
+class AlgorithmRow:
+    """One (algorithm, scenario) result row."""
+
+    algorithm: str
+    objective: float
+    cost: float
+    latency_sum: float
+    mean_latency: float
+    max_latency: float
+    runtime: float
+    feasible: bool
+    params: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "objective": self.objective,
+            "cost": self.cost,
+            "latency_sum": self.latency_sum,
+            "mean_latency": self.mean_latency,
+            "max_latency": self.max_latency,
+            "runtime": self.runtime,
+            "feasible": self.feasible,
+            **self.params,
+        }
+
+
+def default_solvers(seed: int = 0, include_gcog: bool = True) -> list:
+    """The paper's baseline lineup: RP, JDR, GC-OG, SoCL."""
+    solvers = [RandomProvisioning(seed=seed), JointDeploymentRouting()]
+    if include_gcog:
+        solvers.append(GreedyCombineOG())
+    solvers.append(SoCL(SoCLConfig()))
+    return solvers
+
+
+def compare_algorithms(
+    instance: ProblemInstance,
+    solvers: Optional[Sequence] = None,
+    params: Optional[dict] = None,
+) -> list[AlgorithmRow]:
+    """Run every solver on ``instance``; returns one row per solver."""
+    if solvers is None:
+        solvers = default_solvers()
+    params = params or {}
+    rows: list[AlgorithmRow] = []
+    for solver in solvers:
+        result = solver.solve(instance)
+        rows.append(
+            AlgorithmRow(
+                algorithm=getattr(solver, "name", type(solver).__name__),
+                objective=result.report.objective,
+                cost=result.report.cost,
+                latency_sum=result.report.latency_sum,
+                mean_latency=result.report.mean_latency,
+                max_latency=result.report.max_latency,
+                runtime=result.runtime,
+                feasible=result.feasibility.feasible,
+                params=dict(params),
+            )
+        )
+    return rows
+
+
+def sweep(
+    instances: Iterable[tuple[dict, ProblemInstance]],
+    solvers_factory: Callable[[], Sequence] = default_solvers,
+) -> list[AlgorithmRow]:
+    """Run the solver lineup over a parameterized instance sweep.
+
+    ``instances`` yields ``(params, instance)`` pairs; a fresh solver
+    lineup is created per instance so stateful solvers don't leak.
+    """
+    rows: list[AlgorithmRow] = []
+    for params, instance in instances:
+        rows.extend(compare_algorithms(instance, solvers_factory(), params))
+    return rows

@@ -1,0 +1,226 @@
+"""One-shot reproduction report: every figure regenerated into Markdown.
+
+:func:`generate_report` reruns each paper experiment at a configurable
+scale and renders a self-contained Markdown document — tables, ASCII
+plots and pass/fail shape checks — mirroring EXPERIMENTS.md but with
+*fresh* numbers from this machine.  Exposed on the CLI as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.experiments import figures
+from repro.experiments.ascii_plots import bar_chart, line_panel, sparkline
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative claim verified against fresh data."""
+
+    description: str
+    passed: bool
+
+
+@dataclass
+class ReportSection:
+    title: str
+    body: str
+    checks: list[ShapeCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+
+def _fig2_section(seed: int, fast: bool) -> ReportSection:
+    user_scales = (4, 8) if fast else (4, 8, 10)
+    rows = figures.fig2_opt_runtime(
+        user_scales=user_scales, server_scales=(5,), seed=seed, time_limit=300
+    )
+    runtimes = {f"{r['n_users']} users": r["runtime"] for r in rows}
+    growth = rows[-1]["runtime"] / max(rows[0]["runtime"], 1e-9)
+    body = format_table(rows) + "\n\n```\n" + bar_chart(runtimes, unit="s", log=True) + "\n```"
+    checks = [
+        ShapeCheck(
+            f"exact-solver runtime grows superlinearly (x{growth:.1f})",
+            growth > 2.0,
+        )
+    ]
+    return ReportSection("Fig. 2 — exact ILP runtime explosion", body, checks)
+
+
+def _fig3_section(seed: int, fast: bool) -> ReportSection:
+    out = figures.fig3_similarity(seed=seed)
+    body = (
+        format_table(out["per_service"])
+        + f"\n\nmax similarity {out['max_similarity']:.3f} "
+        f"(paper ≈0.65), cross-file mean {out['cross_file_mean']:.3f}"
+    )
+    checks = [
+        ShapeCheck("max trace similarity well below 1", out["max_similarity"] < 0.9),
+    ]
+    return ReportSection("Fig. 3 — trace similarity", body, checks)
+
+
+def _fig4_section(seed: int, fast: bool) -> ReportSection:
+    out = figures.fig4_temporal(seed=seed)
+    body = (
+        "```\n"
+        + sparkline(out["volumes"], width=78)
+        + "\n```\n"
+        + f"peak-to-mean {out['peak_to_mean']:.2f}, CoV "
+        f"{out['coefficient_of_variation']:.2f} over {out['n_intervals']} intervals"
+    )
+    checks = [
+        ShapeCheck("recurring peaks (peak-to-mean > 1.3)", out["peak_to_mean"] > 1.3),
+        ShapeCheck(
+            "significant fluctuation (CoV > 0.15)",
+            out["coefficient_of_variation"] > 0.15,
+        ),
+    ]
+    return ReportSection("Fig. 4 — temporal request distribution", body, checks)
+
+
+def _fig7_section(seed: int, fast: bool) -> ReportSection:
+    user_scales = (4, 8) if fast else (4, 8, 10)
+    rows = figures.fig7_socl_vs_opt(
+        user_scales=user_scales, node_scales=(5, 6), seed=seed, time_limit=300
+    )
+    body = format_table(rows)
+    gaps = [r["gap_pct"] for r in rows if r["algorithm"] == "SoCL"]
+    opt_rt = {
+        (r["sweep"], r["scale"]): r["runtime"]
+        for r in rows
+        if r["algorithm"] == "OPT"
+    }
+    socl_rt = {
+        (r["sweep"], r["scale"]): r["runtime"]
+        for r in rows
+        if r["algorithm"] == "SoCL"
+    }
+    speedups = [opt_rt[k] / max(socl_rt[k], 1e-9) for k in opt_rt]
+    checks = [
+        ShapeCheck(
+            f"optimality gap ≤ 9.9% (max {max(gaps):.2f}%)", max(gaps) < 9.9
+        ),
+        ShapeCheck(
+            f"SoCL faster than exact solver (best speedup x{max(speedups):.0f})",
+            max(speedups) > 1.0,
+        ),
+    ]
+    return ReportSection("Fig. 7 — SoCL vs exact optimizer", body, checks)
+
+
+def _fig8_section(seed: int, fast: bool) -> ReportSection:
+    user_scales = (40,) if fast else (40, 80, 120)
+    rows = figures.fig8_baselines(user_scales=user_scales, seed=seed)
+    body = format_table(
+        rows,
+        columns=["n_users", "algorithm", "objective", "cost", "latency_sum", "runtime"],
+    )
+    last = max(user_scales)
+    objs = {r["algorithm"]: r["objective"] for r in rows if r["n_users"] == last}
+    checks = [
+        ShapeCheck("SoCL ≤ GC-OG", objs["SoCL"] <= objs["GC-OG"] + 1e-9),
+        ShapeCheck("GC-OG < JDR", objs["GC-OG"] < objs["JDR"]),
+        ShapeCheck("GC-OG < RP", objs["GC-OG"] < objs["RP"]),
+    ]
+    return ReportSection("Fig. 8 — baselines across user scales", body, checks)
+
+
+def _fig9_section(seed: int, fast: bool) -> ReportSection:
+    rows = figures.fig9_cluster(
+        user_counts=(12,) if fast else (12, 20), n_servers=8, n_slots=2, seed=seed
+    )
+    body = format_table(rows)
+    by_algo = {r["algorithm"]: r for r in rows if r["n_users"] == 12}
+    checks = [
+        ShapeCheck(
+            "SoCL best objective",
+            by_algo["SoCL"]["objective"]
+            <= min(by_algo["RP"]["objective"], by_algo["JDR"]["objective"]),
+        ),
+        ShapeCheck(
+            "SoCL cheaper than budget burners",
+            by_algo["SoCL"]["cost"] < by_algo["JDR"]["cost"],
+        ),
+    ]
+    return ReportSection("Fig. 9 — cluster evaluation (8 nodes)", body, checks)
+
+
+def _fig10_section(seed: int, fast: bool) -> ReportSection:
+    series = figures.fig10_trace(
+        n_servers=16, n_users=20, n_slots=4 if fast else 12, seed=seed
+    )
+    body = (
+        "```\n"
+        + line_panel(
+            {k: v["slot_means"] for k, v in series.items()},
+            title="per-slot average delay (s)",
+        )
+        + "\n```\n"
+        + "\n".join(
+            f"- **{name}**: avg {d['mean_delay']:.3f}s, max {d['max_delay']:.3f}s"
+            for name, d in series.items()
+        )
+    )
+    checks = [
+        ShapeCheck(
+            "SoCL lowest trace-average delay",
+            series["SoCL"]["mean_delay"]
+            <= min(series["RP"]["mean_delay"], series["JDR"]["mean_delay"]),
+        )
+    ]
+    return ReportSection("Fig. 10 — mobility delay trace (16 nodes)", body, checks)
+
+
+_SECTIONS: dict[str, Callable[[int, bool], ReportSection]] = {
+    "fig2": _fig2_section,
+    "fig3": _fig3_section,
+    "fig4": _fig4_section,
+    "fig7": _fig7_section,
+    "fig8": _fig8_section,
+    "fig9": _fig9_section,
+    "fig10": _fig10_section,
+}
+
+
+def generate_report(
+    seed: int = 0,
+    fast: bool = True,
+    only: Optional[list[str]] = None,
+) -> str:
+    """Regenerate every figure and render a Markdown reproduction report.
+
+    ``fast=True`` trims sweep sizes so the whole report builds in under
+    a couple of minutes; ``only`` restricts to a subset of figure keys.
+    """
+    keys = list(_SECTIONS) if only is None else [k.lower() for k in only]
+    unknown = [k for k in keys if k not in _SECTIONS]
+    if unknown:
+        raise KeyError(
+            f"unknown figures {unknown}; available: {sorted(_SECTIONS)}"
+        )
+
+    out = io.StringIO()
+    out.write("# SoCL reproduction report\n\n")
+    out.write(f"Seed {seed}; scale: {'fast' if fast else 'full bench'}.\n")
+    sections = [_SECTIONS[k](seed, fast) for k in keys]
+    n_checks = sum(len(s.checks) for s in sections)
+    n_pass = sum(c.passed for s in sections for c in s.checks)
+    out.write(f"\n**Shape checks: {n_pass}/{n_checks} passed.**\n")
+    for section in sections:
+        out.write(f"\n## {section.title}\n\n")
+        out.write(section.body)
+        out.write("\n\n")
+        for check in section.checks:
+            mark = "✅" if check.passed else "❌"
+            out.write(f"- {mark} {check.description}\n")
+    return out.getvalue()

@@ -1,0 +1,77 @@
+"""Plain-text table rendering for experiment results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers render lists of dicts (or
+:class:`repro.experiments.harness.AlgorithmRow`) as aligned text tables
+and CSV for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+
+def _coerce(rows: Iterable) -> list[dict]:
+    out = []
+    for row in rows:
+        if hasattr(row, "as_dict"):
+            out.append(row.as_dict())
+        elif isinstance(row, Mapping):
+            out.append(dict(row))
+        else:
+            raise TypeError(f"cannot render row of type {type(row).__name__}")
+    return out
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table."""
+    data = _coerce(rows)
+    if not data:
+        return f"{title or ''}\n(no rows)".strip()
+    if columns is None:
+        columns = list(data[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in data]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Iterable, columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV text (no quoting of commas in values)."""
+    data = _coerce(rows)
+    if not data:
+        return ""
+    if columns is None:
+        columns = list(data[0].keys())
+    lines = [",".join(columns)]
+    for row in data:
+        lines.append(",".join(_fmt(row.get(col, "")) for col in columns))
+    return "\n".join(lines)

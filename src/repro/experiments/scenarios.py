@@ -1,0 +1,118 @@
+"""Canonical experiment scenarios matching paper §V.A.
+
+The paper's simulation platform uses: the eshopOnContainers dataset;
+microservice processing requirements in [1, 3] GFLOPs; edge servers with
+[5, 20] GFLOP/s compute, [4, 8] storage units and [20, 80] GB/s link
+bandwidths; base stations near the National Stadium; 10-60 (and up to
+200) users; cost constraints (budgets) between 5 000 and 8 000.
+
+:func:`build_scenario` assembles a :class:`ProblemInstance` from a
+:class:`ScenarioParams`; :func:`paper_scenario` applies the defaults
+above.  ``data_scale`` calibrates transfer volumes so the latency term
+of the objective is commensurate with the cost term (the regime in
+which the paper's objective values move by thousands across algorithms
+— see DESIGN.md §2 on unit calibration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.microservices.application import Application
+from repro.microservices.eshop import eshop_application
+from repro.model.instance import ProblemConfig, ProblemInstance
+from repro.network.generators import stadium_topology
+from repro.utils.rng import SeedLike, as_generator, spawn
+from repro.workload.users import WorkloadSpec, generate_requests
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """All knobs of one experiment scenario."""
+
+    n_servers: int = 10
+    n_users: int = 40
+    budget: float = 6000.0
+    weight: float = 0.5
+    deadline: float = float("inf")
+    latency_model: str = "chain"
+    data_scale: float = 15.0
+    max_chain: int = 6
+    min_chain: int = 2
+    seed: int = 0
+
+    def with_(self, **kwargs) -> "ScenarioParams":
+        return replace(self, **kwargs)
+
+
+def build_scenario(
+    params: ScenarioParams,
+    app: Application | None = None,
+) -> ProblemInstance:
+    """Assemble the problem instance for ``params``.
+
+    The topology, the workload and any application jitter all derive
+    from ``params.seed`` through independent child generators, so two
+    scenarios differing only in (say) ``n_users`` share their topology.
+    """
+    rng = as_generator(params.seed)
+    net_rng, workload_rng = spawn(rng, 2)
+    network = stadium_topology(params.n_servers, seed=net_rng)
+    if app is None:
+        app = eshop_application()
+    spec = WorkloadSpec(
+        n_users=params.n_users,
+        min_chain=params.min_chain,
+        max_chain=params.max_chain,
+        data_in_range=(10.0, 40.0),
+        data_out_range=(4.0, 20.0),
+        data_scale=params.data_scale,
+    )
+    requests = generate_requests(network, app, spec, rng=workload_rng)
+    config = ProblemConfig(
+        weight=params.weight,
+        budget=params.budget,
+        deadline=params.deadline,
+        latency_model=params.latency_model,
+    )
+    return ProblemInstance(network, app, requests, config)
+
+
+def paper_scenario(
+    n_servers: int = 10,
+    n_users: int = 40,
+    budget: float = 6000.0,
+    seed: int = 0,
+    **kwargs,
+) -> ProblemInstance:
+    """The §V.A simulation setting at the requested scale."""
+    return build_scenario(
+        ScenarioParams(
+            n_servers=n_servers,
+            n_users=n_users,
+            budget=budget,
+            seed=seed,
+            **kwargs,
+        )
+    )
+
+
+def small_scenario(
+    n_servers: int = 6,
+    n_users: int = 6,
+    budget: float = 6000.0,
+    seed: int = 0,
+    max_chain: int = 4,
+    **kwargs,
+) -> ProblemInstance:
+    """A scale the exact ILP solves in seconds (OPT comparisons)."""
+    return build_scenario(
+        ScenarioParams(
+            n_servers=n_servers,
+            n_users=n_users,
+            budget=budget,
+            seed=seed,
+            max_chain=max_chain,
+            **kwargs,
+        )
+    )

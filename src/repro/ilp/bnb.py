@@ -1,0 +1,170 @@
+"""Pure-Python best-first branch-and-bound over the LP relaxation.
+
+Cross-validation backend for the ILP formulation: on small instances its
+optimum must match :func:`repro.ilp.scipy_backend.solve_milp` exactly
+(tested in ``tests/ilp/test_cross_validation.py``).  Also serves as the
+reference implementation of the "solve it exactly, watch it explode"
+behaviour behind paper Fig. 2 — the node counter exposes the exponential
+search-tree growth directly.
+
+The algorithm is textbook 0-1 B&B: solve the LP relaxation with HiGHS
+(``scipy.optimize.linprog``), branch on the most fractional integer
+variable, explore nodes in best-bound order, prune on incumbent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.ilp.formulation import ILPFormulation, build_formulation
+from repro.model.instance import ProblemInstance
+from repro.model.placement import Placement, Routing
+from repro.utils.timing import Stopwatch
+
+_INT_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class BnBResult:
+    """Outcome of a branch-and-bound run."""
+
+    status: str  # "optimal", "infeasible", "node_limit"
+    objective: Optional[float]
+    placement: Optional[Placement]
+    routing: Optional[Routing]
+    runtime: float
+    nodes_explored: int
+
+    @property
+    def optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def _solve_lp(
+    formulation: ILPFormulation,
+    lower: np.ndarray,
+    upper: np.ndarray,
+):
+    res = linprog(
+        c=formulation.c,
+        A_ub=formulation.a_ub if formulation.a_ub.shape[0] else None,
+        b_ub=formulation.b_ub if formulation.a_ub.shape[0] else None,
+        A_eq=formulation.a_eq if formulation.a_eq.shape[0] else None,
+        b_eq=formulation.b_eq if formulation.a_eq.shape[0] else None,
+        bounds=np.stack([lower, upper], axis=1),
+        method="highs",
+    )
+    return res
+
+
+def branch_and_bound(
+    instance: ProblemInstance,
+    model: Optional[str] = None,
+    node_limit: int = 20000,
+    formulation: Optional[ILPFormulation] = None,
+) -> BnBResult:
+    """Solve the ILP by best-first branch and bound.
+
+    ``node_limit`` bounds the explored search tree; hitting it returns
+    the incumbent with status ``"node_limit"``.
+    """
+    from repro.ilp.solution import extract_solution
+
+    if node_limit <= 0:
+        raise ValueError(f"node_limit must be positive, got {node_limit}")
+    if formulation is None:
+        formulation = build_formulation(instance, model=model)
+    nv = formulation.n_variables
+    is_int = formulation.integrality > 0.5
+
+    sw = Stopwatch()
+    sw.start()
+
+    root_lower = np.zeros(nv)
+    root_upper = np.ones(nv)
+    root = _solve_lp(formulation, root_lower, root_upper)
+    if root.status != 0:
+        sw.stop()
+        return BnBResult(
+            status="infeasible",
+            objective=None,
+            placement=None,
+            routing=None,
+            runtime=sw.elapsed,
+            nodes_explored=1,
+        )
+
+    best_obj = np.inf
+    best_x: Optional[np.ndarray] = None
+    counter = itertools.count()  # heap tie-breaker
+    heap: list = [(root.fun, next(counter), root_lower, root_upper, root.x)]
+    nodes = 1
+
+    while heap and nodes < node_limit:
+        bound, _, lower, upper, x = heapq.heappop(heap)
+        if bound >= best_obj - 1e-9:
+            continue  # pruned by incumbent
+
+        frac = np.where(is_int, np.abs(x - np.round(x)), 0.0)
+        branch_var = int(np.argmax(frac))
+        if frac[branch_var] <= _INT_TOL:
+            # integral solution
+            if bound < best_obj - 1e-9:
+                best_obj = bound
+                best_x = x
+            continue
+
+        for direction in (0.0, 1.0):
+            lo = lower.copy()
+            hi = upper.copy()
+            if direction == 0.0:
+                hi[branch_var] = 0.0
+            else:
+                lo[branch_var] = 1.0
+            res = _solve_lp(formulation, lo, hi)
+            nodes += 1
+            if res.status != 0:
+                continue
+            if res.fun >= best_obj - 1e-9:
+                continue
+            frac_child = np.where(is_int, np.abs(res.x - np.round(res.x)), 0.0)
+            if frac_child.max() <= _INT_TOL:
+                if res.fun < best_obj - 1e-9:
+                    best_obj = res.fun
+                    best_x = res.x
+            else:
+                heapq.heappush(
+                    heap, (res.fun, next(counter), lo, hi, res.x)
+                )
+
+    sw.stop()
+    if best_x is None:
+        status = "node_limit" if heap else "infeasible"
+        return BnBResult(
+            status=status,
+            objective=None,
+            placement=None,
+            routing=None,
+            runtime=sw.elapsed,
+            nodes_explored=nodes,
+        )
+    placement, routing = extract_solution(formulation, np.round(best_x))
+    status = "optimal" if not heap or nodes < node_limit else "node_limit"
+    # best-first: if the heap still holds nodes with bound < best, we
+    # stopped early; otherwise the incumbent is proven optimal.
+    if heap and any(b < best_obj - 1e-9 for b, *_ in heap):
+        status = "node_limit"
+    return BnBResult(
+        status=status,
+        objective=float(best_obj),
+        placement=placement,
+        routing=routing,
+        runtime=sw.elapsed,
+        nodes_explored=nodes,
+    )

@@ -1,0 +1,248 @@
+"""Sparse construction of the joint provisioning/routing ILP (Eq. 8-11).
+
+Decision variables (all indices into one flat vector):
+
+* ``x(i, k)`` — deploy service ``i`` on server ``k``; only *requested*
+  services get variables (others are trivially zero in any optimum).
+* ``y(h, j, k)`` — chain position ``j`` of request ``h`` served at ``k``.
+* ``z(h, e, k, q)`` — chain model only: positions ``e`` and ``e+1`` of
+  request ``h`` served at ``k`` and ``q`` respectively.  Continuous in
+  ``[0, 1]``: with binary ``y`` and non-negative objective coefficients,
+  the linking constraint ``z ≥ y_k + y_q − 1`` makes the LP values exact.
+
+Constraints:
+
+* Eq. (9)  ``Σ_k y(h,j,k) = 1``
+* Eq. (10) ``y(h,j,k) ≤ x(i,k)``
+* Eq. (6)  ``Σ_i φ_i x(i,k) ≤ Φ_k``
+* Eq. (5)  ``Σ_{i,k} κ_i x(i,k) ≤ K^max``
+* Eq. (4)  per-request deadline (omitted when the deadline is infinite)
+* linking  ``y(h,e,k) + y(h,e+1,q) − z(h,e,k,q) ≤ 1``
+
+The cloud fallback is intentionally excluded: OPT must serve every
+request from edge instances, matching the paper's optimizer runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.model.instance import ProblemInstance
+
+
+@dataclass
+class ILPFormulation:
+    """Flat sparse ILP: min cᵀv s.t. A_ub·v ≤ b_ub, A_eq·v = b_eq.
+
+    ``integrality`` follows :func:`scipy.optimize.milp` conventions
+    (1 = integer, 0 = continuous); all bounds are ``[0, 1]``.
+    """
+
+    instance: ProblemInstance
+    c: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    integrality: np.ndarray
+    x_index: dict[tuple[int, int], int]
+    y_index: dict[tuple[int, int, int], int]
+    z_index: dict[tuple[int, int, int, int], int]
+    model: str
+
+    @property
+    def n_variables(self) -> int:
+        return int(self.c.size)
+
+    @property
+    def n_constraints(self) -> int:
+        return int(self.a_ub.shape[0] + self.a_eq.shape[0])
+
+
+def build_formulation(
+    instance: ProblemInstance,
+    model: Optional[str] = None,
+) -> ILPFormulation:
+    """Construct the sparse ILP for ``instance``.
+
+    ``model`` overrides the instance's latency model ("star" drops the
+    ``z`` variables entirely).
+    """
+    model = model or instance.config.latency_model
+    if model not in ("chain", "star"):
+        raise ValueError(f"unknown latency model {model!r}")
+
+    lam = instance.config.weight
+    mu = 1.0 - lam
+    n = instance.n_servers
+    inv = instance.inv_rate[:n, :n]  # edge-only: cloud excluded from OPT
+    comp = instance.network.compute
+    kappa = instance.service_cost
+    phi = instance.service_storage
+    q = instance.service_compute
+    requested = [int(i) for i in instance.requested_services]
+
+    # ---------------- variable indexing ----------------
+    x_index: dict[tuple[int, int], int] = {}
+    for i in requested:
+        for k in range(n):
+            x_index[(i, k)] = len(x_index)
+    nx = len(x_index)
+
+    y_index: dict[tuple[int, int, int], int] = {}
+    for h, req in enumerate(instance.requests):
+        for j in range(req.length):
+            for k in range(n):
+                y_index[(h, j, k)] = nx + len(y_index)
+    ny = len(y_index)
+
+    z_index: dict[tuple[int, int, int, int], int] = {}
+    if model == "chain":
+        for h, req in enumerate(instance.requests):
+            for e in range(req.length - 1):
+                for k in range(n):
+                    for qn in range(n):
+                        z_index[(h, e, k, qn)] = nx + ny + len(z_index)
+    nz = len(z_index)
+    nv = nx + ny + nz
+
+    # ---------------- objective ----------------
+    c = np.zeros(nv)
+    for (i, k), idx in x_index.items():
+        c[idx] = lam * kappa[i]
+    # y coefficients: processing everywhere; d_in on first, d_out on last;
+    # star model also ships each later position's inflow from home.
+    for h, req in enumerate(instance.requests):
+        home = req.home
+        inflow = [req.data_in, *req.edge_data]
+        for j, svc in enumerate(req.chain):
+            for k in range(n):
+                coeff = q[svc] / comp[k]
+                if j == 0:
+                    coeff += req.data_in * inv[home, k]
+                elif model == "star":
+                    coeff += inflow[j] * inv[home, k]
+                if j == req.length - 1:
+                    coeff += req.data_out * inv[k, home]
+                c[y_index[(h, j, k)]] = mu * coeff
+    for (h, e, k, qn), idx in z_index.items():
+        c[idx] = mu * instance.requests[h].edge_data[e] * inv[k, qn]
+
+    # ---------------- constraints ----------------
+    eq_rows: list[int] = []
+    eq_cols: list[int] = []
+    eq_vals: list[float] = []
+    b_eq: list[float] = []
+
+    ub_rows: list[int] = []
+    ub_cols: list[int] = []
+    ub_vals: list[float] = []
+    b_ub: list[float] = []
+
+    def add_ub(entries: list[tuple[int, float]], bound: float) -> None:
+        row = len(b_ub)
+        for col, val in entries:
+            ub_rows.append(row)
+            ub_cols.append(col)
+            ub_vals.append(val)
+        b_ub.append(bound)
+
+    # Eq. (9): assignment per position
+    for h, req in enumerate(instance.requests):
+        for j in range(req.length):
+            row = len(b_eq)
+            for k in range(n):
+                eq_rows.append(row)
+                eq_cols.append(y_index[(h, j, k)])
+                eq_vals.append(1.0)
+            b_eq.append(1.0)
+
+    # Eq. (10): y ≤ x
+    for h, req in enumerate(instance.requests):
+        for j, svc in enumerate(req.chain):
+            for k in range(n):
+                add_ub(
+                    [(y_index[(h, j, k)], 1.0), (x_index[(svc, k)], -1.0)], 0.0
+                )
+
+    # Eq. (6): storage
+    for k in range(n):
+        entries = [
+            (x_index[(i, k)], float(phi[i])) for i in requested
+        ]
+        add_ub(entries, float(instance.server_storage[k]))
+
+    # Eq. (5): budget
+    add_ub(
+        [(idx, float(kappa[i])) for (i, _k), idx in x_index.items()],
+        float(instance.config.budget),
+    )
+
+    # z linking: y_k + y_q − z ≤ 1
+    if model == "chain":
+        for (h, e, k, qn), idx in z_index.items():
+            add_ub(
+                [
+                    (y_index[(h, e, k)], 1.0),
+                    (y_index[(h, e + 1, qn)], 1.0),
+                    (idx, -1.0),
+                ],
+                1.0,
+            )
+
+    # Eq. (4): per-request deadlines (only the finite ones)
+    deadlines = instance.deadlines
+    for h, req in enumerate(instance.requests):
+        if np.isfinite(deadlines[h]):
+            home = req.home
+            inflow = [req.data_in, *req.edge_data]
+            entries: list[tuple[int, float]] = []
+            for j, svc in enumerate(req.chain):
+                for k in range(n):
+                    coeff = q[svc] / comp[k]
+                    if j == 0:
+                        coeff += req.data_in * inv[home, k]
+                    elif model == "star":
+                        coeff += inflow[j] * inv[home, k]
+                    if j == req.length - 1:
+                        coeff += req.data_out * inv[k, home]
+                    entries.append((y_index[(h, j, k)], coeff))
+            if model == "chain":
+                for e in range(req.length - 1):
+                    for k in range(n):
+                        for qn in range(n):
+                            entries.append(
+                                (
+                                    z_index[(h, e, k, qn)],
+                                    float(req.edge_data[e] * inv[k, qn]),
+                                )
+                            )
+            add_ub(entries, float(deadlines[h]))
+
+    a_eq = sparse.csr_matrix(
+        (eq_vals, (eq_rows, eq_cols)), shape=(len(b_eq), nv)
+    )
+    a_ub = sparse.csr_matrix(
+        (ub_vals, (ub_rows, ub_cols)), shape=(len(b_ub), nv)
+    )
+    integrality = np.ones(nv)
+    if nz:
+        integrality[nx + ny :] = 0.0  # z continuous; exact given binary y
+
+    return ILPFormulation(
+        instance=instance,
+        c=c,
+        a_ub=a_ub,
+        b_ub=np.array(b_ub),
+        a_eq=a_eq,
+        b_eq=np.array(b_eq),
+        integrality=integrality,
+        x_index=x_index,
+        y_index=y_index,
+        z_index=z_index,
+        model=model,
+    )

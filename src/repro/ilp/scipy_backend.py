@@ -1,0 +1,125 @@
+"""HiGHS MILP backend — the repository's "Gurobi"/OPT stand-in.
+
+Solves the :class:`repro.ilp.formulation.ILPFormulation` with
+``scipy.optimize.milp``.  Per DESIGN.md §2, this substitutes for the
+paper's Gurobi runs: both prove optimality of the identical program, so
+objective values are interchangeable and runtime exhibits the same
+exponential scaling shape (Figs. 2, 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.ilp.formulation import ILPFormulation, build_formulation
+from repro.model.instance import ProblemInstance
+from repro.model.placement import Placement, Routing
+from repro.utils.timing import Stopwatch
+
+
+@dataclass(frozen=True)
+class MilpResult:
+    """Outcome of one exact solve."""
+
+    status: str  # "optimal", "timeout", "infeasible", "failed"
+    objective: Optional[float]
+    placement: Optional[Placement]
+    routing: Optional[Routing]
+    runtime: float
+    mip_gap: float
+    n_variables: int
+    n_constraints: int
+
+    @property
+    def optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def solve_milp(
+    instance: ProblemInstance,
+    model: Optional[str] = None,
+    time_limit: Optional[float] = None,
+    mip_rel_gap: float = 0.0,
+    formulation: Optional[ILPFormulation] = None,
+) -> MilpResult:
+    """Solve the exact ILP for ``instance``.
+
+    Parameters
+    ----------
+    model:
+        Latency-model override ("chain"/"star").
+    time_limit:
+        Wall-clock cap in seconds (HiGHS returns its incumbent on
+        timeout; status becomes ``"timeout"``).
+    mip_rel_gap:
+        Relative optimality-gap tolerance (0 = prove optimality).
+    formulation:
+        Reuse a prebuilt formulation (avoids re-deriving matrices in
+        runtime sweeps where only solver options change).
+    """
+    from repro.ilp.solution import extract_solution
+
+    if formulation is None:
+        formulation = build_formulation(instance, model=model)
+
+    constraints = []
+    if formulation.a_ub.shape[0]:
+        constraints.append(
+            LinearConstraint(
+                formulation.a_ub, -np.inf, formulation.b_ub
+            )
+        )
+    if formulation.a_eq.shape[0]:
+        constraints.append(
+            LinearConstraint(
+                formulation.a_eq, formulation.b_eq, formulation.b_eq
+            )
+        )
+    options: dict = {"mip_rel_gap": mip_rel_gap}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+
+    sw = Stopwatch()
+    with sw.measure():
+        res = milp(
+            c=formulation.c,
+            constraints=constraints,
+            integrality=formulation.integrality,
+            bounds=Bounds(0.0, 1.0),
+            options=options,
+        )
+
+    runtime = sw.elapsed
+    nv = formulation.n_variables
+    nc = formulation.n_constraints
+
+    if res.x is None:
+        status = "infeasible" if res.status == 2 else "failed"
+        return MilpResult(
+            status=status,
+            objective=None,
+            placement=None,
+            routing=None,
+            runtime=runtime,
+            mip_gap=np.inf,
+            n_variables=nv,
+            n_constraints=nc,
+        )
+
+    placement, routing = extract_solution(formulation, res.x)
+    gap = float(getattr(res, "mip_gap", 0.0) or 0.0)
+    status = "optimal" if res.status == 0 else "timeout"
+    return MilpResult(
+        status=status,
+        objective=float(res.fun),
+        placement=placement,
+        routing=routing,
+        runtime=runtime,
+        mip_gap=gap,
+        n_variables=nv,
+        n_constraints=nc,
+    )

@@ -1,0 +1,46 @@
+"""Extraction of (Placement, Routing) from a flat ILP variable vector."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ilp.formulation import ILPFormulation
+from repro.model.placement import Placement, Routing
+
+
+def extract_solution(
+    formulation: ILPFormulation, values: np.ndarray, threshold: float = 0.5
+) -> tuple[Placement, Routing]:
+    """Round a solver vector into decision structures.
+
+    ``threshold`` binarizes near-integral solver output.  Every chain
+    position must have exactly one ``y`` above the threshold; a violation
+    indicates a non-integral or corrupted solution and raises.
+    """
+    inst = formulation.instance
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (formulation.n_variables,):
+        raise ValueError(
+            f"expected {formulation.n_variables} values, got {values.shape}"
+        )
+
+    x = np.zeros((inst.n_services, inst.n_servers), dtype=bool)
+    for (i, k), idx in formulation.x_index.items():
+        if values[idx] > threshold:
+            x[i, k] = True
+
+    a = np.full((inst.n_requests, inst.max_chain), -1, dtype=np.int64)
+    for h, req in enumerate(inst.requests):
+        for j in range(req.length):
+            chosen = [
+                k
+                for k in range(inst.n_servers)
+                if values[formulation.y_index[(h, j, k)]] > threshold
+            ]
+            if len(chosen) != 1:
+                raise ValueError(
+                    f"request {h} position {j}: {len(chosen)} nodes above "
+                    f"threshold; solution is not integral"
+                )
+            a[h, j] = chosen[0]
+    return Placement(x), Routing(inst, a)

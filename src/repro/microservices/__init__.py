@@ -1,0 +1,40 @@
+"""Microservice application model and datasets.
+
+Provides the microservice set ``M = {m_i}`` and directed dependency
+structures the paper consumes: each microservice carries a computing
+requirement ``q(m_i)`` (GFLOP), a storage requirement ``φ(m_i)``, a
+deployment cost ``κ(m_i)`` and per-edge data flows ``r_{m_i→m_j}``.
+
+The evaluation dataset is the eshopOnContainers project from the curated
+"Microservices (Version 1.0)" dataset [23]; :mod:`repro.microservices.eshop`
+encodes its public architecture and :mod:`repro.microservices.dataset`
+offers the full 20-project registry (synthesized per DESIGN.md §2).
+"""
+
+from repro.microservices.application import Microservice, Application
+from repro.microservices.chains import (
+    enumerate_chains,
+    sample_chain,
+    chain_statistics,
+)
+from repro.microservices.eshop import eshop_application, ESHOP_SERVICES
+from repro.microservices.dataset import (
+    CuratedProject,
+    curated_dataset,
+    load_project,
+    PROJECT_NAMES,
+)
+
+__all__ = [
+    "Microservice",
+    "Application",
+    "enumerate_chains",
+    "sample_chain",
+    "chain_statistics",
+    "eshop_application",
+    "ESHOP_SERVICES",
+    "CuratedProject",
+    "curated_dataset",
+    "load_project",
+    "PROJECT_NAMES",
+]

@@ -1,0 +1,207 @@
+"""Microservice and application (dependency DAG) model.
+
+A :class:`Microservice` is the unit of provisioning: deploying one
+instance on an edge server consumes ``storage`` units of the server's
+capacity (Eq. 6) and ``deploy_cost`` of the global budget (Eq. 1/5);
+serving one request costs ``compute`` GFLOP of processing (Eq. 2's
+``q(m_i)``) and ships ``data_out`` GB to the next microservice in the
+chain.
+
+An :class:`Application` bundles the microservice set ``M`` with a directed
+acyclic dependency graph; user request chains (``u_h = {M_h, E_h}``) are
+paths through this DAG (see :mod:`repro.microservices.chains`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+import networkx as nx
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Microservice:
+    """A deployable microservice ``m_i``.
+
+    Attributes
+    ----------
+    index:
+        Position in the application's service list (the ``i`` in ``m_i``).
+    name:
+        Service name, unique within the application.
+    compute:
+        Processing requirement ``q(m_i)`` in GFLOP per invocation.
+    storage:
+        Storage footprint ``φ(m_i)`` per deployed instance.
+    deploy_cost:
+        Deployment cost ``κ(m_i)`` per deployed instance.
+    data_out:
+        Data volume (GB) handed to the successor microservice in a chain
+        (``r_{m_i→m_j}``); also used as the request volume ``r_i`` in the
+        partitioning stage.
+    """
+
+    index: int
+    name: str
+    compute: float
+    storage: float
+    deploy_cost: float
+    data_out: float
+
+    def __post_init__(self) -> None:
+        check_positive("compute", self.compute)
+        check_positive("storage", self.storage)
+        check_positive("deploy_cost", self.deploy_cost)
+        check_non_negative("data_out", self.data_out)
+        if not self.name:
+            raise ValueError("microservice name must be non-empty")
+
+
+class Application:
+    """A microservice application: services plus a dependency DAG.
+
+    Parameters
+    ----------
+    services:
+        Microservices ordered by index (``services[i].index == i``).
+    dependencies:
+        Directed edges ``(i, j)`` meaning ``m_i`` invokes ``m_j``
+        downstream.  The resulting graph must be acyclic.
+    entrypoints:
+        Service indices at which user requests may enter (API gateways /
+        first services of chains).  Defaults to all sources of the DAG.
+    name:
+        Application label (e.g. ``"eshoponcontainers"``).
+    """
+
+    def __init__(
+        self,
+        services: Sequence[Microservice],
+        dependencies: Iterable[tuple[int, int]] = (),
+        entrypoints: Optional[Sequence[int]] = None,
+        name: str = "app",
+    ):
+        self.name = name
+        self.services: tuple[Microservice, ...] = tuple(services)
+        if not self.services:
+            raise ValueError("application must contain at least one microservice")
+        names = set()
+        for pos, svc in enumerate(self.services):
+            if svc.index != pos:
+                raise ValueError(
+                    f"service at position {pos} has index {svc.index}; "
+                    "indices must be consecutive from 0"
+                )
+            if svc.name in names:
+                raise ValueError(f"duplicate service name {svc.name!r}")
+            names.add(svc.name)
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(len(self.services)))
+        for i, j in dependencies:
+            if not (0 <= i < len(self.services) and 0 <= j < len(self.services)):
+                raise ValueError(f"dependency ({i}, {j}) references unknown service")
+            if i == j:
+                raise ValueError(f"self-dependency on service {i}")
+            graph.add_edge(i, j)
+        if not nx.is_directed_acyclic_graph(graph):
+            raise ValueError("dependency graph must be acyclic")
+        self.graph: nx.DiGraph = graph
+
+        if entrypoints is None:
+            entrypoints = [
+                node for node in graph.nodes if graph.in_degree(node) == 0
+            ]
+        entrypoints = tuple(sorted(set(int(e) for e in entrypoints)))
+        for e in entrypoints:
+            if not (0 <= e < len(self.services)):
+                raise ValueError(f"entrypoint {e} references unknown service")
+        if not entrypoints:
+            raise ValueError("application must have at least one entrypoint")
+        self.entrypoints: tuple[int, ...] = entrypoints
+
+    # ------------------------------------------------------------------
+    @property
+    def n_services(self) -> int:
+        """Number of microservices ``|M|``."""
+        return len(self.services)
+
+    def service(self, i: int) -> Microservice:
+        return self.services[i]
+
+    def by_name(self, name: str) -> Microservice:
+        """Look up a microservice by its unique name."""
+        for svc in self.services:
+            if svc.name == name:
+                return svc
+        raise KeyError(name)
+
+    def successors(self, i: int) -> list[int]:
+        """Downstream services directly invoked by ``m_i``."""
+        return sorted(self.graph.successors(i))
+
+    def predecessors(self, i: int) -> list[int]:
+        """Upstream services that directly invoke ``m_i``."""
+        return sorted(self.graph.predecessors(i))
+
+    @property
+    def dependency_edges(self) -> list[tuple[int, int]]:
+        return sorted(self.graph.edges)
+
+    # Parameter vectors for the vectorized model code ------------------
+    def compute_vector(self):
+        import numpy as np
+
+        return np.array([s.compute for s in self.services], dtype=np.float64)
+
+    def storage_vector(self):
+        import numpy as np
+
+        return np.array([s.storage for s in self.services], dtype=np.float64)
+
+    def cost_vector(self):
+        import numpy as np
+
+        return np.array([s.deploy_cost for s in self.services], dtype=np.float64)
+
+    def data_vector(self):
+        import numpy as np
+
+        return np.array([s.data_out for s in self.services], dtype=np.float64)
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "Application":
+        """Project the application onto ``indices`` (reindexed from 0)."""
+        indices = list(dict.fromkeys(int(i) for i in indices))
+        mapping: Mapping[int, int] = {old: new for new, old in enumerate(indices)}
+        services = [
+            Microservice(
+                index=mapping[old],
+                name=self.services[old].name,
+                compute=self.services[old].compute,
+                storage=self.services[old].storage,
+                deploy_cost=self.services[old].deploy_cost,
+                data_out=self.services[old].data_out,
+            )
+            for old in indices
+        ]
+        deps = [
+            (mapping[i], mapping[j])
+            for i, j in self.graph.edges
+            if i in mapping and j in mapping
+        ]
+        entry = [mapping[e] for e in self.entrypoints if e in mapping] or None
+        return Application(
+            services,
+            deps,
+            entrypoints=entry,
+            name=name or f"{self.name}-subset",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Application({self.name!r}, services={self.n_services}, "
+            f"edges={self.graph.number_of_edges()})"
+        )

@@ -1,0 +1,135 @@
+"""Curated 20-project microservice dataset registry.
+
+Stand-in for "Microservices (Version 1.0)" [23] — a curated dataset of 20
+microservice-based open-source systems with dependency analyses.  The
+flagship entry, ``eshoponcontainers``, is encoded exactly from its public
+architecture (:mod:`repro.microservices.eshop`).  The remaining projects
+are synthesized with the structural statistics reported for the curated
+dataset (service counts roughly 5–40, layered gateway→logic→data shapes,
+sparse DAGs) so that experiments can sweep application structure beyond
+the single paper workload.  DESIGN.md §2 records this substitution.
+
+Each project is generated deterministically from its name, so
+``load_project("sock-shop")`` always yields the same graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.microservices.application import Application, Microservice
+from repro.microservices.eshop import eshop_application
+
+#: Project names in the curated dataset (flagship first).  Aside from
+#: eshoponcontainers these are representative public microservice
+#: systems; their graphs here are synthesized, not scraped.
+PROJECT_NAMES: tuple[str, ...] = (
+    "eshoponcontainers",
+    "sock-shop",
+    "deathstarbench-social",
+    "deathstarbench-media",
+    "deathstarbench-hotel",
+    "online-boutique",
+    "train-ticket",
+    "pitstop",
+    "spring-petclinic",
+    "lakeside-mutual",
+    "ftgo",
+    "vehicle-tracking",
+    "staffjoy",
+    "sitewhere",
+    "magda",
+    "open-loyalty",
+    "microservices-demo-bookinfo",
+    "spinnaker",
+    "goa-cellar",
+    "genie",
+)
+
+
+@dataclass(frozen=True)
+class CuratedProject:
+    """Registry entry: a named project and its application graph."""
+
+    name: str
+    application: Application
+    synthesized: bool
+
+    @property
+    def n_services(self) -> int:
+        return self.application.n_services
+
+
+def _project_seed(name: str) -> int:
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**63)
+
+
+def _synthesize(name: str) -> Application:
+    """Generate a layered gateway→logic→data application for ``name``."""
+    rng = np.random.default_rng(_project_seed(name))
+    n_gateways = int(rng.integers(1, 4))
+    n_logic = int(rng.integers(3, 18))
+    n_data = int(rng.integers(2, max(3, n_logic // 2 + 1)))
+    n = n_gateways + n_logic + n_data
+
+    services = []
+    for i in range(n):
+        if i < n_gateways:
+            kind, compute, storage, cost, data = "gw", 1.2, 1.0, 240.0, 2.0
+        elif i < n_gateways + n_logic:
+            kind, compute, storage, cost, data = "svc", 2.0, 1.5, 300.0, 1.8
+        else:
+            kind, compute, storage, cost, data = "db", 2.4, 2.5, 330.0, 2.4
+        services.append(
+            Microservice(
+                index=i,
+                name=f"{kind}{i}",
+                compute=float(compute * rng.uniform(0.6, 1.4)),
+                storage=float(storage),
+                deploy_cost=float(cost * rng.uniform(0.8, 1.2)),
+                data_out=float(data * rng.uniform(0.5, 1.5)),
+            )
+        )
+
+    deps: set[tuple[int, int]] = set()
+    logic = range(n_gateways, n_gateways + n_logic)
+    data_layer = range(n_gateways + n_logic, n)
+    # Gateways fan out to logic services.
+    for g in range(n_gateways):
+        targets = rng.choice(list(logic), size=min(len(logic), 3), replace=False)
+        deps.update((g, int(t)) for t in targets)
+    # Logic services call later logic services (keeps the graph acyclic)
+    # and their own data stores.
+    for s in logic:
+        for t in logic:
+            if t > s and rng.random() < 0.25:
+                deps.add((s, t))
+        if rng.random() < 0.8:
+            deps.add((s, int(rng.choice(list(data_layer)))))
+    # Every logic service must be reachable from some gateway.
+    for s in logic:
+        if not any(a < n_gateways or a in logic for a, b in deps if b == s):
+            deps.add((int(rng.integers(0, n_gateways)), s))
+    entry = list(range(n_gateways))
+    return Application(services, sorted(deps), entrypoints=entry, name=name)
+
+
+def load_project(name: str) -> CuratedProject:
+    """Load a project by name; raises ``KeyError`` for unknown names."""
+    if name not in PROJECT_NAMES:
+        raise KeyError(
+            f"unknown project {name!r}; available: {', '.join(PROJECT_NAMES)}"
+        )
+    if name == "eshoponcontainers":
+        return CuratedProject(name=name, application=eshop_application(), synthesized=False)
+    return CuratedProject(name=name, application=_synthesize(name), synthesized=True)
+
+
+def curated_dataset() -> list[CuratedProject]:
+    """The full 20-project registry (deterministic)."""
+    return [load_project(name) for name in PROJECT_NAMES]

@@ -1,0 +1,55 @@
+"""Optimization model: problem instances, decisions, objective, constraints.
+
+Implements paper §III: the joint provisioning/routing problem with
+deployment decision ``x(i,k)``, service decision ``y(h,i,k)``, cost model
+(Eq. 1), completion-time model (Eq. 2/7), weighted objective (Eq. 3/8)
+and constraints (Eq. 4-6, 9-11).  Everything downstream — the ILP, the
+SoCL heuristic and all baselines — scores solutions through this single
+code path so comparisons are exact.
+"""
+
+from repro.model.instance import ProblemConfig, ProblemInstance, CLOUD
+from repro.model.placement import Placement, Routing
+from repro.model.cost import deployment_cost, per_server_cost
+from repro.model.latency import request_latency, total_latency, LatencyBreakdown
+from repro.model.objective import objective_value, ObjectiveReport, evaluate
+from repro.model.constraints import (
+    check_storage,
+    check_budget,
+    check_latency,
+    check_assignment,
+    feasibility_report,
+    FeasibilityReport,
+)
+from repro.model.routing import (
+    optimal_routing,
+    greedy_routing,
+    load_aware_routing,
+    route_request,
+)
+
+__all__ = [
+    "ProblemConfig",
+    "ProblemInstance",
+    "CLOUD",
+    "Placement",
+    "Routing",
+    "deployment_cost",
+    "per_server_cost",
+    "request_latency",
+    "total_latency",
+    "LatencyBreakdown",
+    "objective_value",
+    "ObjectiveReport",
+    "evaluate",
+    "check_storage",
+    "check_budget",
+    "check_latency",
+    "check_assignment",
+    "feasibility_report",
+    "FeasibilityReport",
+    "optimal_routing",
+    "greedy_routing",
+    "load_aware_routing",
+    "route_request",
+]

@@ -1,0 +1,133 @@
+"""Feasibility checks for the constraints of paper Eq. (4)-(6), (9)-(11).
+
+* :func:`check_latency` — QoS deadline ``D_h ≤ D_h^max`` (Eq. 4)
+* :func:`check_budget` — provisioning budget ``Σ K_k ≤ K^max`` (Eq. 5)
+* :func:`check_storage` — per-server storage capacity (Eq. 6)
+* :func:`check_assignment` — structural validity of ``y``: one node per
+  chain position (Eq. 9) and only nodes holding an instance (Eq. 10);
+  cloud assignments are always structurally valid (the cloud hosts all).
+
+:func:`feasibility_report` bundles everything for result tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.model.cost import deployment_cost, storage_used
+from repro.model.instance import ProblemInstance
+from repro.model.latency import total_latency
+from repro.model.placement import Placement, Routing
+
+#: Relative tolerance used on the ≤ comparisons so that values computed
+#: through different float paths (e.g. ILP duals vs direct evaluation)
+#: do not flip feasibility.
+RTOL = 1e-9
+ATOL = 1e-6
+
+
+def _leq(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    return lhs <= rhs * (1.0 + RTOL) + ATOL
+
+
+def check_storage(instance: ProblemInstance, placement: Placement) -> bool:
+    """Eq. (6): per-server storage capacity."""
+    return bool(np.all(_leq(storage_used(instance, placement), instance.server_storage)))
+
+
+def storage_violations(
+    instance: ProblemInstance, placement: Placement
+) -> np.ndarray:
+    """Indices of servers whose storage capacity is exceeded."""
+    used = storage_used(instance, placement)
+    return np.nonzero(~_leq(used, instance.server_storage))[0]
+
+
+def check_budget(instance: ProblemInstance, placement: Placement) -> bool:
+    """Eq. (5): total deployment cost within ``K^max``."""
+    return bool(
+        _leq(
+            np.asarray(deployment_cost(instance, placement)),
+            np.asarray(instance.config.budget),
+        )
+    )
+
+
+def check_latency(
+    instance: ProblemInstance,
+    routing: Routing,
+    model: Optional[str] = None,
+) -> bool:
+    """Eq. (4): every request within its deadline."""
+    lat = total_latency(instance, routing, model)
+    return bool(np.all(_leq(lat, instance.deadlines)))
+
+
+def latency_violations(
+    instance: ProblemInstance,
+    routing: Routing,
+    model: Optional[str] = None,
+) -> np.ndarray:
+    """Indices of requests exceeding their deadline."""
+    lat = total_latency(instance, routing, model)
+    return np.nonzero(~_leq(lat, instance.deadlines))[0]
+
+
+def check_assignment(
+    instance: ProblemInstance, placement: Placement, routing: Routing
+) -> bool:
+    """Eq. (9)-(10): every valid position assigned to a hosting node.
+
+    The :class:`Routing` constructor already enforces exactly one node
+    per position (Eq. 9) and index ranges (Eq. 11); this adds the
+    coupling ``y(h,i,k) ≤ x(i,k)`` for edge assignments.
+    """
+    a = routing.assignment
+    mask = instance.chain_mask
+    cloud = instance.cloud
+    x = placement.matrix
+    edge_mask = mask & (a >= 0) & (a < cloud)
+    services = instance.chain_matrix[edge_mask]
+    nodes = a[edge_mask]
+    if services.size == 0:
+        return True
+    return bool(np.all(x[services, nodes]))
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """All constraint checks for one solution."""
+
+    storage_ok: bool
+    budget_ok: bool
+    latency_ok: bool
+    assignment_ok: bool
+    n_cloud_requests: int
+
+    @property
+    def feasible(self) -> bool:
+        return (
+            self.storage_ok
+            and self.budget_ok
+            and self.latency_ok
+            and self.assignment_ok
+        )
+
+
+def feasibility_report(
+    instance: ProblemInstance,
+    placement: Placement,
+    routing: Routing,
+    model: Optional[str] = None,
+) -> FeasibilityReport:
+    """Evaluate every constraint; used by tests and the harness."""
+    return FeasibilityReport(
+        storage_ok=check_storage(instance, placement),
+        budget_ok=check_budget(instance, placement),
+        latency_ok=check_latency(instance, routing, model),
+        assignment_ok=check_assignment(instance, placement, routing),
+        n_cloud_requests=int(routing.uses_cloud().sum()),
+    )

@@ -1,0 +1,36 @@
+"""Deployment cost model (paper Eq. 1).
+
+The per-server cost is ``K_k = Σ_i κ(m_i)·x(i,k)``; the budget constraint
+(Eq. 5) caps ``Σ_k K_k``.  Cloud-hosted fallback instances cost nothing
+to the provider's edge budget (they are the pre-existing cloud
+deployment, paper §III.A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.instance import ProblemInstance
+from repro.model.placement import Placement
+
+
+def per_server_cost(instance: ProblemInstance, placement: Placement) -> np.ndarray:
+    """Vector of per-server deployment costs ``K_k``."""
+    x = placement.matrix.astype(np.float64)
+    if x.shape != (instance.n_services, instance.n_servers):
+        raise ValueError(
+            f"placement shape {x.shape} does not match instance "
+            f"({instance.n_services}, {instance.n_servers})"
+        )
+    return instance.service_cost @ x
+
+
+def deployment_cost(instance: ProblemInstance, placement: Placement) -> float:
+    """Total deployment cost ``Σ_k K_k``."""
+    return float(per_server_cost(instance, placement).sum())
+
+
+def storage_used(instance: ProblemInstance, placement: Placement) -> np.ndarray:
+    """Per-server storage consumption ``Σ_i x(i,k)·φ(m_i)`` (Eq. 6 LHS)."""
+    x = placement.matrix.astype(np.float64)
+    return instance.service_storage @ x

@@ -1,0 +1,78 @@
+"""Weighted objective (paper Eq. 3 / Eq. 8) and solution evaluation.
+
+``objective = λ·Σ_k K_k + (1−λ)·Σ_h D_h`` — every algorithm in this
+repository is scored by :func:`evaluate`, which returns an
+:class:`ObjectiveReport` bundling the objective value, its two
+components and feasibility indicators, so result tables across SoCL,
+baselines and the exact ILP are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.model.cost import deployment_cost
+from repro.model.instance import ProblemInstance
+from repro.model.latency import total_latency
+from repro.model.placement import Placement, Routing
+
+
+@dataclass(frozen=True)
+class ObjectiveReport:
+    """Evaluation of one (placement, routing) solution."""
+
+    objective: float
+    cost: float
+    latency_sum: float
+    latencies: np.ndarray
+    weight: float
+
+    @property
+    def mean_latency(self) -> float:
+        return float(self.latencies.mean())
+
+    @property
+    def max_latency(self) -> float:
+        return float(self.latencies.max())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"objective={self.objective:.3f} (cost={self.cost:.1f}, "
+            f"latency_sum={self.latency_sum:.3f}, λ={self.weight})"
+        )
+
+
+def objective_value(
+    instance: ProblemInstance,
+    placement: Placement,
+    routing: Routing,
+    model: Optional[str] = None,
+) -> float:
+    """Scalar objective ``λ·cost + (1−λ)·Σ D_h``."""
+    lam = instance.config.weight
+    cost = deployment_cost(instance, placement)
+    lat = float(total_latency(instance, routing, model).sum())
+    return lam * cost + (1.0 - lam) * lat
+
+
+def evaluate(
+    instance: ProblemInstance,
+    placement: Placement,
+    routing: Routing,
+    model: Optional[str] = None,
+) -> ObjectiveReport:
+    """Full evaluation: objective, components and per-request latencies."""
+    lam = instance.config.weight
+    cost = deployment_cost(instance, placement)
+    latencies = total_latency(instance, routing, model)
+    latency_sum = float(latencies.sum())
+    return ObjectiveReport(
+        objective=lam * cost + (1.0 - lam) * latency_sum,
+        cost=cost,
+        latency_sum=latency_sum,
+        latencies=latencies,
+        weight=lam,
+    )

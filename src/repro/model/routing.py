@@ -1,0 +1,236 @@
+"""Dependency-aware request routing given a fixed placement.
+
+Once instances are placed, each request must pick one hosting node per
+chain position.  Two engines are provided:
+
+* :func:`optimal_routing` — exact minimum-latency assignment per request
+  via dynamic programming over chain layers (Viterbi): for the *chain*
+  latency model the transition cost couples consecutive positions; for
+  the *star* model positions decouple and the DP reduces to independent
+  argmins.  This is the routing used when reporting SoCL's final
+  objective (the paper: "we optimize routing schedules while calculating
+  latency, addressing both microservice dependencies and dynamic edge
+  network conditions").
+* :func:`greedy_routing` — the paper's reliance rule used inside the
+  combination stage: each position independently picks the hosting node
+  with the highest channel speed from the user's home
+  (``v_q = argmax b(l'_{f(u_h), q})``), ties broken by compute power.
+
+Services without any edge instance fall back to the cloud node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.model.instance import ProblemInstance
+from repro.model.placement import Placement, Routing
+
+
+def _host_lists(instance: ProblemInstance, placement: Placement) -> list[np.ndarray]:
+    """Per-service candidate node arrays (cloud appended when empty)."""
+    cloud = instance.cloud
+    hosts: list[np.ndarray] = []
+    for i in range(instance.n_services):
+        h = placement.hosts(i)
+        if h.size == 0:
+            h = np.array([cloud], dtype=np.int64)
+        hosts.append(h)
+    return hosts
+
+
+def route_request(
+    instance: ProblemInstance,
+    placement: Placement,
+    h: int,
+    model: Optional[str] = None,
+    hosts: Optional[list[np.ndarray]] = None,
+) -> np.ndarray:
+    """Minimum-latency node sequence for request ``h`` (DP over layers).
+
+    Returns an array of extended node indices with length equal to the
+    request's chain length.
+    """
+    model = model or instance.config.latency_model
+    req = instance.requests[h]
+    if hosts is None:
+        hosts = _host_lists(instance, placement)
+    inv = instance.inv_rate
+    comp = instance.compute_ext
+    q = instance.service_compute
+    home = req.home
+
+    if model == "star":
+        # positions decouple: cost_j(k) = inflow_j·inv[home,k] + q_j/c_k
+        nodes = np.empty(req.length, dtype=np.int64)
+        inflow = [req.data_in, *req.edge_data]
+        for j, svc in enumerate(req.chain):
+            cand = hosts[svc]
+            cost = inflow[j] * inv[home, cand] + q[svc] / comp[cand]
+            if j == req.length - 1:
+                cost = cost + req.data_out * inv[cand, home]
+            nodes[j] = cand[int(np.argmin(cost))]
+        return nodes
+
+    # chain model: Viterbi over layers
+    cand0 = hosts[req.chain[0]]
+    cost = req.data_in * inv[home, cand0] + q[req.chain[0]] / comp[cand0]
+    back: list[np.ndarray] = []
+    prev_cand = cand0
+    for j in range(1, req.length):
+        svc = req.chain[j]
+        cand = hosts[svc]
+        # transition (|prev| × |cand|): transfer + processing at cand
+        trans = (
+            cost[:, None]
+            + req.edge_data[j - 1] * inv[np.ix_(prev_cand, cand)]
+            + (q[svc] / comp[cand])[None, :]
+        )
+        argmin = trans.argmin(axis=0)
+        back.append(argmin)
+        cost = trans[argmin, np.arange(cand.size)]
+        prev_cand = cand
+
+    # return leg
+    cost = cost + req.data_out * inv[prev_cand, home]
+    nodes = np.empty(req.length, dtype=np.int64)
+    idx = int(np.argmin(cost))
+    nodes[-1] = prev_cand[idx]
+    for j in range(req.length - 1, 0, -1):
+        idx = int(back[j - 1][idx])
+        nodes[j - 1] = hosts[req.chain[j - 1]][idx]
+    return nodes
+
+
+def optimal_routing(
+    instance: ProblemInstance,
+    placement: Placement,
+    model: Optional[str] = None,
+) -> Routing:
+    """Exact minimum-latency routing for every request."""
+    hosts = _host_lists(instance, placement)
+    H, L = instance.n_requests, instance.max_chain
+    a = np.full((H, L), -1, dtype=np.int64)
+    for h in range(H):
+        nodes = route_request(instance, placement, h, model=model, hosts=hosts)
+        a[h, : nodes.size] = nodes
+    return Routing(instance, a)
+
+
+def load_aware_routing(
+    instance: ProblemInstance,
+    placement: Placement,
+    congestion_weight: float = 1.0,
+    model: Optional[str] = None,
+) -> Routing:
+    """Queue-aware routing: optimal per request against a load-inflated
+    compute model.
+
+    The analytic latency model (Eq. 2) prices processing at the raw rate
+    ``q/c`` regardless of how many requests share a server; under real
+    contention (the DES cluster, paper §V.C) concentrating traffic on
+    one fast node queues.  This engine routes requests *sequentially*,
+    tracking the compute load (GFLOP) already committed to each server
+    and inflating each server's effective processing delay by
+    ``1 + congestion_weight · load_k / c_k`` — a fluid M/G/1-style
+    congestion proxy.  Requests are processed in descending compute
+    demand so heavy chains claim capacity first.
+
+    With ``congestion_weight=0`` this reduces exactly to
+    :func:`optimal_routing`.
+    """
+    if congestion_weight < 0:
+        raise ValueError(
+            f"congestion_weight must be non-negative, got {congestion_weight}"
+        )
+    model = model or instance.config.latency_model
+    hosts = _host_lists(instance, placement)
+    inv = instance.inv_rate
+    base_comp = instance.compute_ext.copy()
+    q = instance.service_compute
+    H, L = instance.n_requests, instance.max_chain
+    a = np.full((H, L), -1, dtype=np.int64)
+
+    load = np.zeros(base_comp.size)
+    order = sorted(
+        range(H),
+        key=lambda h: -float(q[list(instance.requests[h].chain)].sum()),
+    )
+    for h in order:
+        req = instance.requests[h]
+        # effective rates under current committed load
+        eff = base_comp / (1.0 + congestion_weight * load / base_comp)
+        nodes = _route_one(instance, req, hosts, inv, eff, model)
+        a[h, : nodes.size] = nodes
+        for j, svc in enumerate(req.chain):
+            load[nodes[j]] += q[svc]
+    return Routing(instance, a)
+
+
+def _route_one(instance, req, hosts, inv, comp, model) -> np.ndarray:
+    """Single-request DP shared by the optimal and load-aware engines."""
+    q = instance.service_compute
+    home = req.home
+    if model == "star":
+        nodes = np.empty(req.length, dtype=np.int64)
+        inflow = [req.data_in, *req.edge_data]
+        for j, svc in enumerate(req.chain):
+            cand = hosts[svc]
+            cost = inflow[j] * inv[home, cand] + q[svc] / comp[cand]
+            if j == req.length - 1:
+                cost = cost + req.data_out * inv[cand, home]
+            nodes[j] = cand[int(np.argmin(cost))]
+        return nodes
+
+    cand0 = hosts[req.chain[0]]
+    cost = req.data_in * inv[home, cand0] + q[req.chain[0]] / comp[cand0]
+    back: list[np.ndarray] = []
+    prev_cand = cand0
+    for j in range(1, req.length):
+        svc = req.chain[j]
+        cand = hosts[svc]
+        trans = (
+            cost[:, None]
+            + req.edge_data[j - 1] * inv[np.ix_(prev_cand, cand)]
+            + (q[svc] / comp[cand])[None, :]
+        )
+        argmin = trans.argmin(axis=0)
+        back.append(argmin)
+        cost = trans[argmin, np.arange(cand.size)]
+        prev_cand = cand
+    cost = cost + req.data_out * inv[prev_cand, home]
+    nodes = np.empty(req.length, dtype=np.int64)
+    idx = int(np.argmin(cost))
+    nodes[-1] = prev_cand[idx]
+    for j in range(req.length - 1, 0, -1):
+        idx = int(back[j - 1][idx])
+        nodes[j - 1] = hosts[req.chain[j - 1]][idx]
+    return nodes
+
+
+def greedy_routing(
+    instance: ProblemInstance,
+    placement: Placement,
+) -> Routing:
+    """Paper-style reliance routing: max channel speed from home.
+
+    Each chain position independently selects the hosting node ``v_q``
+    maximizing ``b(l'_{f(u_h), q})`` — i.e. minimizing the transfer
+    coefficient ``inv_rate[home, q]`` — with ties broken by higher
+    compute power, and the home node itself always preferred (local
+    service has infinite channel speed).
+    """
+    hosts = _host_lists(instance, placement)
+    inv = instance.inv_rate
+    comp = instance.compute_ext
+    H, L = instance.n_requests, instance.max_chain
+    a = np.full((H, L), -1, dtype=np.int64)
+    for h, req in enumerate(instance.requests):
+        home = req.home
+        for j, svc in enumerate(req.chain):
+            cand = hosts[svc]
+            key = inv[home, cand] - 1e-12 * comp[cand]  # tie-break on compute
+            a[h, j] = cand[int(np.argmin(key))]
+    return Routing(instance, a)

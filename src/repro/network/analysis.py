@@ -1,0 +1,131 @@
+"""Topology analysis utilities.
+
+Descriptive statistics of an :class:`repro.network.topology.EdgeNetwork`
+used by the experiment report and by users validating custom topologies
+before provisioning on them:
+
+* :func:`topology_summary` — node/link counts, degree stats, hop
+  diameter, mean virtual-link rate;
+* :func:`link_utilization` — how much data a given routing pushes over
+  each *physical* link (congestion hot spots);
+* :func:`bottleneck_links` — the links carrying the most traffic;
+* :func:`reachability_matrix` — boolean all-pairs connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.network.topology import EdgeNetwork
+
+if TYPE_CHECKING:  # avoid the circular model → network import at runtime
+    from repro.model.instance import ProblemInstance
+    from repro.model.placement import Routing
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """Headline statistics of one edge network."""
+
+    n_servers: int
+    n_links: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    diameter_hops: int
+    mean_hops: float
+    mean_virtual_rate: float
+    min_virtual_rate: float
+    total_compute: float
+    total_storage: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n_servers": self.n_servers,
+            "n_links": self.n_links,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "diameter_hops": self.diameter_hops,
+            "mean_hops": self.mean_hops,
+            "mean_virtual_rate": self.mean_virtual_rate,
+            "min_virtual_rate": self.min_virtual_rate,
+            "total_compute": self.total_compute,
+            "total_storage": self.total_storage,
+        }
+
+
+def topology_summary(network: EdgeNetwork) -> TopologySummary:
+    """Compute :class:`TopologySummary` (requires a connected network for
+    finite diameter; unreachable pairs are excluded from the means)."""
+    pt = network.paths
+    n = network.n
+    off_diag = ~np.eye(n, dtype=bool)
+    hops = pt.hops[off_diag]
+    finite = np.isfinite(hops)
+    vr = pt.virtual_rate_matrix[off_diag]
+    vr_finite = vr[np.isfinite(vr) & (vr > 0)]
+    degrees = network.degrees
+    return TopologySummary(
+        n_servers=n,
+        n_links=len(network.links),
+        min_degree=int(degrees.min()),
+        max_degree=int(degrees.max()),
+        mean_degree=float(degrees.mean()),
+        diameter_hops=int(hops[finite].max()) if finite.any() else 0,
+        mean_hops=float(hops[finite].mean()) if finite.any() else 0.0,
+        mean_virtual_rate=float(vr_finite.mean()) if vr_finite.size else 0.0,
+        min_virtual_rate=float(vr_finite.min()) if vr_finite.size else 0.0,
+        total_compute=float(network.compute.sum()),
+        total_storage=float(network.storage.sum()),
+    )
+
+
+def link_utilization(
+    instance: "ProblemInstance", routing: "Routing"
+) -> dict[tuple[int, int], float]:
+    """Data volume (GB) each physical link carries under ``routing``.
+
+    Walks every request's transfers (upload, inter-service, return) along
+    the hop-shortest paths and accumulates per-link volume.  Cloud legs
+    are skipped (they leave the edge network).  Keys are normalized
+    ``(min, max)`` endpoint pairs.
+    """
+    pt = instance.network.paths
+    cloud = instance.cloud
+    usage: dict[tuple[int, int], float] = {}
+
+    def add(src: int, dst: int, volume: float) -> None:
+        if volume <= 0 or src == dst or src == cloud or dst == cloud:
+            return
+        route = pt.path(src, dst)
+        for a, b in zip(route, route[1:]):
+            key = (a, b) if a < b else (b, a)
+            usage[key] = usage.get(key, 0.0) + volume
+
+    for h, req in enumerate(instance.requests):
+        nodes = routing.nodes_for(h)
+        add(req.home, int(nodes[0]), req.data_in)
+        for j, volume in enumerate(req.edge_data):
+            add(int(nodes[j]), int(nodes[j + 1]), volume)
+        add(int(nodes[-1]), req.home, req.data_out)
+    return usage
+
+
+def bottleneck_links(
+    instance: "ProblemInstance", routing: "Routing", top: int = 5
+) -> list[tuple[tuple[int, int], float]]:
+    """The ``top`` most-utilized physical links (descending volume)."""
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    usage = link_utilization(instance, routing)
+    ranked = sorted(usage.items(), key=lambda kv: -kv[1])
+    return ranked[:top]
+
+
+def reachability_matrix(network: EdgeNetwork) -> np.ndarray:
+    """Boolean all-pairs reachability (diagonal True)."""
+    return np.isfinite(network.paths.hops)

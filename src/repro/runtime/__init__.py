@@ -1,0 +1,44 @@
+"""Serverless edge-cluster runtime: the Kubernetes-testbed substitute.
+
+The paper validates SoCL on a 17-machine Kubernetes testbed (16 edge
+nodes + 1 master) with users issuing requests every ~5 minutes over 4
+hours (Figs. 9-10).  Per DESIGN.md §2 we reproduce that environment with
+a discrete-event simulation:
+
+* :mod:`repro.runtime.events` — minimal deterministic DES engine;
+* :mod:`repro.runtime.serverless` — cold/warm instance lifecycle with
+  keep-alive expiry (the "warm instances in the nearby area" the paper's
+  storage planning enables);
+* :mod:`repro.runtime.cluster` — edge nodes with FIFO compute queues,
+  network transfers over the substrate topology, a master that dispatches
+  requests along their routed chains and records latency;
+* :mod:`repro.runtime.simulator` — the time-slotted online driver:
+  mobility moves users each slot, the provisioning algorithm re-runs,
+  and the cluster replays the slot's requests;
+* :mod:`repro.runtime.metrics` — latency aggregation (mean/median/max
+  per slot, percentiles) matching the paper's reporting.
+"""
+
+from repro.runtime.events import EventQueue, Event
+from repro.runtime.serverless import InstancePool, InstanceState, ServerlessConfig
+from repro.runtime.cluster import SimulatedCluster, RequestOutcome
+from repro.runtime.simulator import OnlineSimulator, SlotRecord, OnlineTraceResult
+from repro.runtime.metrics import LatencyRecorder, summarize_latencies
+from repro.runtime.failures import OutageSchedule, degrade_instance
+
+__all__ = [
+    "EventQueue",
+    "Event",
+    "InstancePool",
+    "InstanceState",
+    "ServerlessConfig",
+    "SimulatedCluster",
+    "RequestOutcome",
+    "OnlineSimulator",
+    "SlotRecord",
+    "OnlineTraceResult",
+    "LatencyRecorder",
+    "summarize_latencies",
+    "OutageSchedule",
+    "degrade_instance",
+]

@@ -1,0 +1,191 @@
+"""Simulated edge cluster: nodes, queues, transfers, request execution.
+
+Models the paper's testbed (§V.C): edge nodes with bounded compute
+serve microservice invocations from FIFO per-core queues; data moves
+between nodes over the substrate network's virtual links; a master
+dispatches each user request along its routed chain
+
+    upload → [process m_1] → transfer → [process m_2] → … → return
+
+and records the end-to-end completion time.  Cold starts from
+:mod:`repro.runtime.serverless` add to processing where applicable;
+requests whose service has no edge instance detour to the cloud with
+the instance's configured WAN transfer cost.
+
+The cluster is deterministic given its inputs — queueing delays emerge
+purely from request overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.model.instance import ProblemInstance
+from repro.model.placement import Placement, Routing
+from repro.runtime.events import EventQueue
+from repro.runtime.serverless import InstancePool, ServerlessConfig
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class RequestOutcome:
+    """Completion record of one dispatched request."""
+
+    request: int
+    start: float
+    finish: float = np.nan
+    queueing: float = 0.0
+    cold_start: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def done(self) -> bool:
+        return not np.isnan(self.finish)
+
+
+class _Node:
+    """FIFO multi-core compute server."""
+
+    def __init__(self, index: int, compute: float, cores: int):
+        self.index = index
+        self.compute = compute
+        self.cores = cores
+        # next free time per core (earliest first)
+        self.core_free = [0.0] * cores
+        self.busy_time = 0.0
+
+    def enqueue(self, now: float, work_gflop: float) -> tuple[float, float]:
+        """Admit ``work_gflop`` at ``now``; returns (finish_time, queue_wait)."""
+        service_time = work_gflop / self.compute
+        core = int(np.argmin(self.core_free))
+        start = max(now, self.core_free[core])
+        finish = start + service_time
+        self.core_free[core] = finish
+        self.busy_time += service_time
+        return finish, start - now
+
+
+class SimulatedCluster:
+    """Executable model of the edge cluster for one provisioning epoch."""
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        placement: Placement,
+        routing: Routing,
+        cores_per_node: int = 2,
+        serverless: Optional[ServerlessConfig] = None,
+        pool: Optional[InstancePool] = None,
+    ):
+        check_positive("cores_per_node", cores_per_node)
+        self.instance = instance
+        self.placement = placement
+        self.routing = routing
+        self.queue = EventQueue()
+        self.nodes = [
+            _Node(k, float(c), cores_per_node)
+            for k, c in enumerate(instance.network.compute)
+        ]
+        self.pool = pool if pool is not None else InstancePool(
+            placement, serverless or ServerlessConfig()
+        )
+        self.outcomes: list[RequestOutcome] = []
+
+    # ------------------------------------------------------------------
+    def submit(self, h: int, at: float) -> RequestOutcome:
+        """Schedule request ``h`` to arrive at absolute time ``at``."""
+        if not (0 <= h < self.instance.n_requests):
+            raise IndexError(
+                f"request {h} outside instance of size {self.instance.n_requests}"
+            )
+        if at < 0:
+            raise ValueError(f"arrival time must be non-negative, got {at}")
+        outcome = RequestOutcome(request=h, start=at)
+        self.outcomes.append(outcome)
+        self.queue.schedule_at(at, lambda q, h=h, o=outcome: self._begin(h, o))
+        return outcome
+
+    def _begin(self, h: int, outcome: RequestOutcome) -> None:
+        inst = self.instance
+        req = inst.requests[h]
+        nodes = self.routing.nodes_for(h)
+        inv = inst.inv_rate
+        # upload leg
+        delay = req.data_in * inv[req.home, nodes[0]]
+        self.queue.schedule(
+            delay, lambda q, pos=0: self._process(h, outcome, nodes, pos)
+        )
+
+    def _process(
+        self, h: int, outcome: RequestOutcome, nodes: np.ndarray, pos: int
+    ) -> None:
+        inst = self.instance
+        req = inst.requests[h]
+        svc = req.chain[pos]
+        node = int(nodes[pos])
+        now = self.queue.now
+
+        if node == inst.cloud:
+            # cloud executes without queueing at its large capacity
+            finish = now + inst.service_compute[svc] / inst.config.cloud_compute
+            wait = 0.0
+            penalty = 0.0
+        else:
+            penalty = (
+                self.pool.invoke(svc, node, now)
+                if self.placement.has(svc, node)
+                else 0.0
+            )
+            finish, wait = self.nodes[node].enqueue(
+                now + penalty, float(inst.service_compute[svc])
+            )
+        outcome.queueing += wait
+        outcome.cold_start += penalty
+
+        delay_done = finish - now
+        if pos + 1 < req.length:
+            transfer = req.edge_data[pos] * inst.inv_rate[node, int(nodes[pos + 1])]
+            self.queue.schedule(
+                delay_done + transfer,
+                lambda q, p=pos + 1: self._process(h, outcome, nodes, p),
+            )
+        else:
+            ret = req.data_out * inst.inv_rate[node, req.home]
+            self.queue.schedule(
+                delay_done + ret, lambda q: self._finish(outcome)
+            )
+
+    def _finish(self, outcome: RequestOutcome) -> None:
+        outcome.finish = self.queue.now
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        arrivals: Optional[Sequence[tuple[int, float]]] = None,
+        until: Optional[float] = None,
+    ) -> list[RequestOutcome]:
+        """Dispatch ``arrivals`` ((request, time) pairs; defaults to all
+        requests at t=0) and run to completion."""
+        if arrivals is None:
+            arrivals = [(h, 0.0) for h in range(self.instance.n_requests)]
+        for h, at in arrivals:
+            self.submit(h, at)
+        self.queue.run(until=until, max_events=10_000_000)
+        return self.outcomes
+
+    def latencies(self) -> np.ndarray:
+        """Latencies of completed requests."""
+        return np.array([o.latency for o in self.outcomes if o.done])
+
+    def utilization(self, horizon: float) -> np.ndarray:
+        """Per-node busy fraction over ``horizon`` seconds."""
+        check_positive("horizon", horizon)
+        return np.array(
+            [n.busy_time / (n.cores * horizon) for n in self.nodes]
+        )

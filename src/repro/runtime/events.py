@@ -1,0 +1,103 @@
+"""Minimal deterministic discrete-event engine.
+
+A binary-heap event queue with a monotonically increasing sequence
+number for stable FIFO ordering among simultaneous events — essential
+for reproducible simulations.  Callbacks receive the
+:class:`EventQueue`, so handlers can schedule follow-up events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+EventCallback = Callable[["EventQueue"], None]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event; ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic event loop."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Events still scheduled (including cancelled ones not yet popped)."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, delay: float, callback: EventCallback) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(time=self._now + delay, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: EventCallback) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time} < now={self._now})"
+            )
+        event = Event(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(self)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or the event
+        budget is exhausted."""
+        executed = 0
+        while self._heap:
+            nxt = self._heap[0]
+            if nxt.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and nxt.time > until:
+                self._now = until
+                return
+            self.step()
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise RuntimeError(
+                    f"event budget exhausted after {max_events} events at t={self._now}"
+                )

@@ -1,0 +1,146 @@
+"""Failure injection: edge-node outages for robustness experiments.
+
+Edge deployments lose nodes — power, backhaul, maintenance.  The paper's
+framework re-provisions every slot on the *observed* system state, which
+makes outage handling implicit: a down node simply disappears from the
+usable state.  This module makes that testable:
+
+* :class:`OutageSchedule` — per-slot down-node sets from independent
+  two-state Markov (up/down) processes per node, seeded;
+* :func:`degrade_instance` — rewrite a :class:`ProblemInstance` so down
+  nodes cannot host instances (storage → ε below any footprint) or do
+  useful work (compute → ε), while their radios keep relaying (links
+  survive, so the network stays connected and latency finite); users
+  homed at a down station re-attach to the nearest live one.
+
+The online simulator accepts an ``OutageSchedule`` and applies the
+degradation before each slot's solve, so any solver's resilience —
+including :class:`repro.core.online.OnlineSoCL`'s warm-start — can be
+measured (``benchmarks/bench_online.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.model.instance import ProblemInstance
+from repro.network.topology import EdgeNetwork, EdgeServer
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive, check_probability
+from repro.workload.requests import UserRequest
+
+#: Storage assigned to a failed node: strictly below any real service
+#: footprint so the capacity constraint (Eq. 6) forbids placement.
+_DOWN_STORAGE = 1e-6
+#: Compute assigned to a failed node: any processing there is absurdly
+#: slow, so routing never selects a surviving stale instance.
+_DOWN_COMPUTE = 1e-3
+
+
+class OutageSchedule:
+    """Independent per-node up/down Markov chains over time slots."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        fail_prob: float = 0.05,
+        repair_prob: float = 0.5,
+        seed: SeedLike = None,
+        protect: Sequence[int] = (),
+    ):
+        check_positive("n_nodes", n_nodes)
+        check_probability("fail_prob", fail_prob)
+        check_probability("repair_prob", repair_prob)
+        self.n_nodes = int(n_nodes)
+        self.fail_prob = float(fail_prob)
+        self.repair_prob = float(repair_prob)
+        self.protect = frozenset(int(p) for p in protect)
+        self._rng = as_generator(seed)
+        self._down = np.zeros(self.n_nodes, dtype=bool)
+
+    @property
+    def down_nodes(self) -> frozenset[int]:
+        return frozenset(int(v) for v in np.nonzero(self._down)[0])
+
+    def step(self) -> frozenset[int]:
+        """Advance one slot; returns the set of down nodes."""
+        roll = self._rng.random(self.n_nodes)
+        fail = (~self._down) & (roll < self.fail_prob)
+        repair = self._down & (roll < self.repair_prob)
+        self._down = (self._down | fail) & ~repair
+        # never take the whole network down, and honor protected nodes
+        for p in self.protect:
+            self._down[p] = False
+        if self._down.all():
+            survivor = int(self._rng.integers(0, self.n_nodes))
+            self._down[survivor] = False
+        return self.down_nodes
+
+    def availability(self, n_slots: int) -> float:
+        """Simulated long-run fraction of node-slots up (resets state)."""
+        check_positive("n_slots", n_slots)
+        up = 0
+        for _ in range(n_slots):
+            down = self.step()
+            up += self.n_nodes - len(down)
+        return up / (n_slots * self.n_nodes)
+
+
+def degrade_instance(
+    instance: ProblemInstance, down_nodes: frozenset[int] | set[int]
+) -> ProblemInstance:
+    """Clone ``instance`` with ``down_nodes`` unable to host or compute.
+
+    Links survive (radios keep relaying) so the topology stays connected;
+    requests homed at a down node re-attach to the nearest live node by
+    virtual-link transfer time.
+    """
+    down = {int(v) for v in down_nodes}
+    for v in down:
+        if not (0 <= v < instance.n_servers):
+            raise IndexError(f"down node {v} outside network of size {instance.n_servers}")
+    if not down:
+        return instance
+    if len(down) >= instance.n_servers:
+        raise ValueError("cannot take every edge node down")
+
+    network = instance.network
+    servers = [
+        EdgeServer(
+            index=s.index,
+            compute=_DOWN_COMPUTE if s.index in down else s.compute,
+            storage=_DOWN_STORAGE if s.index in down else s.storage,
+            position=s.position,
+            name=s.name,
+        )
+        for s in network.servers
+    ]
+    degraded_net = EdgeNetwork(servers, network.links)
+
+    inv = network.paths.inv_rate
+    up_nodes = np.array(
+        [k for k in range(network.n) if k not in down], dtype=np.int64
+    )
+
+    def rehome(home: int) -> int:
+        if home not in down:
+            return home
+        return int(up_nodes[np.argmin(inv[home, up_nodes])])
+
+    requests = [
+        req
+        if req.home not in down
+        else UserRequest(
+            index=req.index,
+            home=rehome(req.home),
+            chain=req.chain,
+            data_in=req.data_in,
+            data_out=req.data_out,
+            edge_data=req.edge_data,
+        )
+        for req in instance.requests
+    ]
+    return ProblemInstance(degraded_net, instance.app, requests, instance.config)

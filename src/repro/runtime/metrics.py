@@ -1,0 +1,60 @@
+"""Latency aggregation and reporting (paper Figs. 9-10 metrics).
+
+The testbed experiments report per-interval average delay, per-user
+median latency, and delay stability via maximum latency.  The
+:class:`LatencyRecorder` accumulates completion records per slot and
+produces those aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+def summarize_latencies(latencies: Sequence[float]) -> dict[str, float]:
+    """Mean / median / p95 / max summary of a latency sample."""
+    arr = np.asarray(latencies, dtype=np.float64)
+    if arr.size == 0:
+        return {"count": 0.0, "mean": 0.0, "median": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "count": float(arr.size),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }
+
+
+@dataclass
+class LatencyRecorder:
+    """Per-slot latency accumulator."""
+
+    slots: list[np.ndarray] = field(default_factory=list)
+
+    def record_slot(self, latencies: Sequence[float]) -> None:
+        self.slots.append(np.asarray(latencies, dtype=np.float64))
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.slots)
+
+    def slot_means(self) -> np.ndarray:
+        """Average delay per slot (Fig. 10's trace series)."""
+        return np.array(
+            [s.mean() if s.size else 0.0 for s in self.slots]
+        )
+
+    def slot_maxima(self) -> np.ndarray:
+        return np.array([s.max() if s.size else 0.0 for s in self.slots])
+
+    def all_latencies(self) -> np.ndarray:
+        if not self.slots:
+            return np.empty(0)
+        return np.concatenate(self.slots)
+
+    def overall(self) -> dict[str, float]:
+        """Whole-trace summary (Fig. 10's avg and max delay numbers)."""
+        return summarize_latencies(self.all_latencies())

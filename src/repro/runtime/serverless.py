@@ -1,0 +1,109 @@
+"""Serverless instance lifecycle: cold starts and warm keep-alive.
+
+In serverless edge computing an invocation pays a **cold-start** penalty
+when the target function instance is not resident; a recently used
+instance stays **warm** for a keep-alive window and serves instantly.
+The paper's storage-planning trade-off — "allowing more warm instances
+in the nearby area" — is observable through this model: placements that
+concentrate demand keep instances warm, while scattered low-traffic
+instances repeatedly pay cold starts.
+
+:class:`InstancePool` tracks, per (service, node) pair, whether the
+instance is provisioned (by the placement), and when it was last
+invoked; :meth:`InstancePool.invoke` returns the startup penalty to add
+to the request's processing time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.model.placement import Placement
+from repro.utils.validation import check_non_negative
+
+
+class InstanceState(Enum):
+    """Lifecycle state of a (service, node) instance."""
+
+    ABSENT = "absent"  # not provisioned on this node
+    COLD = "cold"  # provisioned but not resident in memory
+    WARM = "warm"  # resident; invocation is penalty-free
+
+
+@dataclass(frozen=True)
+class ServerlessConfig:
+    """Cold-start model parameters.
+
+    ``cold_start`` — seconds added to the first invocation of a cold
+    instance (container pull + init); ``keep_alive`` — idle window after
+    which a warm instance is reclaimed.
+    """
+
+    cold_start: float = 0.5
+    keep_alive: float = 300.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("cold_start", self.cold_start)
+        check_non_negative("keep_alive", self.keep_alive)
+
+
+class InstancePool:
+    """Warm/cold bookkeeping over a placement."""
+
+    def __init__(self, placement: Placement, config: ServerlessConfig = ServerlessConfig()):
+        self.config = config
+        self._provisioned: set[tuple[int, int]] = set(placement.pairs())
+        self._last_used: dict[tuple[int, int], float] = {}
+        self.cold_starts = 0
+        self.warm_hits = 0
+
+    def update_placement(self, placement: Placement) -> None:
+        """Apply a new placement: removed instances are evicted, new ones
+        start cold; surviving instances keep their warmth."""
+        new = set(placement.pairs())
+        for key in list(self._last_used):
+            if key not in new:
+                del self._last_used[key]
+        self._provisioned = new
+
+    def state(self, service: int, node: int, now: float) -> InstanceState:
+        key = (service, node)
+        if key not in self._provisioned:
+            return InstanceState.ABSENT
+        last = self._last_used.get(key)
+        if last is not None and now - last <= self.config.keep_alive:
+            return InstanceState.WARM
+        return InstanceState.COLD
+
+    def invoke(self, service: int, node: int, now: float) -> float:
+        """Record an invocation; returns the startup penalty in seconds.
+
+        Invoking an instance that is not provisioned raises — the caller
+        (cluster) must route cloud fallbacks explicitly.
+        """
+        state = self.state(service, node, now)
+        if state is InstanceState.ABSENT:
+            raise ValueError(
+                f"service {service} is not provisioned on node {node}"
+            )
+        self._last_used[(service, node)] = now
+        if state is InstanceState.COLD:
+            self.cold_starts += 1
+            return self.config.cold_start
+        self.warm_hits += 1
+        return 0.0
+
+    @property
+    def n_provisioned(self) -> int:
+        return len(self._provisioned)
+
+    def warm_count(self, now: float) -> int:
+        """Number of currently warm instances."""
+        return sum(
+            1
+            for key in self._provisioned
+            if (last := self._last_used.get(key)) is not None
+            and now - last <= self.config.keep_alive
+        )

@@ -1,0 +1,292 @@
+"""JSON serialization for instances, decisions and results.
+
+Real experiment pipelines checkpoint their inputs and outputs; this
+module round-trips every core object through plain JSON-compatible
+dicts so scenarios can be archived, diffed and replayed:
+
+* :func:`network_to_dict` / :func:`network_from_dict`
+* :func:`application_to_dict` / :func:`application_from_dict`
+* :func:`request_to_dict` / :func:`request_from_dict`
+* :func:`instance_to_dict` / :func:`instance_from_dict`
+* :func:`placement_to_dict` / :func:`placement_from_dict`
+* :func:`routing_to_dict` / :func:`routing_from_dict`
+* :func:`save_instance` / :func:`load_instance` — file convenience
+* :func:`solution_to_dict` — one-shot bundle of a solver result
+
+All dicts carry a ``"kind"`` tag and a ``"version"`` field; loaders
+validate both so stale archives fail loudly instead of deserializing
+garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+from repro.microservices.application import Application, Microservice
+from repro.model.instance import ProblemConfig, ProblemInstance
+from repro.model.placement import Placement, Routing
+from repro.network.topology import EdgeNetwork, EdgeServer, Link
+from repro.workload.requests import UserRequest
+
+FORMAT_VERSION = 1
+
+
+def _check_header(data: dict, kind: str) -> None:
+    if not isinstance(data, dict):
+        raise TypeError(f"expected dict, got {type(data).__name__}")
+    if data.get("kind") != kind:
+        raise ValueError(
+            f"expected kind {kind!r}, got {data.get('kind')!r}"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {data.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+
+
+# ---------------------------------------------------------------- network
+def network_to_dict(network: EdgeNetwork) -> dict:
+    return {
+        "kind": "network",
+        "version": FORMAT_VERSION,
+        "servers": [
+            {
+                "index": s.index,
+                "compute": s.compute,
+                "storage": s.storage,
+                "position": list(s.position),
+                "name": s.name,
+            }
+            for s in network.servers
+        ],
+        "links": [
+            {
+                "u": l.u,
+                "v": l.v,
+                "bandwidth": l.bandwidth,
+                "gain": l.gain,
+                "power": l.power,
+                "noise": l.noise,
+            }
+            for l in network.links
+        ],
+    }
+
+
+def network_from_dict(data: dict) -> EdgeNetwork:
+    _check_header(data, "network")
+    servers = [
+        EdgeServer(
+            index=int(s["index"]),
+            compute=float(s["compute"]),
+            storage=float(s["storage"]),
+            position=tuple(s["position"]),
+            name=s.get("name", ""),
+        )
+        for s in data["servers"]
+    ]
+    links = [
+        Link(
+            u=int(l["u"]),
+            v=int(l["v"]),
+            bandwidth=float(l["bandwidth"]),
+            gain=float(l["gain"]),
+            power=float(l["power"]),
+            noise=float(l["noise"]),
+        )
+        for l in data["links"]
+    ]
+    return EdgeNetwork(servers, links)
+
+
+# ------------------------------------------------------------ application
+def application_to_dict(app: Application) -> dict:
+    return {
+        "kind": "application",
+        "version": FORMAT_VERSION,
+        "name": app.name,
+        "services": [
+            {
+                "index": m.index,
+                "name": m.name,
+                "compute": m.compute,
+                "storage": m.storage,
+                "deploy_cost": m.deploy_cost,
+                "data_out": m.data_out,
+            }
+            for m in app.services
+        ],
+        "dependencies": [list(e) for e in app.dependency_edges],
+        "entrypoints": list(app.entrypoints),
+    }
+
+
+def application_from_dict(data: dict) -> Application:
+    _check_header(data, "application")
+    services = [
+        Microservice(
+            index=int(m["index"]),
+            name=m["name"],
+            compute=float(m["compute"]),
+            storage=float(m["storage"]),
+            deploy_cost=float(m["deploy_cost"]),
+            data_out=float(m["data_out"]),
+        )
+        for m in data["services"]
+    ]
+    return Application(
+        services,
+        [tuple(e) for e in data["dependencies"]],
+        entrypoints=data["entrypoints"],
+        name=data.get("name", "app"),
+    )
+
+
+# ---------------------------------------------------------------- request
+def request_to_dict(req: UserRequest) -> dict:
+    return {
+        "kind": "request",
+        "version": FORMAT_VERSION,
+        "index": req.index,
+        "home": req.home,
+        "chain": list(req.chain),
+        "data_in": req.data_in,
+        "data_out": req.data_out,
+        "edge_data": list(req.edge_data),
+    }
+
+
+def request_from_dict(data: dict) -> UserRequest:
+    _check_header(data, "request")
+    return UserRequest(
+        index=int(data["index"]),
+        home=int(data["home"]),
+        chain=tuple(int(s) for s in data["chain"]),
+        data_in=float(data["data_in"]),
+        data_out=float(data["data_out"]),
+        edge_data=tuple(float(d) for d in data["edge_data"]),
+    )
+
+
+# --------------------------------------------------------------- instance
+def config_to_dict(config: ProblemConfig) -> dict:
+    return {
+        "kind": "config",
+        "version": FORMAT_VERSION,
+        "weight": config.weight,
+        "budget": config.budget,
+        "deadline": config.deadline if np.isfinite(config.deadline) else None,
+        "latency_model": config.latency_model,
+        "cloud_inv_rate": config.cloud_inv_rate,
+        "cloud_compute": config.cloud_compute,
+    }
+
+
+def config_from_dict(data: dict) -> ProblemConfig:
+    _check_header(data, "config")
+    deadline = data["deadline"]
+    return ProblemConfig(
+        weight=float(data["weight"]),
+        budget=float(data["budget"]),
+        deadline=float("inf") if deadline is None else float(deadline),
+        latency_model=data["latency_model"],
+        cloud_inv_rate=float(data["cloud_inv_rate"]),
+        cloud_compute=float(data["cloud_compute"]),
+    )
+
+
+def instance_to_dict(instance: ProblemInstance) -> dict:
+    deadlines = instance._deadlines
+    return {
+        "kind": "instance",
+        "version": FORMAT_VERSION,
+        "network": network_to_dict(instance.network),
+        "application": application_to_dict(instance.app),
+        "requests": [request_to_dict(r) for r in instance.requests],
+        "config": config_to_dict(instance.config),
+        "deadlines": None if deadlines is None else [float(d) for d in deadlines],
+    }
+
+
+def instance_from_dict(data: dict) -> ProblemInstance:
+    _check_header(data, "instance")
+    return ProblemInstance(
+        network_from_dict(data["network"]),
+        application_from_dict(data["application"]),
+        [request_from_dict(r) for r in data["requests"]],
+        config_from_dict(data["config"]),
+        deadlines=data.get("deadlines"),
+    )
+
+
+# -------------------------------------------------------------- decisions
+def placement_to_dict(placement: Placement) -> dict:
+    return {
+        "kind": "placement",
+        "version": FORMAT_VERSION,
+        "n_services": placement.n_services,
+        "n_servers": placement.n_servers,
+        "pairs": [list(p) for p in placement.pairs()],
+    }
+
+
+def placement_from_dict(data: dict) -> Placement:
+    _check_header(data, "placement")
+    x = np.zeros((int(data["n_services"]), int(data["n_servers"])), dtype=bool)
+    for i, k in data["pairs"]:
+        x[int(i), int(k)] = True
+    return Placement(x)
+
+
+def routing_to_dict(routing: Routing) -> dict:
+    inst = routing.instance
+    return {
+        "kind": "routing",
+        "version": FORMAT_VERSION,
+        "assignments": [
+            [int(n) for n in routing.nodes_for(h)]
+            for h in range(inst.n_requests)
+        ],
+    }
+
+
+def routing_from_dict(data: dict, instance: ProblemInstance) -> Routing:
+    _check_header(data, "routing")
+    return Routing.from_lists(instance, data["assignments"])
+
+
+def solution_to_dict(instance: ProblemInstance, result) -> dict:
+    """Bundle a solver result (anything with placement/routing/report)."""
+    return {
+        "kind": "solution",
+        "version": FORMAT_VERSION,
+        "placement": placement_to_dict(result.placement),
+        "routing": routing_to_dict(result.routing),
+        "objective": result.report.objective,
+        "cost": result.report.cost,
+        "latency_sum": result.report.latency_sum,
+        "runtime": result.runtime,
+    }
+
+
+# ------------------------------------------------------------------ files
+PathLike = Union[str, Path]
+
+
+def save_instance(instance: ProblemInstance, path: PathLike) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(
+        json.dumps(instance_to_dict(instance), indent=1), encoding="utf-8"
+    )
+
+
+def load_instance(path: PathLike) -> ProblemInstance:
+    """Read an instance back from :func:`save_instance` output."""
+    return instance_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )

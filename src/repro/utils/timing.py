@@ -1,0 +1,74 @@
+"""Wall-clock timing helpers used by the experiment harness.
+
+The paper reports algorithm runtimes (Figs. 2 and 7); every measured
+runtime in this repository comes from :class:`Stopwatch` so the harness,
+examples and benchmarks are consistent about what is being timed
+(``time.perf_counter`` around the solve call only, excluding instance
+construction).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with lap support.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.measure():
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch not running")
+        lap = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @contextmanager
+    def measure(self) -> Iterator["Stopwatch"]:
+        """Context manager measuring one lap."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._started_at = None
+
+
+def timed(fn: Callable[..., T], *args, **kwargs) -> tuple[T, float]:
+    """Run ``fn(*args, **kwargs)`` returning ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

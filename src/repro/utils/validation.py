@@ -1,0 +1,65 @@
+"""Argument-validation helpers with consistent error messages.
+
+Centralizing these keeps constructor bodies readable and gives tests one
+behaviour to pin down (message format includes the parameter name and the
+offending value).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it for chaining."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Require ``value`` inside ``[low, high]`` (or open interval)."""
+    ok = low <= value <= high if inclusive else low < value < high
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{low}, {high}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_index(name: str, value: int, size: int) -> int:
+    """Require ``0 <= value < size`` for an index-like argument."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        try:
+            value = int(value)
+        except (TypeError, ValueError):
+            raise TypeError(f"{name} must be an integer index, got {value!r}")
+    if not (0 <= value < size):
+        raise IndexError(f"{name}={value} out of range [0, {size})")
+    return value
+
+
+def check_type(name: str, value: Any, expected: type) -> Any:
+    """Require ``isinstance(value, expected)``."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

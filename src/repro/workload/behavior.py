@@ -1,0 +1,180 @@
+"""User browsing-behavior and preference modeling (paper's future work).
+
+The conclusion states: "future research will incorporate user behavior
+modeling and preference integration to support context-aware resource
+management."  This module provides that extension:
+
+* :class:`UserProfile` — per-user preference weights over application
+  entrypoints plus a session-depth temperament (how far down dependency
+  chains the user's interactions go);
+* :class:`BehaviorModel` — a first-order Markov session model: users
+  enter at a preference-weighted entrypoint, then at each step either
+  *deepen* (follow a dependency), *pivot* (jump to another entry
+  according to a transition kernel, e.g. browse → basket → checkout) or
+  *leave*;
+* :func:`behavioral_requests` — drop-in replacement for
+  :func:`repro.workload.users.generate_requests` that draws every user's
+  chain from their profile, so demand is *correlated per user across
+  time slots* — the property one-shot provisioning can exploit and the
+  online warm-start mode (:mod:`repro.core.online`) benefits from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.microservices.application import Application
+from repro.network.topology import EdgeNetwork
+from repro.utils.rng import SeedLike, as_generator, spawn
+from repro.utils.validation import check_positive, check_probability
+from repro.workload.requests import UserRequest
+from repro.workload.users import place_users
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Stable per-user preferences.
+
+    ``entry_weights`` — unnormalized preference over application
+    entrypoints; ``depth_bias`` — probability of deepening at each chain
+    step; ``pivot_prob`` — probability a session pivots to another
+    entrypoint instead of deepening.
+    """
+
+    user: int
+    entry_weights: tuple[float, ...]
+    depth_bias: float
+    pivot_prob: float
+
+    def __post_init__(self) -> None:
+        if not self.entry_weights or min(self.entry_weights) < 0:
+            raise ValueError("entry_weights must be non-empty and non-negative")
+        if sum(self.entry_weights) <= 0:
+            raise ValueError("entry_weights must have positive sum")
+        check_probability("depth_bias", self.depth_bias)
+        check_probability("pivot_prob", self.pivot_prob)
+
+
+class BehaviorModel:
+    """Markov session model over an application's dependency DAG."""
+
+    def __init__(
+        self,
+        app: Application,
+        n_users: int,
+        seed: SeedLike = None,
+        concentration: float = 1.5,
+        mean_depth_bias: float = 0.7,
+        mean_pivot_prob: float = 0.15,
+    ):
+        check_positive("n_users", n_users)
+        check_positive("concentration", concentration)
+        check_probability("mean_depth_bias", mean_depth_bias)
+        check_probability("mean_pivot_prob", mean_pivot_prob)
+        self.app = app
+        self.n_users = int(n_users)
+        rng = as_generator(seed)
+        self._rng = rng
+
+        n_entries = len(app.entrypoints)
+        profiles = []
+        for u in range(self.n_users):
+            weights = tuple(
+                float(w)
+                for w in rng.dirichlet(np.full(n_entries, concentration))
+            )
+            depth = float(np.clip(rng.normal(mean_depth_bias, 0.15), 0.05, 0.95))
+            pivot = float(np.clip(rng.normal(mean_pivot_prob, 0.08), 0.0, 0.6))
+            profiles.append(
+                UserProfile(
+                    user=u, entry_weights=weights, depth_bias=depth, pivot_prob=pivot
+                )
+            )
+        self.profiles: tuple[UserProfile, ...] = tuple(profiles)
+
+    # ------------------------------------------------------------------
+    def sample_session(
+        self,
+        user: int,
+        rng: Optional[np.random.Generator] = None,
+        max_length: Optional[int] = None,
+    ) -> tuple[int, ...]:
+        """One session chain for ``user`` under their profile.
+
+        Pivots restart at a fresh entrypoint; since a request chain must
+        be a simple dependency path, a pivot *ends* the recorded chain
+        (the pivoted interaction is the next request).
+        """
+        profile = self.profiles[user]
+        gen = rng if rng is not None else self._rng
+        limit = max_length if max_length is not None else self.app.n_services
+        weights = np.asarray(profile.entry_weights)
+        weights = weights / weights.sum()
+        entry = int(gen.choice(self.app.entrypoints, p=weights))
+        chain = [entry]
+        while len(chain) < limit:
+            succs = [s for s in self.app.successors(chain[-1]) if s not in chain]
+            if not succs:
+                break
+            roll = gen.random()
+            if roll < profile.pivot_prob:
+                break  # session pivots: this request ends here
+            if roll < profile.pivot_prob + profile.depth_bias:
+                chain.append(int(gen.choice(succs)))
+            else:
+                break  # user leaves
+        return tuple(chain)
+
+    def entry_distribution(self) -> np.ndarray:
+        """Population-level entrypoint popularity (mean of profiles)."""
+        return np.mean([p.entry_weights for p in self.profiles], axis=0)
+
+
+def behavioral_requests(
+    network: EdgeNetwork,
+    app: Application,
+    model: BehaviorModel,
+    rng: SeedLike = None,
+    homes: Optional[Sequence[int]] = None,
+    data_in_range: tuple[float, float] = (0.5, 2.0),
+    data_out_range: tuple[float, float] = (0.2, 1.0),
+    data_scale: float = 1.0,
+    edge_noise: float = 0.3,
+) -> list[UserRequest]:
+    """Generate one request per profiled user from their behavior model."""
+    check_positive("data_scale", data_scale)
+    check_probability("edge_noise", edge_noise)
+    gen = as_generator(rng)
+    if homes is None:
+        homes = place_users(network, model.n_users, gen)
+    homes = np.asarray(homes, dtype=np.int64)
+    if homes.shape != (model.n_users,):
+        raise ValueError(
+            f"homes must have shape ({model.n_users},), got {homes.shape}"
+        )
+
+    requests: list[UserRequest] = []
+    for u in range(model.n_users):
+        chain = model.sample_session(u, rng=gen)
+        edge_data = tuple(
+            float(
+                data_scale
+                * app.service(a).data_out
+                * (1.0 + gen.uniform(-edge_noise, edge_noise))
+            )
+            for a in chain[:-1]
+        )
+        requests.append(
+            UserRequest(
+                index=u,
+                home=int(homes[u]),
+                chain=chain,
+                data_in=float(data_scale * gen.uniform(*data_in_range)),
+                data_out=float(data_scale * gen.uniform(*data_out_range)),
+                edge_data=edge_data,
+            )
+        )
+    return requests

@@ -1,0 +1,127 @@
+"""User request model (paper §III.A).
+
+A :class:`UserRequest` ``u_h`` is a directed chain of microservices with:
+
+* ``home`` — the edge server ``v_k`` the user is associated with
+  (``f(u_h) = k``; the set ``U_k`` groups requests by home server),
+* ``chain`` — the microservice indices ``M_h`` in invocation order,
+* ``edge_data`` — the data flow ``r_{m_i→m_j}`` (GB) on each chain edge,
+* ``data_in`` / ``data_out`` — upload ``r_in^h`` and result ``r_out^h``
+  volumes for the ``d_in`` / ``d_out`` terms of Eq. (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class UserRequest:
+    """A single user service request ``u_h``."""
+
+    index: int
+    home: int
+    chain: tuple[int, ...]
+    data_in: float
+    data_out: float
+    edge_data: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise ValueError("request chain must contain at least one microservice")
+        if len(set(self.chain)) != len(self.chain):
+            raise ValueError(f"request chain has repeated services: {self.chain}")
+        if len(self.edge_data) != len(self.chain) - 1:
+            raise ValueError(
+                f"edge_data length {len(self.edge_data)} != chain edges "
+                f"{len(self.chain) - 1}"
+            )
+        check_non_negative("data_in", self.data_in)
+        check_non_negative("data_out", self.data_out)
+        for d in self.edge_data:
+            check_non_negative("edge_data entry", d)
+
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of microservices in the chain ``|M_h|``."""
+        return len(self.chain)
+
+    @property
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """Dependency edges ``E_h`` in order."""
+        return tuple(zip(self.chain, self.chain[1:]))
+
+    def uses(self, service: int) -> bool:
+        """Whether microservice ``m_i`` appears in this request's chain."""
+        return service in self.chain
+
+    def position_of(self, service: int) -> int:
+        """Chain position of ``service`` (raises ``ValueError`` if absent)."""
+        return self.chain.index(service)
+
+    def data_into(self, service: int) -> float:
+        """Data volume entering ``service`` within this chain.
+
+        For the first microservice this is the user's upload ``r_in^h``;
+        for later positions it is the preceding edge's flow.
+        """
+        pos = self.position_of(service)
+        if pos == 0:
+            return self.data_in
+        return self.edge_data[pos - 1]
+
+
+def requests_by_server(
+    requests: Sequence[UserRequest], n_servers: int
+) -> list[list[UserRequest]]:
+    """Group requests by home server: the paper's ``U_k`` sets."""
+    groups: list[list[UserRequest]] = [[] for _ in range(n_servers)]
+    for req in requests:
+        if not (0 <= req.home < n_servers):
+            raise IndexError(
+                f"request {req.index} home {req.home} outside [0, {n_servers})"
+            )
+        groups[req.home].append(req)
+    return groups
+
+
+def services_in_requests(requests: Iterable[UserRequest]) -> list[int]:
+    """Sorted set of microservices referenced by any request."""
+    return sorted({s for req in requests for s in req.chain})
+
+
+def demand_matrix(
+    requests: Sequence[UserRequest], n_services: int, n_servers: int
+) -> np.ndarray:
+    """``(n_services, n_servers)`` count matrix ``|U^{m_i}_{v_k}|``.
+
+    Entry ``(i, k)`` is the number of requests homed at ``v_k`` whose
+    chain contains ``m_i`` — the quantity Alg. 2 computes in lines 1-3.
+    """
+    counts = np.zeros((n_services, n_servers), dtype=np.int64)
+    for req in requests:
+        for svc in req.chain:
+            counts[svc, req.home] += 1
+    return counts
+
+
+def data_demand_matrix(
+    requests: Sequence[UserRequest], n_services: int, n_servers: int
+) -> np.ndarray:
+    """``(n_services, n_servers)`` total inbound data per service/home pair.
+
+    Entry ``(i, k)`` sums, over requests homed at ``v_k``, the data volume
+    entering ``m_i`` in each chain — the ``r_i`` weights used by the
+    proactive factor (Def. 5) and instance contribution (Def. 7).
+    """
+    data = np.zeros((n_services, n_servers), dtype=np.float64)
+    for req in requests:
+        for svc in req.chain:
+            data[svc, req.home] += req.data_into(svc)
+    return data

@@ -1,0 +1,178 @@
+"""User placement and request generation (paper §V.A workload).
+
+Users are associated with the edge server covering their location; the
+paper distributes them around base stations near the National Stadium and
+samples their service chains from the eshopOnContainers dependency graph
+with stochastic dependencies.  :func:`generate_requests` reproduces this:
+spatially clustered home assignment (a small number of hot cells receive
+most users, matching the stadium scenario) and chain sampling via
+:func:`repro.microservices.chains.sample_chain`.
+
+Data volumes follow §V.A: per-request upload/response sizes and per-edge
+flows derived from each microservice's ``data_out`` with multiplicative
+noise, spanning the paper's [1, 80] GB range once scaled by request rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.microservices.application import Application
+from repro.microservices.chains import sample_chain
+from repro.network.topology import EdgeNetwork
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive, check_probability
+from repro.workload.requests import UserRequest
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of the request generator.
+
+    Attributes
+    ----------
+    n_users:
+        Number of user requests ``|U|``.
+    hotspot_fraction:
+        Fraction of servers that act as hotspots (crowded cells near the
+        stadium).  Hotspots receive ``hotspot_weight`` times the demand
+        of ordinary cells.
+    hotspot_weight:
+        Demand multiplier of hotspot cells.
+    length_bias:
+        Chain-continuation probability (geometric chain lengths).
+    min_chain, max_chain:
+        Chain length limits.
+    data_in_range, data_out_range:
+        Uniform ranges (GB) for ``r_in^h`` and ``r_out^h``.
+    edge_noise:
+        Multiplicative jitter on per-edge data flows (±fraction).
+    data_scale:
+        Global multiplier applied to every data volume (upload, response
+        and per-edge flows).  The experiment scenarios use it to bring
+        transfer delays into the paper's regime where latency and cost
+        terms of the objective are comparable (§V.A).
+    """
+
+    n_users: int
+    hotspot_fraction: float = 0.25
+    hotspot_weight: float = 4.0
+    length_bias: float = 0.7
+    min_chain: int = 2
+    max_chain: int = 6
+    data_in_range: tuple[float, float] = (0.5, 2.0)
+    data_out_range: tuple[float, float] = (0.2, 1.0)
+    edge_noise: float = 0.3
+    data_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("n_users", self.n_users)
+        check_probability("hotspot_fraction", self.hotspot_fraction)
+        check_positive("hotspot_weight", self.hotspot_weight)
+        check_probability("length_bias", self.length_bias)
+        if not (1 <= self.min_chain <= self.max_chain):
+            raise ValueError(
+                f"invalid chain bounds: min={self.min_chain} max={self.max_chain}"
+            )
+        check_probability("edge_noise", self.edge_noise)
+        check_positive("data_scale", self.data_scale)
+
+
+def place_users(
+    network: EdgeNetwork,
+    n_users: int,
+    rng: SeedLike = None,
+    hotspot_fraction: float = 0.25,
+    hotspot_weight: float = 4.0,
+) -> np.ndarray:
+    """Sample home-server indices for ``n_users`` with spatial hotspots.
+
+    A ``hotspot_fraction`` of servers is designated hot (at least one);
+    hot servers are ``hotspot_weight`` times as likely to receive a user.
+    Returns an ``(n_users,)`` int array of server indices.
+    """
+    check_positive("n_users", n_users)
+    gen = as_generator(rng)
+    n = network.n
+    n_hot = max(1, int(round(hotspot_fraction * n)))
+    hot = gen.choice(n, size=n_hot, replace=False)
+    weights = np.ones(n, dtype=np.float64)
+    weights[hot] = hotspot_weight
+    weights /= weights.sum()
+    return gen.choice(n, size=n_users, p=weights)
+
+
+def generate_requests(
+    network: EdgeNetwork,
+    app: Application,
+    spec: WorkloadSpec,
+    rng: SeedLike = None,
+    homes: Optional[Sequence[int]] = None,
+) -> list[UserRequest]:
+    """Generate ``spec.n_users`` user requests on ``network`` over ``app``.
+
+    ``homes`` overrides the spatial placement (used by the mobility-driven
+    online simulator, which moves users between slots but keeps their
+    service chains).
+    """
+    gen = as_generator(rng)
+    if homes is None:
+        homes = place_users(
+            network,
+            spec.n_users,
+            gen,
+            hotspot_fraction=spec.hotspot_fraction,
+            hotspot_weight=spec.hotspot_weight,
+        )
+    homes = np.asarray(homes, dtype=np.int64)
+    if homes.shape != (spec.n_users,):
+        raise ValueError(
+            f"homes must have shape ({spec.n_users},), got {homes.shape}"
+        )
+
+    requests: list[UserRequest] = []
+    for h in range(spec.n_users):
+        chain = sample_chain(
+            app,
+            gen,
+            length_bias=spec.length_bias,
+            min_length=spec.min_chain,
+            max_length=spec.max_chain,
+        )
+        edge_data = tuple(
+            float(
+                spec.data_scale
+                * app.service(a).data_out
+                * (1.0 + gen.uniform(-spec.edge_noise, spec.edge_noise))
+            )
+            for a in chain[:-1]
+        )
+        requests.append(
+            UserRequest(
+                index=h,
+                home=int(homes[h]),
+                chain=chain,
+                data_in=float(spec.data_scale * gen.uniform(*spec.data_in_range)),
+                data_out=float(spec.data_scale * gen.uniform(*spec.data_out_range)),
+                edge_data=edge_data,
+            )
+        )
+    return requests
+
+
+def reindex_requests(requests: Sequence[UserRequest]) -> list[UserRequest]:
+    """Return requests with ``index`` renumbered consecutively from 0."""
+    return [
+        UserRequest(
+            index=h,
+            home=req.home,
+            chain=req.chain,
+            data_in=req.data_in,
+            data_out=req.data_out,
+            edge_data=req.edge_data,
+        )
+        for h, req in enumerate(requests)
+    ]

@@ -1,0 +1,143 @@
+"""Tests for repro.baselines (RP, JDR, GC-OG, OPT)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GreedyCombineOG,
+    JointDeploymentRouting,
+    OptimalSolver,
+    RandomProvisioning,
+    Solver,
+)
+from repro.core import SoCL
+from repro.model.constraints import check_budget, check_storage
+
+
+ALL_HEURISTICS = [
+    lambda: RandomProvisioning(seed=0),
+    lambda: JointDeploymentRouting(),
+    lambda: GreedyCombineOG(),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_HEURISTICS)
+class TestCommonBaselineProperties:
+    def test_budget_respected(self, medium_instance, factory):
+        res = factory().solve(medium_instance)
+        assert check_budget(medium_instance, res.placement)
+
+    def test_storage_respected(self, medium_instance, factory):
+        res = factory().solve(medium_instance)
+        assert check_storage(medium_instance, res.placement)
+
+    def test_assignment_valid(self, medium_instance, factory):
+        from repro.model.constraints import check_assignment
+
+        res = factory().solve(medium_instance)
+        assert check_assignment(medium_instance, res.placement, res.routing)
+
+    def test_runtime_recorded(self, medium_instance, factory):
+        res = factory().solve(medium_instance)
+        assert res.runtime > 0
+
+    def test_implements_protocol(self, factory):
+        assert isinstance(factory(), Solver)
+
+
+class TestRandomProvisioning:
+    def test_deterministic_by_seed(self, medium_instance):
+        a = RandomProvisioning(seed=5).solve(medium_instance)
+        b = RandomProvisioning(seed=5).solve(medium_instance)
+        assert a.placement == b.placement
+        assert a.report.objective == pytest.approx(b.report.objective)
+
+    def test_seeds_differ(self, medium_instance):
+        a = RandomProvisioning(seed=1).solve(medium_instance)
+        b = RandomProvisioning(seed=2).solve(medium_instance)
+        assert a.placement != b.placement or a.report.objective != b.report.objective
+
+    def test_covers_requested_services(self, medium_instance):
+        res = RandomProvisioning(seed=0).solve(medium_instance)
+        for svc in medium_instance.requested_services:
+            assert res.placement.instance_count(int(svc)) >= 1
+
+    def test_spends_most_of_budget(self, medium_instance):
+        # RP's signature behaviour: it exhausts the deployment budget
+        res = RandomProvisioning(seed=0).solve(medium_instance)
+        assert res.report.cost > 0.7 * medium_instance.config.budget
+
+
+class TestJDR:
+    def test_covers_requested_services(self, medium_instance):
+        res = JointDeploymentRouting().solve(medium_instance)
+        for svc in medium_instance.requested_services:
+            assert res.placement.instance_count(int(svc)) >= 1
+
+    def test_redundancy_near_budget(self, medium_instance):
+        # latency-first, cost-blind: deploys until the budget is ~gone
+        res = JointDeploymentRouting().solve(medium_instance)
+        assert res.report.cost > 0.8 * medium_instance.config.budget
+
+    def test_single_user_service_near_user(self, tiny_instance):
+        res = JointDeploymentRouting().solve(tiny_instance)
+        # all requested services get placed; single-user ones at the home
+        counts = tiny_instance.demand_counts
+        for svc in tiny_instance.requested_services:
+            if counts[int(svc)].sum() == 1:
+                home = int(np.nonzero(counts[int(svc)] > 0)[0][0])
+                assert res.placement.has(int(svc), home)
+
+    def test_deterministic(self, medium_instance):
+        a = JointDeploymentRouting().solve(medium_instance)
+        b = JointDeploymentRouting().solve(medium_instance)
+        assert a.placement == b.placement
+
+
+class TestGCOG:
+    def test_improves_over_initial_full(self, medium_instance):
+        res = GreedyCombineOG().solve(medium_instance)
+        assert res.feasibility.feasible
+
+    def test_close_to_socl(self, medium_instance):
+        # GC-OG is the strong baseline: within ~25% of SoCL's objective
+        gcog = GreedyCombineOG().solve(medium_instance)
+        socl = SoCL().solve(medium_instance)
+        assert gcog.report.objective <= socl.report.objective * 1.25
+
+    def test_slower_than_socl(self, medium_instance):
+        gcog = GreedyCombineOG().solve(medium_instance)
+        socl = SoCL().solve(medium_instance)
+        assert gcog.runtime > socl.runtime * 0.5  # typically much slower
+
+    def test_evaluation_counter(self, medium_instance):
+        res = GreedyCombineOG().solve(medium_instance)
+        assert res.extra["evaluations"] > 0
+
+    def test_invalid_max_iterations(self):
+        with pytest.raises(ValueError):
+            GreedyCombineOG(max_iterations=0)
+
+
+class TestOptimalBaseline:
+    def test_optimal_beats_all(self, tiny_instance):
+        opt = OptimalSolver().solve(tiny_instance)
+        for factory in ALL_HEURISTICS:
+            res = factory().solve(tiny_instance)
+            assert opt.report.objective <= res.report.objective + 1e-6
+        socl = SoCL().solve(tiny_instance)
+        assert opt.report.objective <= socl.report.objective + 1e-6
+
+    def test_extra_diagnostics(self, tiny_instance):
+        res = OptimalSolver().solve(tiny_instance)
+        assert res.extra["status"] == "optimal"
+        assert res.extra["n_variables"] > 0
+
+    def test_infeasible_raises(self, tiny_instance):
+        bad = tiny_instance.with_config(budget=50.0)
+        with pytest.raises(RuntimeError, match="no solution"):
+            OptimalSolver().solve(bad)
+
+    def test_star_model_option(self, tiny_instance):
+        res = OptimalSolver(model="star").solve(tiny_instance)
+        assert res.extra["status"] == "optimal"

@@ -1,0 +1,73 @@
+"""Tests for repro.baselines.autoscaler (ROI auto-scaler extension)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ROIAutoscaler
+from repro.core import SoCL
+from repro.model.constraints import check_assignment, check_budget, check_storage
+
+
+class TestROIAutoscaler:
+    def test_feasible(self, medium_instance):
+        res = ROIAutoscaler().solve(medium_instance)
+        assert check_budget(medium_instance, res.placement)
+        assert check_storage(medium_instance, res.placement)
+        assert check_assignment(medium_instance, res.placement, res.routing)
+
+    def test_coverage(self, medium_instance):
+        res = ROIAutoscaler().solve(medium_instance)
+        for svc in medium_instance.requested_services:
+            assert res.placement.instance_count(int(svc)) >= 1
+
+    def test_zero_threshold_scales_out_more(self, medium_instance):
+        eager = ROIAutoscaler(roi_threshold=0.0).solve(medium_instance)
+        strict = ROIAutoscaler(roi_threshold=10.0).solve(medium_instance)
+        assert (
+            eager.placement.total_instances
+            >= strict.placement.total_instances
+        )
+
+    def test_stateful_settles(self, medium_instance):
+        solver = ROIAutoscaler()
+        first = solver.solve(medium_instance)
+        second = solver.solve(medium_instance)
+        # identical demand: the controller reaches a fixed point
+        assert second.placement == first.placement
+        assert second.extra["actions"] == 0
+
+    def test_reset(self, medium_instance):
+        solver = ROIAutoscaler()
+        solver.solve(medium_instance)
+        solver.reset()
+        res = solver.solve(medium_instance)
+        assert res.feasibility.budget_ok
+
+    def test_adapts_to_new_services(self, medium_instance):
+        solver = ROIAutoscaler()
+        solver.solve(medium_instance)
+        # shrink the request set: unrequested services must be retired
+        sub = medium_instance.with_requests(medium_instance.requests[:5])
+        res = solver.solve(sub)
+        requested = set(int(i) for i in sub.requested_services)
+        for svc, _node in res.placement.pairs():
+            assert svc in requested
+
+    def test_close_to_socl_but_not_better_on_average(self):
+        from repro.experiments.scenarios import ScenarioParams, build_scenario
+
+        diffs = []
+        for seed in (0, 1, 2):
+            inst = build_scenario(ScenarioParams(n_servers=10, n_users=60, seed=seed))
+            roi = ROIAutoscaler().solve(inst)
+            socl = SoCL().solve(inst)
+            diffs.append(roi.report.objective - socl.report.objective)
+        # the local controller is decent but SoCL's global planning wins
+        # on average
+        assert np.mean(diffs) >= 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ROIAutoscaler(roi_threshold=-1.0)
+        with pytest.raises(ValueError):
+            ROIAutoscaler(max_actions_per_slot=0)

@@ -1,0 +1,75 @@
+"""Tests for repro.baselines.kube (K8s-style scheduler extension)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KubeScheduler
+from repro.core import SoCL
+from repro.model.constraints import check_assignment, check_budget, check_storage
+
+
+class TestKubeScheduler:
+    def test_feasible(self, medium_instance):
+        res = KubeScheduler().solve(medium_instance)
+        assert check_budget(medium_instance, res.placement)
+        assert check_storage(medium_instance, res.placement)
+        assert check_assignment(medium_instance, res.placement, res.routing)
+
+    def test_hpa_scales_replicas(self, medium_instance):
+        few = KubeScheduler(hpa_users_per_replica=100).solve(medium_instance)
+        many = KubeScheduler(hpa_users_per_replica=2).solve(medium_instance)
+        assert many.placement.total_instances >= few.placement.total_instances
+
+    def test_replica_policy(self, medium_instance):
+        sched = KubeScheduler(hpa_users_per_replica=5)
+        svc = int(medium_instance.requested_services[0])
+        demand = int(medium_instance.demand_counts[svc].sum())
+        assert sched._replicas(medium_instance, svc) == max(
+            1, int(np.ceil(demand / 5))
+        )
+
+    def test_spread_no_colocated_replicas(self, medium_instance):
+        res = KubeScheduler(hpa_users_per_replica=2).solve(medium_instance)
+        # replicas of one service never share a node (topology spread)
+        x = res.placement
+        for svc in medium_instance.requested_services:
+            hosts = x.hosts(int(svc))
+            assert len(set(int(k) for k in hosts)) == hosts.size
+
+    def test_round_robin_spreads_traffic(self, medium_instance):
+        res = KubeScheduler(hpa_users_per_replica=2).solve(medium_instance)
+        # a service with multiple replicas must receive traffic on more
+        # than one of them (round-robin)
+        pairs = res.routing.served_pairs()
+        multi = [
+            int(s)
+            for s in medium_instance.requested_services
+            if res.placement.instance_count(int(s)) >= 2
+            and int(medium_instance.demand_counts[int(s)].sum()) >= 4
+        ]
+        if multi:
+            svc = multi[0]
+            used_nodes = {k for s, k in pairs if s == svc}
+            assert len(used_nodes) >= 2
+
+    def test_demand_agnostic_loses_to_socl(self, medium_instance):
+        kube = KubeScheduler().solve(medium_instance)
+        socl = SoCL().solve(medium_instance)
+        assert socl.report.objective <= kube.report.objective
+
+    def test_tight_budget_leaves_pods_pending(self, medium_instance):
+        tight = medium_instance.with_config(budget=1000.0)
+        res = KubeScheduler().solve(tight)
+        assert check_budget(tight, res.placement)
+        # some services unschedulable → cloud fallback
+        assert res.routing.uses_cloud().any()
+
+    def test_deterministic(self, medium_instance):
+        a = KubeScheduler().solve(medium_instance)
+        b = KubeScheduler().solve(medium_instance)
+        assert a.placement == b.placement
+        assert np.array_equal(a.routing.assignment, b.routing.assignment)
+
+    def test_invalid_hpa(self):
+        with pytest.raises(ValueError):
+            KubeScheduler(hpa_users_per_replica=0)

@@ -1,0 +1,148 @@
+"""Tests for repro.cli (command-line interface)."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_solver
+from repro.core import SoCL
+from repro.core.online import OnlineSoCL
+from repro.baselines import (
+    GreedyCombineOG,
+    JointDeploymentRouting,
+    OptimalSolver,
+    RandomProvisioning,
+)
+
+
+class TestMakeSolver:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("socl", SoCL),
+            ("socl-online", OnlineSoCL),
+            ("rp", RandomProvisioning),
+            ("jdr", JointDeploymentRouting),
+            ("gcog", GreedyCombineOG),
+            ("opt", OptimalSolver),
+        ],
+    )
+    def test_all_names(self, name, cls):
+        assert isinstance(make_solver(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_solver("SoCL"), SoCL)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown solver"):
+            make_solver("magic")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.servers == 10 and args.users == 40
+        assert args.solver == "socl"
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.servers == 16 and args.users == 30
+
+
+class TestCommands:
+    def test_solve(self, capsys):
+        rc = main(["solve", "--servers", "6", "--users", "8", "--placement"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "objective" in out
+        assert "feasible  : True" in out
+        assert "placement :" in out
+
+    def test_solve_opt(self, capsys):
+        rc = main(
+            ["solve", "--servers", "5", "--users", "3", "--solver", "opt"]
+        )
+        assert rc == 0
+        assert "objective" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--servers", "6",
+                "--users", "8",
+                "--solvers", "rp", "socl",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "RP" in out and "SoCL" in out
+
+    def test_figure_fig4(self, capsys):
+        rc = main(["figure", "fig4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "peak-to-mean" in out
+
+    def test_figure_fig3(self, capsys):
+        rc = main(["figure", "fig3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "max similarity" in out
+
+    def test_figure_unknown(self, capsys):
+        rc = main(["figure", "fig99"])
+        assert rc == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_trace_with_failures(self, capsys):
+        rc = main(
+            [
+                "trace",
+                "--servers", "8",
+                "--users", "6",
+                "--slots", "2",
+                "--fail-prob", "0.2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mean delay" in out
+        assert "cold starts" in out
+
+    def test_dataset(self, capsys):
+        rc = main(["dataset"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "eshoponcontainers" in out
+        assert len(out.strip().splitlines()) == 20
+
+
+class TestSweepCommand:
+    def test_sweep(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--servers", "6",
+                "--users", "8",
+                "--seeds", "2",
+                "--solvers", "rp", "socl",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "objective_mean" in out
+        assert "win rate" in out
+
+    def test_report_single_figure(self, capsys, tmp_path):
+        out_file = tmp_path / "r.md"
+        rc = main(["report", "--only", "fig4", "--output", str(out_file)])
+        assert rc == 0
+        text = out_file.read_text(encoding="utf-8")
+        assert "Fig. 4" in text
+
+    def test_report_unknown_figure(self, capsys):
+        rc = main(["report", "--only", "fig99"])
+        assert rc == 2

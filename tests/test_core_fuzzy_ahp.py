@@ -1,0 +1,125 @@
+"""Tests for repro.core.fuzzy_ahp."""
+
+import numpy as np
+import pytest
+
+from repro.core.fuzzy_ahp import (
+    DEFAULT_CRITERIA_MATRIX,
+    TriangularFuzzyNumber as TFN,
+    fuzzy_ahp_weights,
+    score_alternatives,
+    tfn,
+)
+
+
+class TestTFN:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError, match="l <= m <= u"):
+            TFN(3, 2, 1)
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError, match="positive"):
+            TFN(0, 1, 2)
+
+    def test_addition(self):
+        s = tfn(1, 2, 3) + tfn(2, 3, 4)
+        assert (s.l, s.m, s.u) == (3, 5, 7)
+
+    def test_multiplication(self):
+        p = tfn(1, 2, 3) * tfn(2, 2, 2)
+        assert (p.l, p.m, p.u) == (2, 4, 6)
+
+    def test_inverse(self):
+        inv = tfn(2, 4, 8).inverse()
+        assert (inv.l, inv.m, inv.u) == (0.125, 0.25, 0.5)
+
+    def test_possibility_dominant(self):
+        assert tfn(5, 6, 7).possibility_geq(tfn(1, 2, 3)) == 1.0
+
+    def test_possibility_dominated(self):
+        assert tfn(1, 2, 3).possibility_geq(tfn(5, 6, 7)) == 0.0
+
+    def test_possibility_overlap_in_unit_interval(self):
+        v = tfn(1, 2, 4).possibility_geq(tfn(3, 3.5, 4))
+        assert 0.0 < v < 1.0
+
+    def test_possibility_self(self):
+        assert tfn(1, 2, 3).possibility_geq(tfn(1, 2, 3)) == 1.0
+
+
+class TestFuzzyAhpWeights:
+    def test_default_matrix(self):
+        w = fuzzy_ahp_weights()
+        assert w.shape == (4,)
+        assert w.sum() == pytest.approx(1.0)
+        assert (w >= 0).all()
+
+    def test_demand_dominates_default(self):
+        # criteria order: (κ, φ, |U|, R) — |U| was compared strongest
+        w = fuzzy_ahp_weights(DEFAULT_CRITERIA_MATRIX)
+        assert w[2] == max(w)
+
+    def test_identity_matrix_uniform(self):
+        eye = [[tfn(1, 1, 1)] * 3 for _ in range(3)]
+        w = fuzzy_ahp_weights(eye)
+        assert np.allclose(w, 1 / 3)
+
+    def test_reciprocal_consistency(self):
+        # A clearly dominant first criterion
+        m = [
+            [tfn(1, 1, 1), tfn(4, 5, 6)],
+            [tfn(1 / 6, 1 / 5, 1 / 4), tfn(1, 1, 1)],
+        ]
+        w = fuzzy_ahp_weights(m)
+        assert w[0] > w[1]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            fuzzy_ahp_weights([[tfn(1, 1, 1)], [tfn(1, 1, 1)]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fuzzy_ahp_weights([])
+
+
+class TestScoreAlternatives:
+    def test_benefit_normalization(self):
+        values = np.array([[1.0], [3.0], [2.0]])
+        scores = score_alternatives(values, [True], np.array([1.0]))
+        assert np.allclose(scores, [0.0, 1.0, 0.5])
+
+    def test_cost_normalization_inverts(self):
+        values = np.array([[1.0], [3.0]])
+        scores = score_alternatives(values, [False], np.array([1.0]))
+        assert np.allclose(scores, [1.0, 0.0])
+
+    def test_constant_criterion_neutral(self):
+        values = np.array([[5.0, 1.0], [5.0, 2.0]])
+        scores = score_alternatives(values, [True, True], np.array([1.0, 1.0]))
+        assert np.allclose(scores, [0.25, 0.75])
+
+    def test_weights_combine(self):
+        values = np.array([[1.0, 0.0], [0.0, 1.0]])
+        heavy_first = score_alternatives(
+            values, [True, True], np.array([0.9, 0.1])
+        )
+        assert heavy_first[0] > heavy_first[1]
+
+    def test_scores_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((20, 4))
+        w = fuzzy_ahp_weights()
+        scores = score_alternatives(values, [True, False, True, True], w)
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            score_alternatives(np.ones(3), [True], np.ones(1))
+        with pytest.raises(ValueError, match="benefit"):
+            score_alternatives(np.ones((2, 2)), [True], np.ones(2))
+        with pytest.raises(ValueError, match="weights"):
+            score_alternatives(np.ones((2, 2)), [True, False], np.ones(3))
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="positive sum"):
+            score_alternatives(np.ones((2, 2)), [True, True], np.zeros(2))

@@ -1,0 +1,133 @@
+"""Tests for repro.core.partition (Alg. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SoCLConfig, initial_partition, proactive_factor
+from repro.model import ProblemConfig, ProblemInstance
+from repro.network import EdgeNetwork, EdgeServer, Link
+from repro.workload import UserRequest
+
+
+class TestInitialPartition:
+    def test_covers_requested_services(self, tiny_instance):
+        result = initial_partition(tiny_instance)
+        assert result.services == [0, 1, 2]
+
+    def test_groups_cover_all_hosts(self, tiny_instance):
+        result = initial_partition(tiny_instance)
+        for svc in result.services:
+            hosts = set(int(v) for v in tiny_instance.hosting_servers(svc))
+            members = result.partition(svc).members
+            assert hosts <= members
+
+    def test_groups_disjoint(self, medium_instance):
+        result = initial_partition(medium_instance)
+        for svc in result.services:
+            part = result.partition(svc)
+            seen: set[int] = set()
+            for group in part.groups:
+                assert not (seen & set(group))
+                seen.update(group)
+
+    def test_explicit_xi_used(self, tiny_instance):
+        cfg = SoCLConfig(xi=1e9)  # nothing passes → singleton groups
+        result = initial_partition(tiny_instance, cfg)
+        part = result.partition(1)  # service 1 hosted everywhere
+        hosts = tiny_instance.hosting_servers(1)
+        host_groups = [g for g in part.groups]
+        # every demand host must still be in some group
+        assert {v for g in host_groups for v in g} >= set(int(v) for v in hosts)
+        assert part.xi == 1e9
+
+    def test_low_xi_merges_groups(self, medium_instance):
+        loose = initial_partition(medium_instance, SoCLConfig(xi=1e-9, candidate_nodes=False))
+        tight = initial_partition(medium_instance, SoCLConfig(xi=1e9, candidate_nodes=False))
+        assert loose.total_groups() <= tight.total_groups()
+
+    def test_auto_threshold_percentile(self, medium_instance):
+        low = initial_partition(
+            medium_instance, SoCLConfig(xi_percentile=0.1, candidate_nodes=False)
+        )
+        high = initial_partition(
+            medium_instance, SoCLConfig(xi_percentile=0.9, candidate_nodes=False)
+        )
+        assert low.total_groups() <= high.total_groups()
+
+    def test_candidates_flagged(self, medium_instance):
+        result = initial_partition(medium_instance, SoCLConfig(candidate_nodes=True))
+        for svc in result.services:
+            part = result.partition(svc)
+            hosts = set(int(v) for v in medium_instance.hosting_servers(svc))
+            for s, cands in enumerate(part.candidates):
+                for c in cands:
+                    assert c not in hosts
+                    assert c in part.groups[s]
+
+    def test_candidates_satisfy_degree_theorem(self, medium_instance):
+        cfg = SoCLConfig(candidate_nodes=True, min_degree=3)
+        result = initial_partition(medium_instance, cfg)
+        degrees = medium_instance.network.degrees
+        for svc in result.services:
+            for cands in result.partition(svc).candidates:
+                for c in cands:
+                    assert degrees[c] >= 3
+
+    def test_disable_candidates(self, medium_instance):
+        result = initial_partition(
+            medium_instance, SoCLConfig(candidate_nodes=False)
+        )
+        for svc in result.services:
+            assert all(not c for c in result.partition(svc).candidates)
+
+    def test_group_of(self, tiny_instance):
+        result = initial_partition(tiny_instance)
+        part = result.partition(0)
+        for s, group in enumerate(part.groups):
+            for v in group:
+                assert part.group_of(v) == s
+        assert part.group_of(9999) is None
+
+    def test_deterministic(self, medium_instance):
+        a = initial_partition(medium_instance)
+        b = initial_partition(medium_instance)
+        for svc in a.services:
+            assert a.partition(svc).groups == b.partition(svc).groups
+
+
+class TestProactiveFactor:
+    @pytest.fixture
+    def hub_instance(self, tiny_app):
+        """Star network: hub 0 with fast links; spokes 1-3 host demand."""
+        servers = [
+            EdgeServer(k, compute=10.0, storage=10.0, position=(k, 0))
+            for k in range(4)
+        ]
+        links = [
+            Link(0, 1, bandwidth=80.0, gain=3.0),
+            Link(0, 2, bandwidth=80.0, gain=3.0),
+            Link(0, 3, bandwidth=80.0, gain=3.0),
+        ]
+        net = EdgeNetwork(servers, links)
+        requests = [
+            UserRequest(h, home=h + 1, chain=(0,), data_in=2.0, data_out=0.5, edge_data=())
+            for h in range(3)
+        ]
+        return ProblemInstance(net, tiny_app, requests, ProblemConfig(budget=1000.0))
+
+    def test_hub_is_beneficial(self, hub_instance):
+        # Hub (node 0) reaches every spoke in 1 hop; any anchor spoke needs
+        # 2 hops to the others → Δ^hub < 0 against a spoke anchor.
+        group = [1, 2, 3]
+        delta = proactive_factor(hub_instance, 0, group, eta=0, anchor=1)
+        assert delta < 0
+
+    def test_anchor_vs_itself_zero(self, hub_instance):
+        group = [1, 2, 3]
+        assert proactive_factor(hub_instance, 0, group, eta=1, anchor=1) == 0.0
+
+    def test_far_node_not_beneficial(self, hub_instance):
+        # spoke 3 vs anchor spoke 1: symmetric → Δ == 0, not negative
+        group = [1, 2]
+        delta = proactive_factor(hub_instance, 0, group, eta=3, anchor=1)
+        assert delta >= 0

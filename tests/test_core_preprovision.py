@@ -1,0 +1,117 @@
+"""Tests for repro.core.preprovision (Alg. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SoCLConfig,
+    initial_partition,
+    instance_bound,
+    instance_contribution,
+    preprovision,
+)
+from repro.model import ProblemConfig, ProblemInstance
+from repro.model.cost import deployment_cost
+
+
+class TestInstanceBound:
+    def test_bounded_by_hosts(self, tiny_instance):
+        for svc in (0, 1, 2):
+            bound = instance_bound(tiny_instance, svc)
+            assert 1 <= bound <= tiny_instance.hosting_servers(svc).size
+
+    def test_budget_tightens_bound(self, tiny_instance):
+        # κ = [100, 150, 120]; budget 370 leaves κ_i for each after others
+        tight = tiny_instance.with_config(budget=370.0)
+        assert instance_bound(tight, 0) == 1
+        assert instance_bound(tight, 1) == 1
+
+    def test_generous_budget_host_limited(self, tiny_instance):
+        rich = tiny_instance.with_config(budget=100_000.0)
+        assert instance_bound(rich, 1) == tiny_instance.hosting_servers(1).size
+
+    def test_minimum_one_even_if_overbudget(self, tiny_instance):
+        # budget below sum of single instances still guarantees one
+        poor = tiny_instance.with_config(budget=150.0)
+        assert instance_bound(poor, 0) == 1
+
+    def test_unrequested_service_rejected(self, medium_instance):
+        unrequested = [
+            i
+            for i in range(medium_instance.n_services)
+            if i not in set(int(s) for s in medium_instance.requested_services)
+        ]
+        if unrequested:
+            with pytest.raises(ValueError, match="no requests"):
+                instance_bound(medium_instance, unrequested[0])
+
+
+class TestInstanceContribution:
+    def test_local_host_minimizes(self, tiny_instance):
+        # group {0, 2} for service 0: demand lives at 0 (2 users) and 2 (1)
+        d0 = instance_contribution(tiny_instance, 0, [0, 2], 0)
+        d2 = instance_contribution(tiny_instance, 0, [0, 2], 2)
+        # node 0 has more demand weight and faster compute → smaller D
+        assert d0 < d2
+
+    def test_includes_processing_term(self, tiny_instance):
+        d = instance_contribution(tiny_instance, 0, [0], 0)
+        q = tiny_instance.service_compute[0]
+        c = tiny_instance.compute_ext[0]
+        assert d == pytest.approx(q / c)
+
+    def test_transfer_term_scales_with_demand(self, tiny_instance):
+        inv = tiny_instance.inv_rate
+        w = tiny_instance.demand_data[0]
+        expected = w[0] * inv[0, 2] + tiny_instance.service_compute[0] / 5.0
+        assert instance_contribution(tiny_instance, 0, [0, 2], 2) == pytest.approx(
+            expected
+        )
+
+
+class TestPreprovision:
+    def test_every_service_covered(self, medium_instance):
+        parts = initial_partition(medium_instance)
+        x = preprovision(medium_instance, parts)
+        for svc in medium_instance.requested_services:
+            assert x.instance_count(int(svc)) >= 1
+
+    def test_every_group_has_instance(self, medium_instance):
+        parts = initial_partition(medium_instance)
+        x = preprovision(medium_instance, parts)
+        for svc in parts.services:
+            for group in parts.partition(svc).groups:
+                assert any(x.has(svc, v) for v in group), (
+                    f"group {group} of service {svc} has no instance"
+                )
+
+    def test_instances_inside_partitions(self, medium_instance):
+        parts = initial_partition(medium_instance)
+        x = preprovision(medium_instance, parts)
+        for svc in parts.services:
+            members = parts.partition(svc).members
+            for k in x.hosts(svc):
+                assert int(k) in members
+
+    def test_respects_bound_per_service(self, medium_instance):
+        parts = initial_partition(medium_instance)
+        x = preprovision(medium_instance, parts)
+        for svc in parts.services:
+            bound = instance_bound(medium_instance, svc)
+            n_groups = parts.partition(svc).n_groups
+            # quota rounding may add at most one instance per group
+            assert x.instance_count(svc) <= bound + n_groups
+
+    def test_tight_budget_fewer_instances(self, medium_instance):
+        parts = initial_partition(medium_instance)
+        rich = preprovision(medium_instance, parts)
+        poor_inst = medium_instance.with_config(budget=5000.0)
+        poor_parts = initial_partition(poor_inst)
+        poor = preprovision(poor_inst, poor_parts)
+        assert poor.total_instances <= rich.total_instances
+
+    def test_deterministic(self, medium_instance):
+        parts = initial_partition(medium_instance)
+        a = preprovision(medium_instance, parts)
+        b = preprovision(medium_instance, parts)
+        assert a == b

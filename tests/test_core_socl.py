@@ -1,0 +1,90 @@
+"""Tests for repro.core.socl (the end-to-end SoCL pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SoCL, SoCLConfig, solve_socl
+from repro.model.cost import deployment_cost
+
+
+class TestSolveSocl:
+    def test_feasible_solution(self, medium_instance):
+        result = solve_socl(medium_instance)
+        assert result.feasibility.feasible
+
+    def test_budget_respected(self, medium_instance):
+        result = solve_socl(medium_instance)
+        assert result.report.cost <= medium_instance.config.budget + 1e-6
+
+    def test_every_requested_service_served(self, medium_instance):
+        result = solve_socl(medium_instance)
+        for svc in medium_instance.requested_services:
+            assert result.placement.instance_count(int(svc)) >= 1
+        assert not result.routing.uses_cloud().any()
+
+    def test_stage_times_recorded(self, medium_instance):
+        result = solve_socl(medium_instance)
+        assert set(result.stage_times) == {
+            "partition",
+            "preprovision",
+            "combination",
+            "routing",
+        }
+        assert all(t >= 0 for t in result.stage_times.values())
+        assert result.runtime >= sum(result.stage_times.values()) * 0.5
+
+    def test_deterministic(self, medium_instance):
+        a = solve_socl(medium_instance)
+        b = solve_socl(medium_instance)
+        assert a.report.objective == pytest.approx(b.report.objective)
+        assert a.placement == b.placement
+
+    def test_greedy_routing_option(self, medium_instance):
+        opt = solve_socl(medium_instance, SoCLConfig(routing="optimal"))
+        greedy = solve_socl(medium_instance, SoCLConfig(routing="greedy"))
+        # same placement pipeline → optimal routing can't be worse
+        assert opt.report.latency_sum <= greedy.report.latency_sum + 1e-9
+
+    def test_solver_object_interface(self, medium_instance):
+        solver = SoCL()
+        assert solver.name == "SoCL"
+        result = solver.solve(medium_instance)
+        assert result.objective == result.report.objective
+
+    def test_beats_random_provisioning(self, medium_instance):
+        from repro.baselines import RandomProvisioning
+
+        socl = solve_socl(medium_instance)
+        rp = RandomProvisioning(seed=0).solve(medium_instance)
+        assert socl.report.objective <= rp.report.objective
+
+    def test_near_optimal_small_instance(self, tiny_instance):
+        from repro.ilp import solve_milp
+
+        opt = solve_milp(tiny_instance)
+        socl = solve_socl(tiny_instance)
+        assert opt.optimal
+        gap = (socl.report.objective - opt.objective) / opt.objective
+        assert gap >= -1e-9  # cannot beat the optimum
+        assert gap < 0.25  # near-optimal on tiny instances
+
+    def test_partitions_exposed(self, medium_instance):
+        result = solve_socl(medium_instance)
+        assert result.partitions.services == sorted(
+            int(i) for i in medium_instance.requested_services
+        )
+
+    def test_star_model_instance(self, medium_instance):
+        star = medium_instance.with_config(latency_model="star")
+        result = solve_socl(star)
+        assert result.feasibility.feasible
+
+    def test_tight_budget_forces_minimal(self, medium_instance):
+        kappa = medium_instance.service_cost
+        requested = medium_instance.requested_services
+        min_cost = float(kappa[requested].sum())
+        tight = medium_instance.with_config(budget=min_cost * 1.05)
+        result = solve_socl(tight)
+        assert result.report.cost <= tight.config.budget + 1e-6
+        for svc in requested:
+            assert result.placement.instance_count(int(svc)) >= 1

@@ -1,0 +1,158 @@
+"""Tests for repro.experiments (scenarios, harness, reporting, figures)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ScenarioParams,
+    build_scenario,
+    compare_algorithms,
+    default_solvers,
+    format_table,
+    paper_scenario,
+    rows_to_csv,
+    small_scenario,
+    sweep,
+)
+from repro.experiments import figures
+
+
+class TestScenarios:
+    def test_paper_scenario_shape(self):
+        inst = paper_scenario(n_servers=8, n_users=12, seed=0)
+        assert inst.n_servers == 8
+        assert inst.n_requests == 12
+        assert inst.app.name == "eshoponcontainers"
+
+    def test_deterministic(self):
+        a = paper_scenario(n_servers=8, n_users=12, seed=3)
+        b = paper_scenario(n_servers=8, n_users=12, seed=3)
+        assert np.allclose(a.network.rate_matrix, b.network.rate_matrix)
+        assert [r.chain for r in a.requests] == [r.chain for r in b.requests]
+
+    def test_same_seed_same_topology_across_user_counts(self):
+        a = build_scenario(ScenarioParams(n_servers=8, n_users=5, seed=1))
+        b = build_scenario(ScenarioParams(n_servers=8, n_users=20, seed=1))
+        assert np.allclose(a.network.rate_matrix, b.network.rate_matrix)
+
+    def test_small_scenario_sizes(self):
+        inst = small_scenario()
+        assert inst.n_servers == 6
+        assert inst.n_requests == 6
+        assert inst.max_chain <= 4
+
+    def test_params_with_(self):
+        p = ScenarioParams().with_(budget=7000.0)
+        assert p.budget == 7000.0
+        assert p.n_servers == ScenarioParams().n_servers
+
+
+class TestHarness:
+    def test_compare_algorithms_rows(self):
+        inst = paper_scenario(n_servers=6, n_users=10, seed=0)
+        rows = compare_algorithms(
+            inst, default_solvers(include_gcog=False), params={"tag": 1}
+        )
+        assert [r.algorithm for r in rows] == ["RP", "JDR", "SoCL"]
+        assert all(r.params == {"tag": 1} for r in rows)
+        assert all(r.objective > 0 for r in rows)
+
+    def test_socl_wins(self):
+        inst = paper_scenario(n_servers=8, n_users=30, seed=0)
+        rows = compare_algorithms(inst, default_solvers(include_gcog=False))
+        by_algo = {r.algorithm: r.objective for r in rows}
+        assert by_algo["SoCL"] <= by_algo["RP"]
+        assert by_algo["SoCL"] <= by_algo["JDR"]
+
+    def test_sweep(self):
+        pairs = [
+            ({"n": n}, paper_scenario(n_servers=6, n_users=n, seed=0))
+            for n in (5, 10)
+        ]
+        rows = sweep(pairs, lambda: default_solvers(include_gcog=False))
+        assert len(rows) == 6
+
+    def test_as_dict(self):
+        inst = paper_scenario(n_servers=6, n_users=5, seed=0)
+        row = compare_algorithms(inst, default_solvers(include_gcog=False))[0]
+        d = row.as_dict()
+        assert "objective" in d and "algorithm" in d
+
+
+class TestReporting:
+    def test_format_table_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        text = format_table(rows, title="T")
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "10" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_bool_rendering(self):
+        text = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_csv(self):
+        csv = rows_to_csv([{"a": 1, "b": 2}])
+        assert csv.splitlines()[0] == "a,b"
+        assert csv.splitlines()[1] == "1,2"
+
+    def test_invalid_row_type(self):
+        with pytest.raises(TypeError):
+            format_table([42])
+
+
+class TestFigures:
+    def test_fig3(self):
+        out = figures.fig3_similarity(n_services=3, traces_per_service=5, seed=0)
+        assert len(out["per_service"]) == 3
+        assert 0.0 < out["max_similarity"] < 1.0
+
+    def test_fig4(self):
+        out = figures.fig4_temporal(duration_hours=2.0, seed=0)
+        assert out["n_intervals"] == 24
+        assert out["peak_to_mean"] >= 1.0
+
+    def test_fig8_rows(self):
+        rows = figures.fig8_baselines(
+            user_scales=(8,), n_servers=6, include_gcog=False, seed=0
+        )
+        assert {r["algorithm"] for r in rows} == {"RP", "JDR", "SoCL"}
+
+    def test_fig2_rows_small(self):
+        rows = figures.fig2_opt_runtime(
+            user_scales=(2, 3), server_scales=(4,), seed=0, time_limit=60
+        )
+        assert len(rows) == 2
+        assert all(r["runtime"] > 0 for r in rows)
+
+    def test_fig7_structure(self):
+        rows = figures.fig7_socl_vs_opt(
+            user_scales=(3,), node_scales=(4,), base_users=3, base_servers=4,
+            seed=0, time_limit=60,
+        )
+        sweeps = {(r["sweep"], r["algorithm"]) for r in rows}
+        assert ("users", "OPT") in sweeps and ("nodes", "SoCL") in sweeps
+        for r in rows:
+            if r["algorithm"] == "SoCL":
+                assert r["gap_pct"] >= -1e-6
+
+    def test_fig9_rows(self):
+        rows = figures.fig9_cluster(
+            user_counts=(6,), n_servers=5, n_slots=1, seed=0
+        )
+        assert {r["algorithm"] for r in rows} == {"RP", "JDR", "SoCL"}
+        assert all(r["mean_latency"] >= 0 for r in rows)
+
+    def test_fig10_series(self):
+        series = figures.fig10_trace(n_servers=5, n_users=6, n_slots=2, seed=0)
+        assert set(series) == {"RP", "JDR", "SoCL"}
+        for data in series.values():
+            assert len(data["slot_means"]) == 2

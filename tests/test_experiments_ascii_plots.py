@@ -1,0 +1,117 @@
+"""Tests for repro.experiments.ascii_plots."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ascii_plots import bar_chart, histogram, line_panel, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(set(s)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_width_resamples(self):
+        s = sparkline(range(100), width=10)
+        assert len(s) == 10
+
+    def test_width_no_upsample(self):
+        assert len(sparkline([1, 2], width=10)) == 2
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1, 2], width=0)
+
+    def test_extremes_rendered(self):
+        s = sparkline([0, 100, 0])
+        assert s[1] == "█"
+        assert s[0] == "▁"
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        out = bar_chart({"alpha": 3.0, "beta": 1.0})
+        assert "alpha" in out and "beta" in out
+        assert "3" in out
+
+    def test_longest_bar_for_max(self):
+        out = bar_chart({"big": 10.0, "small": 1.0}, width=20)
+        lines = out.splitlines()
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_log_scale(self):
+        out = bar_chart({"a": 1.0, "b": 1000.0}, width=30, log=True)
+        assert "█" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            bar_chart({"a": 0.0}, log=True)
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=2)
+
+    def test_unit_suffix(self):
+        assert "2s" in bar_chart({"x": 2.0}, unit="s")
+
+
+class TestLinePanel:
+    def test_renders_all_series(self):
+        out = line_panel({"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "a" in out and "b" in out
+        assert "•" in out and "o" in out
+
+    def test_title(self):
+        out = line_panel({"a": [1, 2]}, title="My plot")
+        assert out.splitlines()[0] == "My plot"
+
+    def test_axis_labels(self):
+        out = line_panel({"a": [0.0, 10.0]})
+        assert "10" in out and "0" in out
+
+    def test_empty(self):
+        assert line_panel({}) == "(no data)"
+        assert line_panel({"a": []}) == "(no data)"
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            line_panel({"a": [1]}, height=1)
+        with pytest.raises(ValueError):
+            line_panel({"a": [1]}, width=1)
+
+    def test_height_rows(self):
+        out = line_panel({"a": [1, 2, 3]}, height=6, title="")
+        # 6 grid rows + legend
+        assert len(out.splitlines()) == 7
+
+
+class TestHistogram:
+    def test_bin_count(self):
+        out = histogram(np.random.default_rng(0).normal(size=100), bins=5)
+        assert len(out.splitlines()) == 5
+
+    def test_counts_sum(self):
+        values = [1.0, 2.0, 2.5, 9.0]
+        out = histogram(values, bins=3)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in out.splitlines()]
+        assert sum(counts) == 4
+
+    def test_empty(self):
+        assert histogram([]) == "(no data)"
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)

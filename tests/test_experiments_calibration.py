@@ -1,0 +1,71 @@
+"""Tests for repro.experiments.calibration."""
+
+import pytest
+
+from repro.experiments.calibration import CalibrationResult, calibrate_data_scale
+from repro.microservices import eshop_application
+from repro.model import ProblemConfig
+from repro.network import stadium_topology
+from repro.workload import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def setting():
+    return (
+        stadium_topology(8, seed=0),
+        eshop_application(),
+        WorkloadSpec(n_users=20),
+        ProblemConfig(weight=0.5, budget=6000.0),
+    )
+
+
+class TestCalibrateDataScale:
+    def test_hits_target_ratio(self, setting):
+        net, app, spec, cfg = setting
+        result = calibrate_data_scale(net, app, spec, cfg, target_ratio=0.25)
+        assert result.relative_error < 0.10
+
+    def test_monotone_targets(self, setting):
+        net, app, spec, cfg = setting
+        low = calibrate_data_scale(net, app, spec, cfg, target_ratio=0.1)
+        high = calibrate_data_scale(net, app, spec, cfg, target_ratio=0.5)
+        assert high.data_scale > low.data_scale
+
+    def test_terms_positive(self, setting):
+        net, app, spec, cfg = setting
+        result = calibrate_data_scale(net, app, spec, cfg)
+        assert result.cost_term > 0
+        assert result.latency_term > 0
+        assert result.achieved_ratio == pytest.approx(
+            result.latency_term / result.cost_term
+        )
+
+    def test_default_scenario_regime(self, setting):
+        """The scenario builder's baked-in data_scale=15 (with the §V.A
+        data ranges) must sit near the calibrated value for a meaningful
+        latency share."""
+        net, app, _, cfg = setting
+        scenario_spec = WorkloadSpec(
+            n_users=20, data_in_range=(10.0, 40.0), data_out_range=(4.0, 20.0)
+        )
+        # At 20 users the default scale 15 yields a ~1-2% latency share at
+        # the minimal reference placement (it reaches ~10-25% at the
+        # 100-200-user scales of Fig. 8); calibrate for that share and
+        # expect the same order of magnitude as the baked-in default.
+        result = calibrate_data_scale(
+            net, app, scenario_spec, cfg, target_ratio=0.01
+        )
+        assert 1.5 < result.data_scale < 150.0
+
+    def test_deterministic(self, setting):
+        net, app, spec, cfg = setting
+        a = calibrate_data_scale(net, app, spec, cfg, seed=1)
+        b = calibrate_data_scale(net, app, spec, cfg, seed=1)
+        assert a == b
+
+    def test_invalid_params(self, setting):
+        net, app, spec, cfg = setting
+        with pytest.raises(ValueError):
+            calibrate_data_scale(net, app, spec, cfg, target_ratio=0.0)
+        with pytest.raises(ValueError):
+            calibrate_data_scale(net, app, spec, cfg, tolerance=0.0)

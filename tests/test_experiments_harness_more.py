@@ -1,0 +1,88 @@
+"""Additional coverage for experiment harness and figure generators."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import default_solvers, figures
+from repro.experiments.harness import AlgorithmRow
+
+
+class TestDefaultSolvers:
+    def test_full_lineup(self):
+        names = [getattr(s, "name") for s in default_solvers()]
+        assert names == ["RP", "JDR", "GC-OG", "SoCL"]
+
+    def test_without_gcog(self):
+        names = [getattr(s, "name") for s in default_solvers(include_gcog=False)]
+        assert names == ["RP", "JDR", "SoCL"]
+
+    def test_fresh_instances_each_call(self):
+        a = default_solvers()
+        b = default_solvers()
+        assert all(x is not y for x, y in zip(a, b))
+
+
+class TestAlgorithmRow:
+    def test_as_dict_merges_params(self):
+        row = AlgorithmRow(
+            algorithm="X",
+            objective=1.0,
+            cost=2.0,
+            latency_sum=3.0,
+            mean_latency=0.1,
+            max_latency=0.2,
+            runtime=0.01,
+            feasible=True,
+            params={"n_users": 5},
+        )
+        d = row.as_dict()
+        assert d["n_users"] == 5
+        assert d["algorithm"] == "X"
+
+
+class TestFigureVariants:
+    def test_fig3_custom_chain_length(self):
+        out = figures.fig3_similarity(
+            n_services=2, traces_per_service=4, chain_length=6, seed=1
+        )
+        assert len(out["per_service"]) == 2
+        assert 0.0 <= out["max_similarity"] <= 1.0
+
+    def test_fig4_custom_duration(self):
+        out = figures.fig4_temporal(duration_hours=1.0, interval_minutes=10.0, seed=2)
+        assert out["n_intervals"] == 6
+
+    def test_fig8_budget_parameter(self):
+        tight = figures.fig8_baselines(
+            user_scales=(10,), n_servers=6, budget=5000.0, include_gcog=False, seed=0
+        )
+        loose = figures.fig8_baselines(
+            user_scales=(10,), n_servers=6, budget=8000.0, include_gcog=False, seed=0
+        )
+        cost_tight = max(r["cost"] for r in tight)
+        cost_loose = max(r["cost"] for r in loose)
+        # the budget burners track the ceiling (paper's 5000-8000 window)
+        assert cost_loose > cost_tight
+
+    def test_fig8_socl_budget_insensitive_when_slack(self):
+        rows5 = figures.fig8_baselines(
+            user_scales=(10,), n_servers=6, budget=6000.0, include_gcog=False, seed=0
+        )
+        rows8 = figures.fig8_baselines(
+            user_scales=(10,), n_servers=6, budget=8000.0, include_gcog=False, seed=0
+        )
+        socl5 = next(r for r in rows5 if r["algorithm"] == "SoCL")
+        socl8 = next(r for r in rows8 if r["algorithm"] == "SoCL")
+        # SoCL stops combining when the trade-off balances: extra budget
+        # should not make it much worse
+        assert socl8["objective"] <= socl5["objective"] * 1.2
+
+    def test_fig9_deterministic(self):
+        a = figures.fig9_cluster(user_counts=(6,), n_servers=5, n_slots=1, seed=3)
+        b = figures.fig9_cluster(user_counts=(6,), n_servers=5, n_slots=1, seed=3)
+        assert [r["mean_latency"] for r in a] == [r["mean_latency"] for r in b]
+
+    def test_fig10_slot_count(self):
+        series = figures.fig10_trace(n_servers=5, n_users=5, n_slots=3, seed=0)
+        for data in series.values():
+            assert len(data["slot_means"]) == 3

@@ -1,0 +1,51 @@
+"""Tests for repro.experiments.report (Markdown reproduction report)."""
+
+import pytest
+
+from repro.experiments.report import ReportSection, ShapeCheck, generate_report
+
+
+class TestShapeCheck:
+    def test_section_passed(self):
+        section = ReportSection(
+            "t", "b", [ShapeCheck("a", True), ShapeCheck("b", True)]
+        )
+        assert section.passed
+
+    def test_section_failed(self):
+        section = ReportSection("t", "b", [ShapeCheck("a", False)])
+        assert not section.passed
+
+    def test_empty_checks_pass(self):
+        assert ReportSection("t", "b").passed
+
+
+class TestGenerateReport:
+    def test_single_figure(self):
+        text = generate_report(seed=0, fast=True, only=["fig4"])
+        assert "# SoCL reproduction report" in text
+        assert "Fig. 4" in text
+        assert "✅" in text
+        assert "Shape checks:" in text
+
+    def test_fig3_section(self):
+        text = generate_report(seed=0, fast=True, only=["fig3"])
+        assert "max similarity" in text
+
+    def test_fig8_section(self):
+        text = generate_report(seed=0, fast=True, only=["fig8"])
+        assert "SoCL" in text and "GC-OG" in text
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError, match="unknown figures"):
+            generate_report(only=["fig99"])
+
+    def test_check_counter_in_header(self):
+        text = generate_report(seed=0, fast=True, only=["fig4"])
+        # fig4 has two checks
+        assert "2/2 passed" in text
+
+    def test_deterministic(self):
+        a = generate_report(seed=3, fast=True, only=["fig4"])
+        b = generate_report(seed=3, fast=True, only=["fig4"])
+        assert a == b

@@ -1,0 +1,102 @@
+"""Tests for repro.experiments.sweeps."""
+
+import pytest
+
+from repro.baselines import RandomProvisioning
+from repro.core import SoCL
+from repro.experiments.scenarios import ScenarioParams
+from repro.experiments.sweeps import SweepCell, aggregate, grid_sweep, win_rate
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return grid_sweep(
+        axes={"n_users": [6, 10]},
+        seeds=[0, 1],
+        solver_factories={
+            "SoCL": lambda: SoCL(),
+            "RP": lambda: RandomProvisioning(seed=0),
+        },
+        base=ScenarioParams(n_servers=6),
+    )
+
+
+class TestGridSweep:
+    def test_cell_count(self, small_sweep):
+        # 2 user scales × 2 seeds × 2 algorithms
+        assert len(small_sweep) == 8
+
+    def test_cells_cover_grid(self, small_sweep):
+        combos = {(c.params["n_users"], c.seed, c.algorithm) for c in small_sweep}
+        assert len(combos) == 8
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario parameters"):
+            grid_sweep(
+                axes={"bogus": [1]},
+                seeds=[0],
+                solver_factories={"SoCL": lambda: SoCL()},
+            )
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep(axes={}, seeds=[0], solver_factories={"a": SoCL})
+        with pytest.raises(ValueError):
+            grid_sweep(
+                axes={"n_users": [5]}, seeds=[], solver_factories={"a": SoCL}
+            )
+
+    def test_objectives_positive(self, small_sweep):
+        assert all(c.objective > 0 for c in small_sweep)
+
+    def test_as_dict(self, small_sweep):
+        d = small_sweep[0].as_dict()
+        assert {"n_users", "seed", "algorithm", "objective"} <= set(d)
+
+
+class TestAggregate:
+    def test_group_by_algorithm(self, small_sweep):
+        rows = aggregate(small_sweep, group_by=("algorithm",))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["n"] == 4
+            assert row["objective_min"] <= row["objective_mean"] <= row["objective_max"]
+            assert row["objective_std"] >= 0
+
+    def test_group_by_param_and_algorithm(self, small_sweep):
+        rows = aggregate(small_sweep, group_by=("n_users", "algorithm"))
+        assert len(rows) == 4
+        assert all(row["n"] == 2 for row in rows)
+
+    def test_unknown_group_field(self, small_sweep):
+        with pytest.raises(KeyError, match="unknown group field"):
+            aggregate(small_sweep, group_by=("nope",))
+
+    def test_deterministic_order(self, small_sweep):
+        a = aggregate(small_sweep, group_by=("n_users", "algorithm"))
+        b = aggregate(small_sweep, group_by=("n_users", "algorithm"))
+        assert a == b
+
+    def test_socl_mean_beats_rp(self, small_sweep):
+        rows = {r["algorithm"]: r for r in aggregate(small_sweep)}
+        assert rows["SoCL"]["objective_mean"] < rows["RP"]["objective_mean"]
+
+
+class TestWinRate:
+    def test_full_win(self, small_sweep):
+        rate = win_rate(small_sweep, "SoCL")
+        assert rate == 1.0
+
+    def test_zero_win(self, small_sweep):
+        assert win_rate(small_sweep, "RP") < 1.0
+
+    def test_explicit_incumbents(self, small_sweep):
+        assert win_rate(small_sweep, "SoCL", incumbents=["RP"]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            win_rate([], "SoCL")
+
+    def test_missing_challenger(self, small_sweep):
+        with pytest.raises(ValueError, match="never appears"):
+            win_rate(small_sweep, "nope")

@@ -1,0 +1,180 @@
+"""Tests for repro.ilp: formulation, HiGHS backend, branch & bound.
+
+The critical cross-validation: the formulation's objective must match
+the direct model evaluation on the extracted solution, and the two exact
+backends must agree with each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ilp import (
+    branch_and_bound,
+    build_formulation,
+    extract_solution,
+    solve_milp,
+)
+from repro.model import ProblemConfig, ProblemInstance, evaluate, feasibility_report
+from repro.workload import UserRequest
+
+
+@pytest.fixture
+def ilp_instance(line3_network, tiny_app):
+    requests = [
+        UserRequest(0, home=0, chain=(0, 1), data_in=1.0, data_out=0.5, edge_data=(2.0,)),
+        UserRequest(1, home=2, chain=(0, 1, 2), data_in=2.0, data_out=0.8, edge_data=(2.5, 1.2)),
+        UserRequest(2, home=1, chain=(1, 2), data_in=0.8, data_out=0.4, edge_data=(1.0,)),
+    ]
+    return ProblemInstance(
+        line3_network, tiny_app, requests, ProblemConfig(weight=0.5, budget=800.0)
+    )
+
+
+class TestFormulation:
+    def test_variable_counts_star(self, ilp_instance):
+        f = build_formulation(ilp_instance, model="star")
+        n = ilp_instance.n_servers
+        n_positions = sum(r.length for r in ilp_instance.requests)
+        assert len(f.x_index) == 3 * n  # 3 requested services
+        assert len(f.y_index) == n_positions * n
+        assert len(f.z_index) == 0
+
+    def test_variable_counts_chain(self, ilp_instance):
+        f = build_formulation(ilp_instance, model="chain")
+        n = ilp_instance.n_servers
+        n_edges = sum(r.length - 1 for r in ilp_instance.requests)
+        assert len(f.z_index) == n_edges * n * n
+
+    def test_z_continuous(self, ilp_instance):
+        f = build_formulation(ilp_instance, model="chain")
+        nz = len(f.z_index)
+        assert (f.integrality[-nz:] == 0).all()
+        assert (f.integrality[: len(f.x_index)] == 1).all()
+
+    def test_deadline_adds_constraints(self, ilp_instance):
+        base = build_formulation(ilp_instance)
+        strict = build_formulation(ilp_instance.with_config(deadline=100.0))
+        assert strict.a_ub.shape[0] == base.a_ub.shape[0] + ilp_instance.n_requests
+
+    def test_invalid_model(self, ilp_instance):
+        with pytest.raises(ValueError, match="unknown latency model"):
+            build_formulation(ilp_instance, model="mesh")
+
+
+class TestSolveMilp:
+    @pytest.mark.parametrize("model", ["chain", "star"])
+    def test_solver_objective_matches_evaluation(self, ilp_instance, model):
+        inst = ilp_instance.with_config(latency_model=model)
+        res = solve_milp(inst)
+        assert res.optimal
+        rep = evaluate(inst, res.placement, res.routing)
+        assert rep.objective == pytest.approx(res.objective, rel=1e-6)
+
+    def test_solution_feasible(self, ilp_instance):
+        res = solve_milp(ilp_instance)
+        rep = feasibility_report(ilp_instance, res.placement, res.routing)
+        assert rep.feasible
+        assert rep.n_cloud_requests == 0
+
+    def test_opt_not_worse_than_heuristics(self, ilp_instance):
+        from repro.core import SoCL
+
+        res = solve_milp(ilp_instance)
+        socl = SoCL().solve(ilp_instance)
+        assert res.objective <= socl.report.objective + 1e-6
+
+    def test_budget_respected(self, ilp_instance):
+        from repro.model.cost import deployment_cost
+
+        tight = ilp_instance.with_config(budget=400.0)
+        res = solve_milp(tight)
+        assert res.optimal
+        assert deployment_cost(tight, res.placement) <= 400.0 + 1e-6
+
+    def test_infeasible_budget(self, ilp_instance):
+        # even one instance of each service (370) exceeds budget 100
+        infeasible = ilp_instance.with_config(budget=100.0)
+        res = solve_milp(infeasible)
+        assert res.status == "infeasible"
+        assert res.placement is None
+
+    def test_deadline_constrains(self, ilp_instance):
+        from repro.model.latency import total_latency
+
+        free = solve_milp(ilp_instance)
+        max_lat = float(
+            total_latency(ilp_instance, free.routing).max()
+        )
+        strict = ilp_instance.with_config(deadline=max_lat * 0.9)
+        res = solve_milp(strict)
+        if res.optimal:  # may be infeasible at 0.9x, both outcomes valid
+            lat = total_latency(strict, res.routing)
+            assert (lat <= max_lat * 0.9 + 1e-6).all()
+            assert res.objective >= free.objective - 1e-9
+
+    def test_reuses_prebuilt_formulation(self, ilp_instance):
+        f = build_formulation(ilp_instance)
+        res = solve_milp(ilp_instance, formulation=f)
+        assert res.optimal
+
+    def test_star_cheaper_formulation_still_optimal(self, ilp_instance):
+        star = solve_milp(ilp_instance, model="star")
+        assert star.optimal
+
+
+class TestBranchAndBound:
+    def test_agrees_with_highs_star(self, ilp_instance):
+        inst = ilp_instance.with_config(latency_model="star")
+        milp_res = solve_milp(inst)
+        bnb_res = branch_and_bound(inst)
+        assert bnb_res.optimal
+        assert bnb_res.objective == pytest.approx(milp_res.objective, rel=1e-6)
+
+    def test_agrees_with_highs_chain(self, ilp_instance):
+        milp_res = solve_milp(ilp_instance)
+        bnb_res = branch_and_bound(ilp_instance, node_limit=50_000)
+        assert bnb_res.optimal
+        assert bnb_res.objective == pytest.approx(milp_res.objective, rel=1e-6)
+
+    def test_solution_feasible(self, ilp_instance):
+        res = branch_and_bound(ilp_instance)
+        rep = feasibility_report(ilp_instance, res.placement, res.routing)
+        assert rep.feasible
+
+    def test_infeasible(self, ilp_instance):
+        res = branch_and_bound(ilp_instance.with_config(budget=100.0))
+        assert res.status == "infeasible"
+
+    def test_node_counter(self, ilp_instance):
+        res = branch_and_bound(ilp_instance)
+        assert res.nodes_explored >= 1
+
+    def test_invalid_node_limit(self, ilp_instance):
+        with pytest.raises(ValueError):
+            branch_and_bound(ilp_instance, node_limit=0)
+
+
+class TestExtractSolution:
+    def test_round_trip(self, ilp_instance):
+        f = build_formulation(ilp_instance)
+        res = solve_milp(ilp_instance, formulation=f)
+        # re-extract from a manually built vector
+        values = np.zeros(f.n_variables)
+        for (i, k), idx in f.x_index.items():
+            values[idx] = 1.0 if res.placement.has(i, k) else 0.0
+        for (h, j, k), idx in f.y_index.items():
+            values[idx] = 1.0 if res.routing.assignment[h, j] == k else 0.0
+        placement, routing = extract_solution(f, values)
+        assert placement == res.placement
+        assert np.array_equal(routing.assignment, res.routing.assignment)
+
+    def test_non_integral_rejected(self, ilp_instance):
+        f = build_formulation(ilp_instance)
+        values = np.full(f.n_variables, 0.5)
+        with pytest.raises(ValueError, match="not integral"):
+            extract_solution(f, values)
+
+    def test_wrong_length_rejected(self, ilp_instance):
+        f = build_formulation(ilp_instance)
+        with pytest.raises(ValueError, match="expected"):
+            extract_solution(f, np.zeros(3))

@@ -1,0 +1,74 @@
+"""Tests for repro.ilp.backends (solver registry)."""
+
+import pytest
+
+from repro.ilp.backends import (
+    available_backends,
+    get_backend,
+    register_backend,
+    solve_with,
+    unregister_backend,
+)
+from repro.ilp.scipy_backend import MilpResult
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_backends()
+        assert "highs" in names and "bnb" in names
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError, match="no backend named"):
+            get_backend("gurobi")
+
+    def test_register_and_use(self, tiny_instance):
+        calls = []
+
+        def fake(instance, *, model=None, time_limit=None):
+            calls.append((model, time_limit))
+            return solve_with("highs", instance, model=model)
+
+        register_backend("fake", fake)
+        try:
+            res = solve_with("fake", tiny_instance, time_limit=10.0)
+            assert res.optimal
+            assert calls == [(None, 10.0)]
+        finally:
+            unregister_backend("fake")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("highs", lambda *a, **k: None)
+
+    def test_overwrite_allowed(self, tiny_instance):
+        original = get_backend("highs")
+        register_backend("highs", original, overwrite=True)
+        assert get_backend("highs") is original
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            register_backend("x", 42)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend("", lambda: None)
+
+    def test_unregister_unknown(self):
+        with pytest.raises(KeyError):
+            unregister_backend("ghost")
+
+
+class TestBackendAgreement:
+    def test_highs_and_bnb_agree(self, tiny_instance):
+        a = solve_with("highs", tiny_instance)
+        b = solve_with("bnb", tiny_instance)
+        assert a.optimal and b.optimal
+        assert a.objective == pytest.approx(b.objective, rel=1e-6)
+
+    def test_results_are_milp_results(self, tiny_instance):
+        for name in ("highs", "bnb"):
+            assert isinstance(solve_with(name, tiny_instance), MilpResult)
+
+    def test_star_model_passthrough(self, tiny_instance):
+        res = solve_with("highs", tiny_instance, model="star")
+        assert res.optimal

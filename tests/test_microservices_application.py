@@ -1,0 +1,108 @@
+"""Tests for repro.microservices.application."""
+
+import numpy as np
+import pytest
+
+from repro.microservices import Application, Microservice
+
+
+def make_services(n: int) -> list[Microservice]:
+    return [
+        Microservice(i, f"s{i}", compute=1.0, storage=1.0, deploy_cost=100.0, data_out=1.0)
+        for i in range(n)
+    ]
+
+
+class TestMicroservice:
+    def test_valid(self):
+        m = Microservice(0, "a", compute=2.0, storage=1.5, deploy_cost=300.0, data_out=1.0)
+        assert m.name == "a"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("compute", 0.0), ("storage", -1.0), ("deploy_cost", 0.0)],
+    )
+    def test_positive_fields(self, field, value):
+        kwargs = dict(compute=1.0, storage=1.0, deploy_cost=1.0, data_out=1.0)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            Microservice(0, "a", **kwargs)
+
+    def test_data_out_may_be_zero(self):
+        m = Microservice(0, "a", compute=1.0, storage=1.0, deploy_cost=1.0, data_out=0.0)
+        assert m.data_out == 0.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Microservice(0, "", compute=1.0, storage=1.0, deploy_cost=1.0, data_out=1.0)
+
+
+class TestApplication:
+    def test_construction(self, tiny_app):
+        assert tiny_app.n_services == 3
+        assert tiny_app.dependency_edges == [(0, 1), (1, 2)]
+
+    def test_default_entrypoints_are_sources(self):
+        app = Application(make_services(3), [(0, 2), (1, 2)])
+        assert app.entrypoints == (0, 1)
+
+    def test_explicit_entrypoints(self):
+        app = Application(make_services(3), [(0, 1)], entrypoints=[1])
+        assert app.entrypoints == (1,)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="acyclic"):
+            Application(make_services(2), [(0, 1), (1, 0)])
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError, match="self-dependency"):
+            Application(make_services(2), [(1, 1)])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError, match="unknown service"):
+            Application(make_services(2), [(0, 5)])
+
+    def test_duplicate_names_rejected(self):
+        services = make_services(2)
+        services[1] = Microservice(1, "s0", compute=1.0, storage=1.0, deploy_cost=1.0, data_out=1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            Application(services, [])
+
+    def test_nonconsecutive_indices_rejected(self):
+        bad = [Microservice(1, "a", compute=1.0, storage=1.0, deploy_cost=1.0, data_out=1.0)]
+        with pytest.raises(ValueError, match="consecutive"):
+            Application(bad, [])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Application([], [])
+
+    def test_successors_predecessors(self, tiny_app):
+        assert tiny_app.successors(0) == [1]
+        assert tiny_app.predecessors(2) == [1]
+        assert tiny_app.predecessors(0) == []
+
+    def test_by_name(self, tiny_app):
+        assert tiny_app.by_name("b").index == 1
+        with pytest.raises(KeyError):
+            tiny_app.by_name("zz")
+
+    def test_vectors(self, tiny_app):
+        assert np.array_equal(tiny_app.compute_vector(), [1.0, 2.0, 1.5])
+        assert np.array_equal(tiny_app.cost_vector(), [100.0, 150.0, 120.0])
+        assert np.array_equal(tiny_app.storage_vector(), [1.0, 1.0, 2.0])
+        assert np.array_equal(tiny_app.data_vector(), [2.0, 1.0, 0.5])
+
+    def test_subset_reindexes(self, tiny_app):
+        sub = tiny_app.subset([1, 2])
+        assert sub.n_services == 2
+        assert sub.service(0).name == "b"
+        assert sub.dependency_edges == [(0, 1)]
+
+    def test_subset_preserves_params(self, tiny_app):
+        sub = tiny_app.subset([2])
+        assert sub.service(0).deploy_cost == 120.0
+
+    def test_entrypoint_out_of_range(self):
+        with pytest.raises(ValueError, match="unknown service"):
+            Application(make_services(2), [], entrypoints=[5])

@@ -1,0 +1,124 @@
+"""Tests for repro.microservices.chains."""
+
+import numpy as np
+import pytest
+
+from repro.microservices import (
+    Application,
+    Microservice,
+    chain_statistics,
+    enumerate_chains,
+    sample_chain,
+)
+from repro.microservices.chains import iter_chain_edges
+
+
+@pytest.fixture
+def branching_app() -> Application:
+    """0 → {1, 2}; 1 → 3; 2 → 3 (diamond DAG)."""
+    services = [
+        Microservice(i, f"s{i}", compute=1.0, storage=1.0, deploy_cost=1.0, data_out=1.0)
+        for i in range(4)
+    ]
+    return Application(services, [(0, 1), (0, 2), (1, 3), (2, 3)], entrypoints=[0])
+
+
+class TestEnumerateChains:
+    def test_all_prefixes_present(self, branching_app):
+        chains = enumerate_chains(branching_app)
+        assert (0,) in chains
+        assert (0, 1) in chains
+        assert (0, 1, 3) in chains
+        assert (0, 2, 3) in chains
+
+    def test_chains_start_at_entrypoint(self, branching_app):
+        for chain in enumerate_chains(branching_app):
+            assert chain[0] == 0
+
+    def test_chains_follow_edges(self, branching_app):
+        edges = set(branching_app.dependency_edges)
+        for chain in enumerate_chains(branching_app):
+            for e in iter_chain_edges(chain):
+                assert e in edges
+
+    def test_max_length_respected(self, branching_app):
+        chains = enumerate_chains(branching_app, max_length=2)
+        assert max(len(c) for c in chains) == 2
+
+    def test_min_length_filters(self, branching_app):
+        chains = enumerate_chains(branching_app, min_length=3)
+        assert all(len(c) >= 3 for c in chains)
+
+    def test_invalid_bounds(self, branching_app):
+        with pytest.raises(ValueError):
+            enumerate_chains(branching_app, min_length=0)
+        with pytest.raises(ValueError):
+            enumerate_chains(branching_app, max_length=1, min_length=2)
+
+    def test_no_repeated_services(self, branching_app):
+        for chain in enumerate_chains(branching_app):
+            assert len(set(chain)) == len(chain)
+
+    def test_sorted_deterministic(self, branching_app):
+        assert enumerate_chains(branching_app) == enumerate_chains(branching_app)
+
+
+class TestSampleChain:
+    def test_valid_chain(self, branching_app):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            chain = sample_chain(branching_app, rng)
+            assert chain[0] in branching_app.entrypoints
+            edges = set(branching_app.dependency_edges)
+            for e in iter_chain_edges(chain):
+                assert e in edges
+
+    def test_min_length_enforced_when_possible(self, branching_app):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            chain = sample_chain(branching_app, rng, length_bias=0.0, min_length=3)
+            assert len(chain) >= 3
+
+    def test_max_length_enforced(self, branching_app):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            assert len(sample_chain(branching_app, rng, max_length=2)) <= 2
+
+    def test_zero_bias_gives_min_length(self, branching_app):
+        rng = np.random.default_rng(3)
+        chain = sample_chain(branching_app, rng, length_bias=0.0, min_length=1)
+        assert len(chain) == 1
+
+    def test_full_bias_goes_to_sink(self, branching_app):
+        rng = np.random.default_rng(4)
+        chain = sample_chain(branching_app, rng, length_bias=1.0)
+        # must end at a node with no unvisited successors
+        last = chain[-1]
+        succs = [s for s in branching_app.successors(last) if s not in chain]
+        assert not succs
+
+    def test_deterministic_by_seed(self, branching_app):
+        a = sample_chain(branching_app, 42)
+        b = sample_chain(branching_app, 42)
+        assert a == b
+
+    def test_invalid_bias(self, branching_app):
+        with pytest.raises(ValueError, match="length_bias"):
+            sample_chain(branching_app, 0, length_bias=1.5)
+
+
+class TestChainStatistics:
+    def test_empty(self):
+        stats = chain_statistics([])
+        assert stats["count"] == 0
+
+    def test_basic(self):
+        stats = chain_statistics([(0, 1), (0, 1, 2)])
+        assert stats["count"] == 2
+        assert stats["mean_length"] == pytest.approx(2.5)
+        assert stats["max_length"] == 3
+        assert stats["unique_services"] == 3
+
+    def test_iter_chain_edges(self):
+        assert list(iter_chain_edges((3, 1, 4))) == [(3, 1), (1, 4)]
+        assert list(iter_chain_edges((5,))) == []

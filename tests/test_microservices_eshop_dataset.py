@@ -1,0 +1,123 @@
+"""Tests for repro.microservices.eshop and repro.microservices.dataset."""
+
+import networkx as nx
+import pytest
+
+from repro.microservices import (
+    PROJECT_NAMES,
+    curated_dataset,
+    enumerate_chains,
+    eshop_application,
+    load_project,
+)
+from repro.microservices.eshop import ESHOP_ENTRYPOINTS, ESHOP_SERVICES
+
+
+class TestEshopApplication:
+    def test_service_count_matches_table(self):
+        app = eshop_application()
+        assert app.n_services == len(ESHOP_SERVICES) == 17
+
+    def test_is_dag(self):
+        app = eshop_application()
+        assert nx.is_directed_acyclic_graph(app.graph)
+
+    def test_entrypoints(self):
+        app = eshop_application()
+        names = {app.service(e).name for e in app.entrypoints}
+        assert names == set(ESHOP_ENTRYPOINTS)
+
+    def test_parameter_ranges_paper(self):
+        # paper §V.A: processing capabilities in [1, 3] GFLOPs
+        app = eshop_application()
+        for svc in app.services:
+            assert 1.0 <= svc.compute <= 3.0
+
+    def test_deterministic_without_jitter(self):
+        a, b = eshop_application(), eshop_application()
+        assert [s.compute for s in a.services] == [s.compute for s in b.services]
+
+    def test_jitter_perturbs(self):
+        a = eshop_application(seed=0, jitter=0.2)
+        b = eshop_application()
+        assert [s.compute for s in a.services] != [s.compute for s in b.services]
+
+    def test_jitter_deterministic_by_seed(self):
+        a = eshop_application(seed=5, jitter=0.2)
+        b = eshop_application(seed=5, jitter=0.2)
+        assert [s.compute for s in a.services] == [s.compute for s in b.services]
+
+    def test_cost_scale(self):
+        base = eshop_application()
+        scaled = eshop_application(cost_scale=2.0)
+        assert all(
+            s2.deploy_cost == pytest.approx(2.0 * s1.deploy_cost)
+            for s1, s2 in zip(base.services, scaled.services)
+        )
+
+    def test_invalid_cost_scale(self):
+        with pytest.raises(ValueError, match="cost_scale"):
+            eshop_application(cost_scale=0.0)
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            eshop_application(jitter=1.0)
+
+    def test_known_dependency(self):
+        app = eshop_application()
+        agg = app.by_name("webshoppingagg").index
+        catalog = app.by_name("catalog-api").index
+        assert catalog in app.successors(agg)
+
+    def test_has_deep_chains(self):
+        app = eshop_application()
+        chains = enumerate_chains(app)
+        assert max(len(c) for c in chains) >= 4
+
+
+class TestCuratedDataset:
+    def test_twenty_projects(self):
+        assert len(PROJECT_NAMES) == 20
+        assert len(curated_dataset()) == 20
+
+    def test_flagship_is_real(self):
+        proj = load_project("eshoponcontainers")
+        assert not proj.synthesized
+        assert proj.n_services == 17
+
+    def test_others_synthesized(self):
+        proj = load_project("sock-shop")
+        assert proj.synthesized
+
+    def test_deterministic(self):
+        a = load_project("train-ticket").application
+        b = load_project("train-ticket").application
+        assert a.dependency_edges == b.dependency_edges
+        assert [s.compute for s in a.services] == [s.compute for s in b.services]
+
+    def test_unknown_project(self):
+        with pytest.raises(KeyError, match="unknown project"):
+            load_project("not-a-project")
+
+    def test_all_projects_valid_dags(self):
+        for proj in curated_dataset():
+            assert nx.is_directed_acyclic_graph(proj.application.graph)
+            assert proj.application.entrypoints
+
+    def test_service_count_range(self):
+        # curated dataset statistics: roughly 5-40 services per project
+        for proj in curated_dataset():
+            assert 5 <= proj.n_services <= 40
+
+    def test_projects_differ(self):
+        a = load_project("sock-shop").application
+        b = load_project("pitstop").application
+        assert (
+            a.n_services != b.n_services
+            or a.dependency_edges != b.dependency_edges
+        )
+
+    def test_every_project_has_chains(self):
+        for proj in curated_dataset():
+            chains = enumerate_chains(proj.application, max_length=4)
+            assert chains

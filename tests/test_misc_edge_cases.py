@@ -1,0 +1,131 @@
+"""Miscellaneous cross-module edge cases collected during development."""
+
+import numpy as np
+import pytest
+
+from repro.core import SoCL, SoCLConfig, solve_socl
+from repro.model import Placement, ProblemConfig, ProblemInstance, optimal_routing
+from repro.network import EdgeNetwork, EdgeServer, Link
+from repro.runtime import OnlineSimulator
+from repro.workload import UserRequest, WorkloadSpec, generate_arrivals
+from repro.microservices import Application, Microservice
+
+
+class TestSingleNodeNetwork:
+    """Degenerate substrate: one edge server, no links."""
+
+    @pytest.fixture
+    def single(self, tiny_app):
+        net = EdgeNetwork(
+            [EdgeServer(0, compute=10.0, storage=20.0)], []
+        )
+        requests = [
+            UserRequest(0, home=0, chain=(0, 1, 2), data_in=1.0, data_out=0.5,
+                        edge_data=(2.0, 1.0)),
+        ]
+        return ProblemInstance(net, tiny_app, requests, ProblemConfig(budget=2000.0))
+
+    def test_socl_solves(self, single):
+        result = solve_socl(single)
+        assert result.feasibility.feasible
+        # all three services end up on the only node
+        assert result.placement.total_instances == 3
+
+    def test_latency_is_pure_compute(self, single):
+        result = solve_socl(single)
+        # no transfers possible: latency = Σ q/c = (1+2+1.5)/10
+        assert result.report.latency_sum == pytest.approx(0.45)
+
+    def test_ilp_agrees(self, single):
+        from repro.ilp import solve_milp
+
+        res = solve_milp(single)
+        assert res.optimal
+        socl = solve_socl(single)
+        assert socl.report.objective == pytest.approx(res.objective, rel=1e-6)
+
+
+class TestSingleRequest:
+    def test_chain_of_one(self, line3_network, tiny_app):
+        requests = [
+            UserRequest(0, home=1, chain=(0,), data_in=1.0, data_out=0.2, edge_data=())
+        ]
+        inst = ProblemInstance(
+            line3_network, tiny_app, requests, ProblemConfig(budget=1000.0)
+        )
+        result = solve_socl(inst)
+        assert result.feasibility.feasible
+        # single user → single instance at (or near) the home node
+        assert result.placement.total_instances == 1
+
+
+class TestExtremeWeights:
+    def test_cost_only_weight_collapses_instances(self, medium_instance):
+        cost_heavy = medium_instance.with_config(weight=0.99)
+        result = solve_socl(cost_heavy)
+        per_service = [
+            result.placement.instance_count(int(s))
+            for s in medium_instance.requested_services
+        ]
+        # nearly pure cost minimization: one instance per service
+        assert max(per_service) <= 2
+
+    def test_latency_heavy_weight_keeps_more(self, medium_instance):
+        lat_heavy = solve_socl(medium_instance.with_config(weight=0.01))
+        cost_heavy = solve_socl(medium_instance.with_config(weight=0.99))
+        assert (
+            lat_heavy.placement.total_instances
+            >= cost_heavy.placement.total_instances
+        )
+
+
+class TestTraceDrivenSimulation:
+    def test_fig4_volumes_drive_fig10_simulator(self):
+        """End-to-end: the Fig. 4 trace modulates per-slot volume."""
+        from repro.microservices import eshop_application
+        from repro.network import stadium_topology
+
+        trace = generate_arrivals(duration_hours=0.5, interval_minutes=5.0, seed=0)
+        net = stadium_topology(8, seed=0)
+        sim = OnlineSimulator(
+            net,
+            eshop_application(),
+            ProblemConfig(budget=6000.0),
+            WorkloadSpec(n_users=30, data_scale=5.0),
+            seed=1,
+        )
+        res = sim.run(SoCL(), n_slots=trace.n_intervals, volumes=trace.volumes)
+        assert [s.n_requests for s in res.slots] == [
+            max(1, min(30, int(v))) for v in trace.volumes
+        ]
+
+
+class TestPlacementIdempotence:
+    def test_from_pairs_duplicates_ok(self, tiny_instance):
+        p = Placement.from_pairs(tiny_instance, [(0, 1), (0, 1)])
+        assert p.total_instances == 1
+
+    def test_add_idempotent(self, tiny_instance):
+        p = Placement.empty(tiny_instance)
+        p.add(0, 1)
+        p.add(0, 1)
+        assert p.total_instances == 1
+
+
+class TestDisconnectedServiceApp:
+    def test_isolated_service_never_requested(self, line3_network):
+        """An app with a service no chain can reach must still solve."""
+        services = [
+            Microservice(0, "gw", compute=1.0, storage=1.0, deploy_cost=100.0, data_out=1.0),
+            Microservice(1, "api", compute=1.0, storage=1.0, deploy_cost=100.0, data_out=1.0),
+            Microservice(2, "orphan", compute=1.0, storage=1.0, deploy_cost=100.0, data_out=1.0),
+        ]
+        app = Application(services, [(0, 1)], entrypoints=[0])
+        requests = [
+            UserRequest(0, home=0, chain=(0, 1), data_in=1.0, data_out=0.5, edge_data=(1.0,))
+        ]
+        inst = ProblemInstance(line3_network, app, requests, ProblemConfig(budget=1000.0))
+        result = solve_socl(inst)
+        assert result.feasibility.feasible
+        # the orphan service is never provisioned
+        assert result.placement.instance_count(2) == 0

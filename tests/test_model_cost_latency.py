@@ -1,0 +1,161 @@
+"""Tests for repro.model.cost and repro.model.latency (hand-computed)."""
+
+import numpy as np
+import pytest
+
+from repro.model import Placement, Routing
+from repro.model.cost import deployment_cost, per_server_cost, storage_used
+from repro.model.latency import latency_breakdown, total_latency
+
+
+def routing_all_on(instance, node: int) -> Routing:
+    a = np.full((instance.n_requests, instance.max_chain), -1, dtype=np.int64)
+    for h, req in enumerate(instance.requests):
+        a[h, : req.length] = node
+    return Routing(instance, a)
+
+
+class TestCost:
+    def test_per_server_cost(self, tiny_instance):
+        p = Placement.from_pairs(tiny_instance, [(0, 0), (1, 0), (2, 1)])
+        costs = per_server_cost(tiny_instance, p)
+        # κ = [100, 150, 120]
+        assert np.allclose(costs, [250.0, 120.0, 0.0])
+
+    def test_total_cost(self, tiny_instance):
+        p = Placement.from_pairs(tiny_instance, [(0, 0), (1, 0), (2, 1)])
+        assert deployment_cost(tiny_instance, p) == pytest.approx(370.0)
+
+    def test_empty_costs_zero(self, tiny_instance):
+        assert deployment_cost(tiny_instance, Placement.empty(tiny_instance)) == 0.0
+
+    def test_storage_used(self, tiny_instance):
+        p = Placement.from_pairs(tiny_instance, [(0, 1), (2, 1)])
+        used = storage_used(tiny_instance, p)
+        # φ = [1, 1, 2]
+        assert np.allclose(used, [0.0, 3.0, 0.0])
+
+    def test_shape_mismatch_rejected(self, tiny_instance):
+        bad = Placement(np.zeros((2, 2), dtype=bool))
+        with pytest.raises(ValueError, match="does not match"):
+            per_server_cost(tiny_instance, bad)
+
+
+class TestChainLatency:
+    def test_all_local_no_transfers(self, tiny_instance):
+        # request 1: home 0, chain (0, 1), everything on node 0
+        r = routing_all_on(tiny_instance, 0)
+        breakdown = latency_breakdown(tiny_instance, r, model="chain")
+        h = 1
+        assert breakdown.d_in[h] == 0.0
+        assert breakdown.d_link[h] == 0.0
+        assert breakdown.d_out[h] == 0.0
+        # compute: q0/c0 + q1/c0 = 1/10 + 2/10
+        assert breakdown.d_compute[h] == pytest.approx(0.3)
+
+    def test_remote_first_hop_pays_upload(self, tiny_instance):
+        r = routing_all_on(tiny_instance, 1)
+        breakdown = latency_breakdown(tiny_instance, r, model="chain")
+        h = 1  # home 0
+        inv01 = tiny_instance.inv_rate[0, 1]
+        assert breakdown.d_in[h] == pytest.approx(1.5 * inv01)
+        assert breakdown.d_out[h] == pytest.approx(0.3 * inv01)
+
+    def test_inter_service_transfer(self, tiny_instance):
+        # request 0 (home 0, chain 0→1→2) with nodes [0, 1, 1]
+        a = np.full((4, 3), -1, dtype=np.int64)
+        a[0] = [0, 1, 1]
+        for h in (1, 2, 3):
+            a[h, : tiny_instance.requests[h].length] = 0
+        r = Routing(tiny_instance, a)
+        breakdown = latency_breakdown(tiny_instance, r, model="chain")
+        inv01 = tiny_instance.inv_rate[0, 1]
+        # edge_data (2.0, 1.0): first edge crosses 0→1, second local
+        assert breakdown.d_link[0] == pytest.approx(2.0 * inv01)
+
+    def test_hand_computed_full_request(self, tiny_instance):
+        # request 2: home 2, chain (0,1,2), data_in 2.0, edges (2.5, 1.2), out 0.8
+        a = np.full((4, 3), -1, dtype=np.int64)
+        a[2] = [1, 1, 0]
+        for h in (0, 1, 3):
+            a[h, : tiny_instance.requests[h].length] = 0
+        r = Routing(tiny_instance, a)
+        inv = tiny_instance.inv_rate
+        comp = tiny_instance.compute_ext
+        expected = (
+            2.0 * inv[2, 1]  # upload
+            + 1.0 / comp[1] + 2.0 / comp[1] + 1.5 / comp[0]  # q/c terms
+            + 2.5 * 0.0 + 1.2 * inv[1, 0]  # transfers
+            + 0.8 * inv[0, 2]  # return
+        )
+        assert total_latency(tiny_instance, r, model="chain")[2] == pytest.approx(
+            expected
+        )
+
+    def test_cloud_assignment(self, tiny_instance):
+        cloud = tiny_instance.cloud
+        a = np.full((4, 3), -1, dtype=np.int64)
+        for h, req in enumerate(tiny_instance.requests):
+            a[h, : req.length] = 0
+        a[1, 1] = cloud  # second service of request 1 in the cloud
+        r = Routing(tiny_instance, a)
+        lat = total_latency(tiny_instance, r, model="chain")
+        cfg = tiny_instance.config
+        # baseline local + two WAN hops (edge→cloud for 2.0 GB, cloud→home 0.3)
+        base = routing_all_on(tiny_instance, 0)
+        base_lat = total_latency(tiny_instance, base, model="chain")[1]
+        extra = (
+            2.0 * cfg.cloud_inv_rate
+            + 0.3 * cfg.cloud_inv_rate
+            + 2.0 / cfg.cloud_compute
+            - 2.0 / 10.0
+        )
+        assert lat[1] == pytest.approx(base_lat + extra)
+
+
+class TestStarLatency:
+    def test_star_prices_from_home(self, tiny_instance):
+        # request 0: home 0, chain (0,1,2) on nodes [0, 2, 2]
+        a = np.full((4, 3), -1, dtype=np.int64)
+        a[0] = [0, 2, 2]
+        for h in (1, 2, 3):
+            a[h, : tiny_instance.requests[h].length] = 0
+        r = Routing(tiny_instance, a)
+        inv = tiny_instance.inv_rate
+        comp = tiny_instance.compute_ext
+        req = tiny_instance.requests[0]
+        expected = (
+            req.data_in * inv[0, 0]
+            + 1.0 / comp[0]
+            + req.edge_data[0] * inv[0, 2] + 2.0 / comp[2]
+            + req.edge_data[1] * inv[0, 2] + 1.5 / comp[2]
+            + req.data_out * inv[2, 0]
+        )
+        assert total_latency(tiny_instance, r, model="star")[0] == pytest.approx(
+            expected
+        )
+
+    def test_star_equals_chain_when_all_local(self, tiny_instance):
+        r = routing_all_on(tiny_instance, 0)
+        chain = total_latency(tiny_instance, r, model="chain")
+        star = total_latency(tiny_instance, r, model="star")
+        # for requests homed at node 0, everything is local in both models
+        homes = tiny_instance.homes
+        assert np.allclose(chain[homes == 0], star[homes == 0])
+
+    def test_unknown_model_rejected(self, tiny_instance):
+        r = routing_all_on(tiny_instance, 0)
+        with pytest.raises(ValueError, match="unknown latency model"):
+            total_latency(tiny_instance, r, model="mesh")
+
+    def test_breakdown_total_consistent(self, tiny_instance):
+        r = routing_all_on(tiny_instance, 1)
+        b = latency_breakdown(tiny_instance, r)
+        assert np.allclose(b.total, total_latency(tiny_instance, r))
+
+    def test_latencies_nonnegative(self, medium_instance):
+        from repro.model import Placement, optimal_routing
+
+        p = Placement.full(medium_instance)
+        r = optimal_routing(medium_instance, p)
+        assert (total_latency(medium_instance, r) >= 0).all()

@@ -1,0 +1,89 @@
+"""Tests for per-request deadline vectors (Eq. 4 with heterogeneous QoS)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SoCL
+from repro.ilp import solve_milp
+from repro.model import (
+    Placement,
+    check_latency,
+    optimal_routing,
+)
+from repro.model.latency import total_latency
+
+
+class TestDeadlineVector:
+    def test_scalar_broadcast(self, tiny_instance):
+        inst = tiny_instance.with_config(deadline=5.0)
+        assert np.allclose(inst.deadlines, 5.0)
+
+    def test_explicit_vector(self, tiny_instance):
+        d = [1.0, 2.0, 3.0, 4.0]
+        inst = tiny_instance.with_deadlines(d)
+        assert np.allclose(inst.deadlines, d)
+
+    def test_vector_wins_over_scalar(self, tiny_instance):
+        inst = tiny_instance.with_config(deadline=99.0).with_deadlines(
+            [1.0, 2.0, 3.0, 4.0]
+        )
+        assert inst.deadlines[0] == 1.0
+
+    def test_shape_validated(self, tiny_instance):
+        with pytest.raises(ValueError, match="shape"):
+            tiny_instance.with_deadlines([1.0])
+
+    def test_positive_required(self, tiny_instance):
+        with pytest.raises(ValueError, match="positive"):
+            tiny_instance.with_deadlines([1.0, -1.0, 1.0, 1.0])
+
+    def test_readonly(self, tiny_instance):
+        inst = tiny_instance.with_deadlines([1.0, 2.0, 3.0, 4.0])
+        with pytest.raises(ValueError):
+            inst.deadlines[0] = 9.0
+
+    def test_with_config_preserves_vector(self, tiny_instance):
+        inst = tiny_instance.with_deadlines([1.0, 2.0, 3.0, 4.0])
+        inst2 = inst.with_config(budget=500.0)
+        assert np.allclose(inst2.deadlines, [1.0, 2.0, 3.0, 4.0])
+
+    def test_with_requests_drops_vector(self, tiny_instance):
+        inst = tiny_instance.with_deadlines([1.0, 2.0, 3.0, 4.0])
+        sub = inst.with_requests(inst.requests[:2])
+        assert np.isinf(sub.deadlines).all()
+
+
+class TestDeadlineEnforcement:
+    def _latencies(self, instance):
+        p = Placement.full(instance)
+        r = optimal_routing(instance, p)
+        return total_latency(instance, r), r
+
+    def test_check_latency_per_request(self, tiny_instance):
+        lat, r = self._latencies(tiny_instance)
+        tight_on_one = lat.copy() * 2.0
+        tight_on_one[2] = lat[2] * 0.5  # only request 2 violated
+        inst = tiny_instance.with_deadlines(tight_on_one)
+        assert not check_latency(inst, r)
+        from repro.model.constraints import latency_violations
+
+        assert list(latency_violations(inst, r)) == [2]
+
+    def test_ilp_respects_heterogeneous_deadlines(self, tiny_instance):
+        # free solve, then cap one request strictly below its free latency
+        free = solve_milp(tiny_instance)
+        lat = total_latency(tiny_instance, free.routing)
+        deadlines = lat * 10.0
+        deadlines[0] = lat[0] * 0.999  # force request 0 onto another route
+        inst = tiny_instance.with_deadlines(deadlines)
+        res = solve_milp(inst)
+        if res.optimal:
+            new_lat = total_latency(inst, res.routing)
+            assert (new_lat <= deadlines + 1e-9).all()
+            assert res.objective >= free.objective - 1e-9
+
+    def test_socl_rollback_respects_vector(self, tiny_instance):
+        lat, _ = self._latencies(tiny_instance)
+        inst = tiny_instance.with_deadlines(lat * 3.0)
+        result = SoCL().solve(inst)
+        assert (result.report.latencies <= inst.deadlines + 1e-9).all()

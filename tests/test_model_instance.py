@@ -1,0 +1,125 @@
+"""Tests for repro.model.instance."""
+
+import numpy as np
+import pytest
+
+from repro.model import CLOUD, ProblemConfig, ProblemInstance
+from repro.workload import UserRequest
+
+
+class TestProblemConfig:
+    def test_defaults(self):
+        cfg = ProblemConfig()
+        assert cfg.latency_model == "chain"
+        assert np.isinf(cfg.deadline)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weight": 1.5},
+            {"budget": 0.0},
+            {"deadline": 0.0},
+            {"latency_model": "ring"},
+            {"cloud_inv_rate": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ProblemConfig(**kwargs)
+
+    def test_with_(self):
+        cfg = ProblemConfig().with_(budget=1234.0)
+        assert cfg.budget == 1234.0
+        assert cfg.weight == ProblemConfig().weight
+
+
+class TestProblemInstance:
+    def test_sizes(self, tiny_instance):
+        assert tiny_instance.n_servers == 3
+        assert tiny_instance.n_services == 3
+        assert tiny_instance.n_requests == 4
+        assert tiny_instance.cloud == 3
+
+    def test_inv_rate_extended_with_cloud(self, tiny_instance):
+        inv = tiny_instance.inv_rate
+        n = tiny_instance.n_servers
+        assert inv.shape == (n + 1, n + 1)
+        assert inv[0, n] == tiny_instance.config.cloud_inv_rate
+        assert inv[n, n] == 0.0
+        assert np.allclose(
+            inv[:n, :n], tiny_instance.network.paths.inv_rate
+        )
+
+    def test_compute_extended(self, tiny_instance):
+        comp = tiny_instance.compute_ext
+        assert comp.shape == (4,)
+        assert comp[-1] == tiny_instance.config.cloud_compute
+
+    def test_chain_matrix_padding(self, tiny_instance):
+        mat = tiny_instance.chain_matrix
+        assert mat.shape == (4, 3)
+        assert mat[1, 2] == -1  # request 1 has chain length 2
+        assert tuple(mat[0]) == (0, 1, 2)
+
+    def test_chain_mask(self, tiny_instance):
+        mask = tiny_instance.chain_mask
+        assert mask.sum() == sum(r.length for r in tiny_instance.requests)
+
+    def test_edge_data_matrix(self, tiny_instance):
+        mat = tiny_instance.edge_data_matrix
+        assert mat[0, 0] == 2.0
+        assert mat[0, 1] == 1.0
+        assert mat[1, 1] == 0.0  # past the end
+
+    def test_inflow_matrix(self, tiny_instance):
+        mat = tiny_instance.inflow_matrix
+        assert mat[0, 0] == tiny_instance.requests[0].data_in
+        assert mat[0, 1] == tiny_instance.requests[0].edge_data[0]
+
+    def test_demand_counts(self, tiny_instance):
+        counts = tiny_instance.demand_counts
+        # service 0 requested from homes 0 (x2) and 2 (x1)
+        assert counts[0, 0] == 2
+        assert counts[0, 2] == 1
+        assert counts[0, 1] == 0
+
+    def test_requested_services(self, tiny_instance):
+        assert list(tiny_instance.requested_services) == [0, 1, 2]
+
+    def test_hosting_servers(self, tiny_instance):
+        assert list(tiny_instance.hosting_servers(0)) == [0, 2]
+        assert list(tiny_instance.hosting_servers(1)) == [0, 1, 2]
+
+    def test_deadlines_vector(self, tiny_instance):
+        d = tiny_instance.deadlines
+        assert d.shape == (4,)
+        assert np.isinf(d).all()
+
+    def test_with_config(self, tiny_instance):
+        inst2 = tiny_instance.with_config(budget=999.0)
+        assert inst2.config.budget == 999.0
+        assert inst2.requests == tiny_instance.requests
+
+    def test_with_requests(self, tiny_instance):
+        sub = tiny_instance.with_requests(tiny_instance.requests[:2])
+        assert sub.n_requests == 2
+
+    def test_empty_requests_rejected(self, line3_network, tiny_app):
+        with pytest.raises(ValueError, match="at least one request"):
+            ProblemInstance(line3_network, tiny_app, [])
+
+    def test_bad_home_rejected(self, line3_network, tiny_app):
+        bad = UserRequest(0, home=7, chain=(0,), data_in=1.0, data_out=1.0, edge_data=())
+        with pytest.raises(IndexError, match="home"):
+            ProblemInstance(line3_network, tiny_app, [bad])
+
+    def test_bad_service_rejected(self, line3_network, tiny_app):
+        bad = UserRequest(0, home=0, chain=(9,), data_in=1.0, data_out=1.0, edge_data=())
+        with pytest.raises(IndexError, match="unknown service"):
+            ProblemInstance(line3_network, tiny_app, [bad])
+
+    def test_arrays_readonly(self, tiny_instance):
+        with pytest.raises(ValueError):
+            tiny_instance.inv_rate[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            tiny_instance.chain_matrix[0, 0] = 5

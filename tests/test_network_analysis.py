@@ -1,0 +1,111 @@
+"""Tests for repro.network.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.model import Placement, optimal_routing
+from repro.network import EdgeNetwork, EdgeServer, Link, ring_topology
+from repro.network.analysis import (
+    bottleneck_links,
+    link_utilization,
+    reachability_matrix,
+    topology_summary,
+)
+
+
+class TestTopologySummary:
+    def test_line_network(self, line3_network):
+        s = topology_summary(line3_network)
+        assert s.n_servers == 3
+        assert s.n_links == 2
+        assert s.diameter_hops == 2
+        assert s.min_degree == 1 and s.max_degree == 2
+        assert s.total_compute == pytest.approx(25.0)
+        assert s.total_storage == pytest.approx(30.0)
+
+    def test_ring(self):
+        net = ring_topology(6, seed=0)
+        s = topology_summary(net)
+        assert s.diameter_hops == 3
+        assert s.mean_degree == 2.0
+
+    def test_disconnected_excluded_from_means(self):
+        servers = [EdgeServer(k, compute=1.0, storage=1.0) for k in range(3)]
+        net = EdgeNetwork(servers, [Link(0, 1, bandwidth=10.0)])
+        s = topology_summary(net)
+        assert s.diameter_hops == 1  # only the reachable pair counts
+
+    def test_as_dict(self, diamond_network):
+        d = topology_summary(diamond_network).as_dict()
+        assert d["n_servers"] == 4
+        assert "mean_virtual_rate" in d
+
+    def test_virtual_rate_bounds(self, diamond_network):
+        s = topology_summary(diamond_network)
+        assert 0 < s.min_virtual_rate <= s.mean_virtual_rate
+
+
+class TestLinkUtilization:
+    def test_accumulates_along_paths(self, tiny_instance):
+        # everything served on node 1: request homes 0, 0, 2, 1
+        p = Placement.from_pairs(tiny_instance, [(0, 1), (1, 1), (2, 1)])
+        r = optimal_routing(tiny_instance, p)
+        usage = link_utilization(tiny_instance, r)
+        assert set(usage) <= {(0, 1), (1, 2)}
+        # link (0,1) carries request 0 and 1's upload + returns
+        expected_01 = (
+            tiny_instance.requests[0].data_in
+            + tiny_instance.requests[0].data_out
+            + tiny_instance.requests[1].data_in
+            + tiny_instance.requests[1].data_out
+        )
+        assert usage[(0, 1)] == pytest.approx(expected_01)
+
+    def test_local_service_no_usage(self, tiny_instance):
+        from repro.model import greedy_routing
+
+        p = Placement.full(tiny_instance)
+        # greedy serves at the home node whenever possible → no transfers
+        r = greedy_routing(tiny_instance, p)
+        usage = link_utilization(tiny_instance, r)
+        assert sum(usage.values()) == pytest.approx(0.0)
+
+    def test_cloud_legs_skipped(self, tiny_instance):
+        p = Placement.empty(tiny_instance)
+        r = optimal_routing(tiny_instance, p)  # all cloud
+        usage = link_utilization(tiny_instance, r)
+        assert usage == {}
+
+    def test_keys_normalized(self, tiny_instance):
+        p = Placement.from_pairs(tiny_instance, [(0, 0), (1, 0), (2, 0)])
+        r = optimal_routing(tiny_instance, p)
+        usage = link_utilization(tiny_instance, r)
+        for a, b in usage:
+            assert a < b
+
+
+class TestBottlenecks:
+    def test_top_ranked(self, tiny_instance):
+        p = Placement.from_pairs(tiny_instance, [(0, 1), (1, 1), (2, 1)])
+        r = optimal_routing(tiny_instance, p)
+        ranked = bottleneck_links(tiny_instance, r, top=2)
+        assert len(ranked) <= 2
+        if len(ranked) == 2:
+            assert ranked[0][1] >= ranked[1][1]
+
+    def test_invalid_top(self, tiny_instance):
+        p = Placement.full(tiny_instance)
+        r = optimal_routing(tiny_instance, p)
+        with pytest.raises(ValueError):
+            bottleneck_links(tiny_instance, r, top=0)
+
+
+class TestReachability:
+    def test_connected_all_true(self, diamond_network):
+        assert reachability_matrix(diamond_network).all()
+
+    def test_disconnected(self):
+        servers = [EdgeServer(k, compute=1.0, storage=1.0) for k in range(3)]
+        net = EdgeNetwork(servers, [Link(0, 1, bandwidth=10.0)])
+        reach = reachability_matrix(net)
+        assert reach[0, 1] and not reach[0, 2]

@@ -1,0 +1,119 @@
+"""Tests for repro.network.paths (hop-shortest routing, virtual links)."""
+
+import numpy as np
+import pytest
+
+from repro.network import EdgeNetwork, EdgeServer, Link
+from repro.network.paths import PathTable, communication_intensity
+
+
+class TestPathTable:
+    def test_hop_counts_line(self, line3_network):
+        hops = line3_network.paths.hops
+        assert hops[0, 0] == 0
+        assert hops[0, 1] == 1
+        assert hops[0, 2] == 2
+
+    def test_inv_rate_is_harmonic_sum(self, line3_network):
+        pt = line3_network.paths
+        rate = line3_network.rate_matrix
+        expected = 1.0 / rate[0, 1] + 1.0 / rate[1, 2]
+        assert pt.inv_rate[0, 2] == pytest.approx(expected)
+
+    def test_virtual_rate_reciprocal(self, line3_network):
+        pt = line3_network.paths
+        assert pt.virtual_rate(0, 2) == pytest.approx(1.0 / pt.inv_rate[0, 2])
+
+    def test_virtual_rate_diagonal_infinite(self, line3_network):
+        assert line3_network.paths.virtual_rate(1, 1) == np.inf
+
+    def test_symmetric(self, diamond_network):
+        pt = diamond_network.paths
+        assert np.allclose(pt.inv_rate, pt.inv_rate.T)
+        assert np.allclose(pt.hops, pt.hops.T)
+
+    def test_tie_breaks_on_transfer_time(self, diamond_network):
+        # 0→3 has two 2-hop routes; the faster one (via 1) must win.
+        pt = diamond_network.paths
+        rate = diamond_network.rate_matrix
+        via1 = 1.0 / rate[0, 1] + 1.0 / rate[1, 3]
+        via2 = 1.0 / rate[0, 2] + 1.0 / rate[2, 3]
+        assert pt.inv_rate[0, 3] == pytest.approx(min(via1, via2))
+        assert pt.path(0, 3) == [0, 1, 3]
+
+    def test_path_reconstruction_line(self, line3_network):
+        assert line3_network.paths.path(0, 2) == [0, 1, 2]
+        assert line3_network.paths.path(2, 0) == [2, 1, 0]
+
+    def test_path_self(self, line3_network):
+        assert line3_network.paths.path(1, 1) == [1]
+
+    def test_path_length_matches_hops(self, diamond_network):
+        pt = diamond_network.paths
+        for s in range(4):
+            for d in range(4):
+                assert len(pt.path(s, d)) == int(pt.hops[s, d]) + 1
+
+    def test_path_edges_exist(self, diamond_network):
+        pt = diamond_network.paths
+        rate = diamond_network.rate_matrix
+        route = pt.path(0, 3)
+        for a, b in zip(route, route[1:]):
+            assert rate[a, b] > 0
+
+    def test_unreachable(self):
+        servers = [EdgeServer(k, compute=1.0, storage=1.0) for k in range(3)]
+        net = EdgeNetwork(servers, [Link(0, 1, bandwidth=10.0)])
+        pt = net.paths
+        assert not np.isfinite(pt.hops[0, 2])
+        assert pt.virtual_rate(0, 2) == 0.0
+        with pytest.raises(ValueError, match="no path"):
+            pt.path(0, 2)
+
+    def test_transfer_time(self, line3_network):
+        pt = line3_network.paths
+        assert pt.transfer_time(0, 2, 4.0) == pytest.approx(4.0 * pt.inv_rate[0, 2])
+
+    def test_transfer_time_negative_data(self, line3_network):
+        with pytest.raises(ValueError):
+            line3_network.paths.transfer_time(0, 1, -2.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            PathTable.from_rate_matrix(np.ones((2, 3)))
+
+    def test_asymmetric_rejected(self):
+        m = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            PathTable.from_rate_matrix(m)
+
+    def test_single_node(self):
+        pt = PathTable.from_rate_matrix(np.zeros((1, 1)))
+        assert pt.hops[0, 0] == 0
+        assert pt.path(0, 0) == [0]
+
+    def test_matrices_readonly(self, line3_network):
+        pt = line3_network.paths
+        with pytest.raises(ValueError):
+            pt.hops[0, 0] = 5.0
+
+
+class TestCommunicationIntensity:
+    def test_line_center_highest(self, line3_network):
+        chi = communication_intensity(line3_network.paths.inv_rate)
+        # the middle node reaches both ends fastest → highest intensity
+        assert chi[1] == max(chi)
+
+    def test_nonnegative(self, diamond_network):
+        chi = communication_intensity(diamond_network.paths.inv_rate)
+        assert (chi >= 0).all()
+
+    def test_unreachable_contributes_zero(self):
+        inv = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        chi = communication_intensity(inv)
+        assert np.array_equal(chi, [0.0, 0.0])
+
+    def test_manual_two_nodes(self):
+        inv = np.array([[0.0, 0.25], [0.25, 0.0]])
+        chi = communication_intensity(inv)
+        assert np.allclose(chi, [4.0, 4.0])

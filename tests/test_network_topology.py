@@ -1,0 +1,121 @@
+"""Tests for repro.network.topology."""
+
+import numpy as np
+import pytest
+
+from repro.network import EdgeNetwork, EdgeServer, Link
+
+
+class TestEdgeServer:
+    def test_basic_construction(self):
+        s = EdgeServer(0, compute=10.0, storage=5.0, position=(1.0, 2.0), name="a")
+        assert s.label == "a"
+        assert s.compute == 10.0
+
+    def test_default_label(self):
+        assert EdgeServer(3, compute=1.0, storage=1.0).label == "v3"
+
+    def test_invalid_compute(self):
+        with pytest.raises(ValueError, match="compute"):
+            EdgeServer(0, compute=0.0, storage=1.0)
+
+    def test_invalid_storage(self):
+        with pytest.raises(ValueError, match="storage"):
+            EdgeServer(0, compute=1.0, storage=-1.0)
+
+
+class TestLink:
+    def test_shannon_rate(self):
+        # b = B·log2(1 + γ·g/N) = 10·log2(1 + 3) = 20
+        link = Link(0, 1, bandwidth=10.0, gain=3.0, power=1.0, noise=1.0)
+        assert link.rate == pytest.approx(20.0)
+
+    def test_rate_increases_with_gain(self):
+        low = Link(0, 1, bandwidth=10.0, gain=1.0)
+        high = Link(0, 1, bandwidth=10.0, gain=5.0)
+        assert high.rate > low.rate
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Link(2, 2, bandwidth=10.0)
+
+    def test_endpoints_normalized(self):
+        assert Link(3, 1, bandwidth=1.0).endpoints == (1, 3)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            Link(0, 1, bandwidth=0.0)
+
+
+class TestEdgeNetwork:
+    def test_sizes(self, line3_network):
+        assert line3_network.n == 3
+        assert len(line3_network.links) == 2
+
+    def test_rate_matrix_symmetric(self, line3_network):
+        rate = line3_network.rate_matrix
+        assert np.allclose(rate, rate.T)
+
+    def test_rate_matrix_readonly(self, line3_network):
+        with pytest.raises(ValueError):
+            line3_network.rate_matrix[0, 1] = 99.0
+
+    def test_no_direct_link_is_zero(self, line3_network):
+        assert line3_network.rate_matrix[0, 2] == 0.0
+
+    def test_compute_and_storage_vectors(self, line3_network):
+        assert np.array_equal(line3_network.compute, [10.0, 10.0, 5.0])
+        assert np.array_equal(line3_network.storage, [10.0, 10.0, 10.0])
+
+    def test_neighbors(self, line3_network):
+        assert list(line3_network.neighbors(1)) == [0, 2]
+        assert list(line3_network.neighbors(0)) == [1]
+
+    def test_degree(self, diamond_network):
+        assert diamond_network.degree(0) == 2
+        assert np.array_equal(diamond_network.degrees, [2, 2, 2, 2])
+
+    def test_connected(self, line3_network):
+        assert line3_network.is_connected
+
+    def test_disconnected_detected(self):
+        servers = [EdgeServer(k, compute=1.0, storage=1.0) for k in range(3)]
+        net = EdgeNetwork(servers, [Link(0, 1, bandwidth=10.0)])
+        assert not net.is_connected
+
+    def test_transfer_time_local_is_zero(self, line3_network):
+        assert line3_network.transfer_time(1, 1, 100.0) == 0.0
+
+    def test_transfer_time_scales_with_data(self, line3_network):
+        t1 = line3_network.transfer_time(0, 2, 1.0)
+        t2 = line3_network.transfer_time(0, 2, 2.0)
+        assert t2 == pytest.approx(2.0 * t1)
+
+    def test_negative_data_rejected(self, line3_network):
+        with pytest.raises(ValueError, match="non-negative"):
+            line3_network.transfer_time(0, 1, -1.0)
+
+    def test_duplicate_link_rejected(self):
+        servers = [EdgeServer(k, compute=1.0, storage=1.0) for k in range(2)]
+        with pytest.raises(ValueError, match="duplicate"):
+            EdgeNetwork(
+                servers,
+                [Link(0, 1, bandwidth=10.0), Link(1, 0, bandwidth=20.0)],
+            )
+
+    def test_bad_server_indices_rejected(self):
+        servers = [EdgeServer(1, compute=1.0, storage=1.0)]
+        with pytest.raises(ValueError, match="indices must be consecutive"):
+            EdgeNetwork(servers, [])
+
+    def test_link_endpoint_out_of_range(self):
+        servers = [EdgeServer(0, compute=1.0, storage=1.0)]
+        with pytest.raises(IndexError):
+            EdgeNetwork(servers, [Link(0, 5, bandwidth=10.0)])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError, match="at least one server"):
+            EdgeNetwork([], [])
+
+    def test_paths_cached(self, line3_network):
+        assert line3_network.paths is line3_network.paths

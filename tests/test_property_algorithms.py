@@ -1,0 +1,113 @@
+"""Property-based tests for SoCL internals and the fuzzy AHP machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fuzzy_ahp import TriangularFuzzyNumber, fuzzy_ahp_weights, score_alternatives, tfn
+from repro.workload.alibaba import CallGraphTrace, trace_similarity
+from repro.workload.trace import TemporalTrace
+
+
+# ---------------------------------------------------------------- fuzzy AHP
+@st.composite
+def tfns(draw) -> TriangularFuzzyNumber:
+    l = draw(st.floats(min_value=0.1, max_value=5.0))
+    m = l + draw(st.floats(min_value=0.0, max_value=3.0))
+    u = m + draw(st.floats(min_value=0.0, max_value=3.0))
+    return TriangularFuzzyNumber(l, m, u)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=tfns(), b=tfns())
+def test_tfn_possibility_bounds_and_totality(a, b):
+    vab = a.possibility_geq(b)
+    vba = b.possibility_geq(a)
+    assert 0.0 <= vab <= 1.0
+    assert 0.0 <= vba <= 1.0
+    # at least one direction is fully possible (Chang's V is total)
+    assert max(vab, vba) == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=tfns(), b=tfns())
+def test_tfn_arithmetic_preserves_ordering(a, b):
+    s = a + b
+    assert s.l <= s.m <= s.u
+    p = a * b
+    assert p.l <= p.m <= p.u
+    inv = a.inverse()
+    assert inv.l <= inv.m <= inv.u
+
+
+@st.composite
+def comparison_matrices(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    matrix = [[None] * n for _ in range(n)]
+    for i in range(n):
+        matrix[i][i] = tfn(1, 1, 1)
+        for j in range(i + 1, n):
+            entry = draw(tfns())
+            matrix[i][j] = entry
+            matrix[j][i] = entry.inverse()
+    return matrix
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrix=comparison_matrices())
+def test_fuzzy_weights_normalized(matrix):
+    w = fuzzy_ahp_weights(matrix)
+    assert w.shape == (len(matrix),)
+    assert w.sum() == pytest.approx(1.0)
+    assert (w >= 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=3, max_size=3),
+        min_size=2,
+        max_size=10,
+    )
+)
+def test_scores_bounded(values):
+    arr = np.array(values)
+    w = np.array([0.5, 0.3, 0.2])
+    scores = score_alternatives(arr, [True, False, True], w)
+    assert (scores >= -1e-12).all() and (scores <= 1 + 1e-12).all()
+
+
+# ------------------------------------------------------------- similarity
+@st.composite
+def call_traces(draw):
+    alphabet = st.sampled_from(list("abcdefgh"))
+    chain = draw(st.lists(alphabet, min_size=1, max_size=8))
+    return CallGraphTrace("svc", tuple(chain))
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=call_traces(), b=call_traces())
+def test_similarity_symmetric_bounded(a, b):
+    sab = trace_similarity(a, b)
+    assert sab == trace_similarity(b, a)
+    assert 0.0 <= sab <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=call_traces())
+def test_similarity_reflexive(a):
+    assert trace_similarity(a, a) == 1.0
+
+
+# ------------------------------------------------------------------ traces
+@settings(max_examples=40, deadline=None)
+@given(
+    volumes=st.lists(
+        st.integers(min_value=0, max_value=1000), min_size=1, max_size=50
+    )
+)
+def test_temporal_trace_statistics(volumes):
+    trace = TemporalTrace(interval_minutes=5.0, volumes=np.array(volumes))
+    assert trace.peak_to_mean() >= 1.0 or trace.peak_to_mean() == 0.0
+    assert trace.coefficient_of_variation() >= 0.0
+    assert (trace.hours >= 0).all() and (trace.hours < 24).all()

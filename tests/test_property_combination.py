@@ -1,0 +1,170 @@
+"""Property-based tests for SoCL's combination/storage machinery.
+
+Hypothesis drives randomized placements through the Alg. 3/5 components
+and pins their invariants:
+
+* storage planning preserves the instance population and never makes a
+  feasible node infeasible;
+* the relocation polish never changes instance counts, never violates
+  storage, and never increases the nearest-host latency estimate;
+* removing the min-ζ instance always reduces deployment cost by exactly
+  κ of the removed service.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CombinationState,
+    SoCLConfig,
+    initial_partition,
+    latency_losses,
+    relocation_pass,
+    storage_plan,
+)
+from repro.model import Placement, ProblemConfig, ProblemInstance
+from repro.model.cost import deployment_cost, storage_used
+from repro.microservices import Application, Microservice
+from repro.network import grid_topology
+from repro.workload import UserRequest, WorkloadSpec, generate_requests
+
+
+def build_instance(seed: int, n_users: int) -> ProblemInstance:
+    app = Application(
+        [
+            Microservice(0, "a", compute=1.0, storage=1.5, deploy_cost=100.0, data_out=2.0),
+            Microservice(1, "b", compute=2.0, storage=2.0, deploy_cost=150.0, data_out=1.0),
+            Microservice(2, "c", compute=1.5, storage=1.0, deploy_cost=120.0, data_out=0.5),
+        ],
+        [(0, 1), (1, 2)],
+        entrypoints=[0],
+    )
+    net = grid_topology(2, 3, seed=seed % 4)
+    requests = generate_requests(
+        net, app, WorkloadSpec(n_users=n_users, max_chain=3), rng=seed
+    )
+    return ProblemInstance(net, app, requests, ProblemConfig(budget=3000.0))
+
+
+@st.composite
+def instances_with_placements(draw):
+    seed = draw(st.integers(min_value=0, max_value=20))
+    n_users = draw(st.integers(min_value=3, max_value=12))
+    inst = build_instance(seed, n_users)
+    x = np.zeros((inst.n_services, inst.n_servers), dtype=bool)
+    for svc in (int(i) for i in inst.requested_services):
+        hosts = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=inst.n_servers - 1),
+                min_size=1,
+                max_size=inst.n_servers,
+            )
+        )
+        for k in hosts:
+            x[svc, k] = True
+    return inst, Placement(x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pair=instances_with_placements())
+def test_storage_plan_preserves_population(pair):
+    inst, placement = pair
+    outcome = storage_plan(inst, placement)
+    assert outcome.placement.total_instances == placement.total_instances
+    for svc in range(inst.n_services):
+        assert (
+            outcome.placement.instance_count(svc)
+            == placement.instance_count(svc)
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(pair=instances_with_placements())
+def test_storage_plan_success_iff_fits(pair):
+    inst, placement = pair
+    outcome = storage_plan(inst, placement)
+    used = storage_used(inst, outcome.placement)
+    if outcome.success:
+        assert (used <= inst.server_storage + 1e-6).all()
+    else:
+        # global infeasibility: total footprint exceeds total capacity,
+        # or the local repair got stuck
+        total_need = float(
+            inst.service_storage @ placement.matrix.sum(axis=1)
+        )
+        assert (
+            total_need > inst.server_storage.sum() or outcome.overloaded
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(pair=instances_with_placements())
+def test_relocation_invariants(pair):
+    inst, placement = pair
+    plan = storage_plan(inst, placement)
+    if not plan.success:
+        return  # relocation requires a storage-feasible starting point
+    partitions = initial_partition(inst)
+    state = CombinationState(inst, partitions, plan.placement)
+    counts_before = [
+        state.placement.instance_count(s) for s in range(inst.n_services)
+    ]
+    cost_before = deployment_cost(inst, state.placement)
+    relocation_pass(state, SoCLConfig())
+    counts_after = [
+        state.placement.instance_count(s) for s in range(inst.n_services)
+    ]
+    assert counts_after == counts_before  # moves, never adds/removes
+    assert deployment_cost(inst, state.placement) == pytest.approx(cost_before)
+    used = storage_used(inst, state.placement)
+    assert (used <= inst.server_storage + 1e-6).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(pair=instances_with_placements())
+def test_merge_reduces_cost_by_kappa(pair):
+    inst, placement = pair
+    partitions = initial_partition(inst)
+    state = CombinationState(inst, partitions, placement)
+    zetas = latency_losses(state)
+    if not zetas:
+        return
+    svc, node = min(zetas, key=zetas.get)
+    before = deployment_cost(inst, state.placement)
+    state.remove(svc, node)
+    after = deployment_cost(inst, state.placement)
+    assert before - after == pytest.approx(float(inst.service_cost[svc]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(pair=instances_with_placements())
+def test_zeta_matches_manual_recompute(pair):
+    """ζ must equal the reliance-latency difference computed directly."""
+    inst, placement = pair
+    partitions = initial_partition(inst)
+    state = CombinationState(inst, partitions, placement)
+    zetas = latency_losses(state)
+    if not zetas:
+        return
+    (svc, node), zeta = min(zetas.items(), key=lambda kv: kv[1])
+
+    def reliance_latency(st_obj) -> float:
+        rel = st_obj.reliance[svc]
+        inv = inst.inv_rate
+        comp = inst.compute_ext
+        total = 0.0
+        for f in np.nonzero(inst.demand_counts[svc] > 0)[0]:
+            k = int(rel[f])
+            total += float(
+                inst.demand_data[svc][f] * inv[f, k]
+                + inst.demand_counts[svc][f]
+                * inst.service_compute[svc]
+                / comp[k]
+            )
+        return total
+
+    before = reliance_latency(state)
+    state.remove(svc, node)
+    after = reliance_latency(state)
+    assert after - before == pytest.approx(zeta, abs=1e-6)

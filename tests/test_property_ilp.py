@@ -1,0 +1,104 @@
+"""Property-based ILP tests: the exact optimum lower-bounds every heuristic.
+
+Hypothesis generates tiny random instances (star model so the ILP stays
+milliseconds-fast) and verifies the fundamental relationships:
+
+* OPT objective ≤ every heuristic's objective;
+* OPT's solution re-evaluates to the solver's reported objective;
+* tightening the budget never improves the optimum;
+* the two exact backends agree.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import JointDeploymentRouting, RandomProvisioning
+from repro.core import SoCL
+from repro.ilp import branch_and_bound, solve_milp
+from repro.microservices import Application, Microservice
+from repro.model import ProblemConfig, ProblemInstance, evaluate
+from repro.network import grid_topology
+from repro.workload import UserRequest
+
+
+@st.composite
+def tiny_instances(draw) -> ProblemInstance:
+    n_services = draw(st.integers(min_value=2, max_value=3))
+    services = [
+        Microservice(
+            i,
+            f"s{i}",
+            compute=draw(st.floats(min_value=0.5, max_value=3.0)),
+            storage=1.0,
+            deploy_cost=draw(st.floats(min_value=50.0, max_value=200.0)),
+            data_out=draw(st.floats(min_value=0.5, max_value=3.0)),
+        )
+        for i in range(n_services)
+    ]
+    app = Application(
+        services, [(i, i + 1) for i in range(n_services - 1)], entrypoints=[0]
+    )
+    net = grid_topology(2, 2, seed=draw(st.integers(min_value=0, max_value=3)))
+    n_requests = draw(st.integers(min_value=1, max_value=4))
+    requests = []
+    for h in range(n_requests):
+        length = draw(st.integers(min_value=1, max_value=n_services))
+        requests.append(
+            UserRequest(
+                index=h,
+                home=draw(st.integers(min_value=0, max_value=3)),
+                chain=tuple(range(length)),
+                data_in=draw(st.floats(min_value=0.5, max_value=4.0)),
+                data_out=draw(st.floats(min_value=0.2, max_value=2.0)),
+                edge_data=tuple(
+                    draw(st.floats(min_value=0.5, max_value=4.0))
+                    for _ in range(length - 1)
+                ),
+            )
+        )
+    return ProblemInstance(
+        net,
+        app,
+        requests,
+        ProblemConfig(weight=0.5, budget=3000.0, latency_model="star"),
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(inst=tiny_instances())
+def test_opt_lower_bounds_heuristics(inst):
+    opt = solve_milp(inst)
+    assert opt.optimal
+    for solver in (RandomProvisioning(seed=0), JointDeploymentRouting(), SoCL()):
+        res = solver.solve(inst)
+        assert opt.objective <= res.report.objective + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(inst=tiny_instances())
+def test_opt_objective_reevaluates(inst):
+    opt = solve_milp(inst)
+    rep = evaluate(inst, opt.placement, opt.routing)
+    assert rep.objective == pytest.approx(opt.objective, rel=1e-6)
+
+
+@settings(max_examples=8, deadline=None)
+@given(inst=tiny_instances(), data=st.data())
+def test_tighter_budget_never_better(inst, data):
+    loose = solve_milp(inst)
+    assert loose.optimal
+    factor = data.draw(st.floats(min_value=0.3, max_value=0.95))
+    tight = inst.with_config(budget=max(500.0, inst.config.budget * factor))
+    res = solve_milp(tight)
+    if res.optimal:
+        assert res.objective >= loose.objective - 1e-9
+
+
+@settings(max_examples=6, deadline=None)
+@given(inst=tiny_instances())
+def test_backends_agree(inst):
+    a = solve_milp(inst)
+    b = branch_and_bound(inst, node_limit=50_000)
+    assert a.optimal and b.optimal
+    assert a.objective == pytest.approx(b.objective, rel=1e-6)

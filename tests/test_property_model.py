@@ -1,0 +1,168 @@
+"""Property-based tests for the optimization model (hypothesis).
+
+Invariants pinned here:
+
+* routing DP optimality: no random assignment beats the DP per request;
+* objective decomposition: evaluate == λ·cost + (1−λ)·Σ latency;
+* latency monotonicity: adding instances can only help optimal routing;
+* feasibility closure: every solver output satisfies Eq. (4)-(6), (9)-(11).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import (
+    Placement,
+    ProblemConfig,
+    ProblemInstance,
+    Routing,
+    evaluate,
+    optimal_routing,
+)
+from repro.model.cost import deployment_cost
+from repro.model.latency import total_latency
+from repro.network import grid_topology
+from repro.microservices import Application, Microservice
+from repro.workload import UserRequest
+
+
+def build_app(n_services: int) -> Application:
+    services = [
+        Microservice(
+            i, f"s{i}", compute=1.0 + i * 0.5, storage=1.0, deploy_cost=100.0, data_out=1.0
+        )
+        for i in range(n_services)
+    ]
+    deps = [(i, i + 1) for i in range(n_services - 1)]
+    return Application(services, deps, entrypoints=[0])
+
+
+@st.composite
+def instances(draw) -> ProblemInstance:
+    n_services = draw(st.integers(min_value=2, max_value=4))
+    app = build_app(n_services)
+    net = grid_topology(2, draw(st.integers(min_value=2, max_value=3)), seed=0)
+    n_requests = draw(st.integers(min_value=1, max_value=6))
+    requests = []
+    for h in range(n_requests):
+        length = draw(st.integers(min_value=1, max_value=n_services))
+        chain = tuple(range(length))
+        requests.append(
+            UserRequest(
+                index=h,
+                home=draw(st.integers(min_value=0, max_value=net.n - 1)),
+                chain=chain,
+                data_in=draw(st.floats(min_value=0.1, max_value=5.0)),
+                data_out=draw(st.floats(min_value=0.1, max_value=5.0)),
+                edge_data=tuple(
+                    draw(st.floats(min_value=0.1, max_value=5.0))
+                    for _ in range(length - 1)
+                ),
+            )
+        )
+    weight = draw(st.floats(min_value=0.1, max_value=0.9))
+    return ProblemInstance(
+        net, app, requests, ProblemConfig(weight=weight, budget=5000.0)
+    )
+
+
+@st.composite
+def instances_with_placements(draw):
+    inst = draw(instances())
+    x = np.zeros((inst.n_services, inst.n_servers), dtype=bool)
+    for svc in inst.requested_services:
+        n_hosts = draw(st.integers(min_value=1, max_value=inst.n_servers))
+        hosts = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=inst.n_servers - 1),
+                min_size=n_hosts,
+                max_size=n_hosts,
+            )
+        )
+        for k in hosts:
+            x[svc, k] = True
+        if not x[svc].any():
+            x[svc, 0] = True
+    return inst, Placement(x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pair=instances_with_placements(), data=st.data())
+def test_dp_routing_beats_random_assignments(pair, data):
+    inst, placement = pair
+    opt = optimal_routing(inst, placement)
+    opt_lat = total_latency(inst, opt)
+
+    a = np.full((inst.n_requests, inst.max_chain), -1, dtype=np.int64)
+    for h, req in enumerate(inst.requests):
+        for j, svc in enumerate(req.chain):
+            hosts = placement.hosts(svc)
+            pick = data.draw(
+                st.integers(min_value=0, max_value=len(hosts) - 1),
+                label=f"h{h}j{j}",
+            )
+            a[h, j] = hosts[pick]
+    random_lat = total_latency(inst, Routing(inst, a))
+    assert (opt_lat <= random_lat + 1e-9).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(pair=instances_with_placements())
+def test_objective_decomposition(pair):
+    inst, placement = pair
+    routing = optimal_routing(inst, placement)
+    rep = evaluate(inst, placement, routing)
+    lam = inst.config.weight
+    assert rep.objective == pytest.approx(
+        lam * rep.cost + (1 - lam) * rep.latency_sum
+    )
+    assert rep.cost == pytest.approx(deployment_cost(inst, placement))
+    assert rep.latency_sum == pytest.approx(float(rep.latencies.sum()))
+
+
+@settings(max_examples=30, deadline=None)
+@given(pair=instances_with_placements(), data=st.data())
+def test_adding_instance_never_hurts_latency(pair, data):
+    inst, placement = pair
+    before = total_latency(inst, optimal_routing(inst, placement)).sum()
+    svc = int(
+        inst.requested_services[
+            data.draw(
+                st.integers(
+                    min_value=0, max_value=len(inst.requested_services) - 1
+                )
+            )
+        ]
+    )
+    node = data.draw(st.integers(min_value=0, max_value=inst.n_servers - 1))
+    bigger = placement.copy()
+    if not bigger.has(svc, node):
+        bigger.add(svc, node)
+    after = total_latency(inst, optimal_routing(inst, bigger)).sum()
+    assert after <= before + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(pair=instances_with_placements())
+def test_latency_positive_components(pair):
+    inst, placement = pair
+    from repro.model.latency import latency_breakdown
+
+    b = latency_breakdown(inst, optimal_routing(inst, placement))
+    for arr in (b.d_in, b.d_compute, b.d_link, b.d_out):
+        assert (arr >= -1e-12).all()
+    assert (b.d_compute > 0).all()  # every request computes something
+
+
+@settings(max_examples=20, deadline=None)
+@given(inst=instances())
+def test_socl_output_always_feasible(inst):
+    from repro.core import solve_socl
+    from repro.model import feasibility_report
+
+    result = solve_socl(inst)
+    rep = feasibility_report(inst, result.placement, result.routing)
+    assert rep.budget_ok
+    assert rep.storage_ok
+    assert rep.assignment_ok

@@ -1,0 +1,142 @@
+"""Property-based round-trip tests for repro.serialization."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.microservices import Application, Microservice
+from repro.model import ProblemConfig, ProblemInstance
+from repro.network import EdgeNetwork, EdgeServer, Link
+from repro.serialization import (
+    application_from_dict,
+    application_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    network_from_dict,
+    network_to_dict,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.workload import UserRequest
+
+
+@st.composite
+def networks(draw) -> EdgeNetwork:
+    n = draw(st.integers(min_value=2, max_value=6))
+    servers = [
+        EdgeServer(
+            k,
+            compute=draw(st.floats(min_value=1.0, max_value=30.0)),
+            storage=draw(st.floats(min_value=1.0, max_value=10.0)),
+            position=(
+                draw(st.floats(min_value=-5, max_value=5)),
+                draw(st.floats(min_value=-5, max_value=5)),
+            ),
+            name=draw(st.sampled_from(["", "bs", "edge"])),
+        )
+        for k in range(n)
+    ]
+    links = [
+        Link(
+            k,
+            k + 1,
+            bandwidth=draw(st.floats(min_value=1.0, max_value=100.0)),
+            gain=draw(st.floats(min_value=0.1, max_value=5.0)),
+            power=draw(st.floats(min_value=0.5, max_value=5.0)),
+            noise=draw(st.floats(min_value=0.5, max_value=2.0)),
+        )
+        for k in range(n - 1)
+    ]
+    return EdgeNetwork(servers, links)
+
+
+@st.composite
+def applications(draw) -> Application:
+    n = draw(st.integers(min_value=1, max_value=6))
+    services = [
+        Microservice(
+            i,
+            f"svc{i}",
+            compute=draw(st.floats(min_value=0.5, max_value=5.0)),
+            storage=draw(st.floats(min_value=0.5, max_value=3.0)),
+            deploy_cost=draw(st.floats(min_value=10.0, max_value=500.0)),
+            data_out=draw(st.floats(min_value=0.0, max_value=5.0)),
+        )
+        for i in range(n)
+    ]
+    deps = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if draw(st.booleans())
+    ]
+    return Application(services, deps, name=draw(st.sampled_from(["a", "app-x"])))
+
+
+@st.composite
+def requests_for(draw, app: Application, network: EdgeNetwork) -> UserRequest:
+    entry = draw(st.sampled_from(list(app.entrypoints)))
+    chain = [entry]
+    while True:
+        succs = [s for s in app.successors(chain[-1]) if s not in chain]
+        if not succs or not draw(st.booleans()):
+            break
+        chain.append(draw(st.sampled_from(succs)))
+    return UserRequest(
+        index=0,
+        home=draw(st.integers(min_value=0, max_value=network.n - 1)),
+        chain=tuple(chain),
+        data_in=draw(st.floats(min_value=0.0, max_value=10.0)),
+        data_out=draw(st.floats(min_value=0.0, max_value=10.0)),
+        edge_data=tuple(
+            draw(st.floats(min_value=0.0, max_value=10.0))
+            for _ in range(len(chain) - 1)
+        ),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(net=networks())
+def test_network_round_trip(net):
+    clone = network_from_dict(json.loads(json.dumps(network_to_dict(net))))
+    assert clone.n == net.n
+    assert np.allclose(clone.rate_matrix, net.rate_matrix)
+    assert np.allclose(clone.compute, net.compute)
+    assert np.allclose(clone.storage, net.storage)
+    assert np.allclose(clone.positions, net.positions)
+
+
+@settings(max_examples=25, deadline=None)
+@given(app=applications())
+def test_application_round_trip(app):
+    clone = application_from_dict(json.loads(json.dumps(application_to_dict(app))))
+    assert clone.n_services == app.n_services
+    assert clone.dependency_edges == app.dependency_edges
+    assert clone.entrypoints == app.entrypoints
+    assert tuple(clone.services) == tuple(app.services)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_instance_round_trip(data):
+    net = data.draw(networks())
+    app = data.draw(applications())
+    req = data.draw(requests_for(app, net))
+    inst = ProblemInstance(net, app, [req], ProblemConfig(budget=5000.0))
+    clone = instance_from_dict(json.loads(json.dumps(instance_to_dict(inst))))
+    assert clone.n_requests == inst.n_requests
+    assert clone.requests[0] == inst.requests[0]
+    assert np.allclose(clone.inv_rate, inst.inv_rate)
+    assert clone.config == inst.config
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_request_round_trip(data):
+    net = data.draw(networks())
+    app = data.draw(applications())
+    req = data.draw(requests_for(app, net))
+    clone = request_from_dict(json.loads(json.dumps(request_to_dict(req))))
+    assert clone == req

@@ -1,0 +1,169 @@
+"""Tests for repro.runtime.cluster and repro.runtime.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.model import Placement, optimal_routing
+from repro.model.latency import total_latency
+from repro.runtime import (
+    LatencyRecorder,
+    ServerlessConfig,
+    SimulatedCluster,
+    summarize_latencies,
+)
+
+
+@pytest.fixture
+def solved_tiny(tiny_instance):
+    placement = Placement.full(tiny_instance)
+    routing = optimal_routing(tiny_instance, placement)
+    return placement, routing
+
+
+class TestSimulatedCluster:
+    def test_all_requests_complete(self, tiny_instance, solved_tiny):
+        placement, routing = solved_tiny
+        cluster = SimulatedCluster(
+            tiny_instance, placement, routing,
+            serverless=ServerlessConfig(cold_start=0.0),
+        )
+        outcomes = cluster.run()
+        assert len(outcomes) == tiny_instance.n_requests
+        assert all(o.done for o in outcomes)
+
+    def test_uncontended_matches_analytic_model(self, tiny_instance, solved_tiny):
+        """With spread-out arrivals and no cold starts, DES latency equals
+        the analytic chain-model completion time."""
+        placement, routing = solved_tiny
+        cluster = SimulatedCluster(
+            tiny_instance, placement, routing,
+            serverless=ServerlessConfig(cold_start=0.0),
+        )
+        arrivals = [(h, 1000.0 * h) for h in range(tiny_instance.n_requests)]
+        outcomes = cluster.run(arrivals=arrivals)
+        analytic = total_latency(tiny_instance, routing, model="chain")
+        for o in outcomes:
+            assert o.latency == pytest.approx(analytic[o.request], rel=1e-9)
+            assert o.queueing == 0.0
+
+    def test_contention_adds_queueing(self, tiny_instance):
+        # force every request through node 0 with 1 core → queueing
+        placement = Placement.from_pairs(
+            tiny_instance, [(0, 0), (1, 0), (2, 0)]
+        )
+        routing = optimal_routing(tiny_instance, placement)
+        cluster = SimulatedCluster(
+            tiny_instance, placement, routing, cores_per_node=1,
+            serverless=ServerlessConfig(cold_start=0.0),
+        )
+        outcomes = cluster.run()  # simultaneous arrivals at t=0
+        total_queue = sum(o.queueing for o in outcomes)
+        assert total_queue > 0.0
+        analytic = total_latency(tiny_instance, routing, model="chain")
+        for o in outcomes:
+            assert o.latency >= analytic[o.request] - 1e-9
+
+    def test_more_cores_less_queueing(self, tiny_instance):
+        placement = Placement.from_pairs(
+            tiny_instance, [(0, 0), (1, 0), (2, 0)]
+        )
+        routing = optimal_routing(tiny_instance, placement)
+
+        def run(cores):
+            c = SimulatedCluster(
+                tiny_instance, placement, routing, cores_per_node=cores,
+                serverless=ServerlessConfig(cold_start=0.0),
+            )
+            return sum(o.queueing for o in c.run())
+
+        assert run(4) <= run(1)
+
+    def test_cold_starts_counted(self, tiny_instance, solved_tiny):
+        placement, routing = solved_tiny
+        cluster = SimulatedCluster(
+            tiny_instance, placement, routing,
+            serverless=ServerlessConfig(cold_start=0.5, keep_alive=1e9),
+        )
+        outcomes = cluster.run()
+        assert cluster.pool.cold_starts > 0
+        assert any(o.cold_start > 0 for o in outcomes)
+
+    def test_cloud_requests_complete(self, tiny_instance):
+        placement = Placement.empty(tiny_instance)
+        routing = optimal_routing(tiny_instance, placement)  # all cloud
+        cluster = SimulatedCluster(tiny_instance, placement, routing)
+        outcomes = cluster.run()
+        assert all(o.done for o in outcomes)
+        # WAN latency dominates
+        assert all(o.latency > 1.0 for o in outcomes)
+
+    def test_latencies_array(self, tiny_instance, solved_tiny):
+        placement, routing = solved_tiny
+        cluster = SimulatedCluster(tiny_instance, placement, routing)
+        cluster.run()
+        assert cluster.latencies().shape == (tiny_instance.n_requests,)
+
+    def test_utilization(self, tiny_instance, solved_tiny):
+        placement, routing = solved_tiny
+        cluster = SimulatedCluster(tiny_instance, placement, routing)
+        cluster.run()
+        util = cluster.utilization(horizon=100.0)
+        assert util.shape == (tiny_instance.n_servers,)
+        assert (util >= 0).all()
+
+    def test_deterministic(self, tiny_instance, solved_tiny):
+        placement, routing = solved_tiny
+
+        def latencies():
+            c = SimulatedCluster(tiny_instance, placement, routing)
+            c.run()
+            return c.latencies()
+
+        assert np.array_equal(latencies(), latencies())
+
+
+class TestMetrics:
+    def test_summarize_empty(self):
+        s = summarize_latencies([])
+        assert s["count"] == 0
+        assert s["max"] == 0.0
+
+    def test_summarize_values(self):
+        s = summarize_latencies([1.0, 2.0, 3.0, 4.0])
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["median"] == pytest.approx(2.5)
+        assert s["max"] == 4.0
+
+    def test_recorder_slots(self):
+        rec = LatencyRecorder()
+        rec.record_slot([1.0, 3.0])
+        rec.record_slot([2.0])
+        rec.record_slot([])
+        assert rec.n_slots == 3
+        assert np.allclose(rec.slot_means(), [2.0, 2.0, 0.0])
+        assert np.allclose(rec.slot_maxima(), [3.0, 2.0, 0.0])
+
+    def test_recorder_overall(self):
+        rec = LatencyRecorder()
+        rec.record_slot([1.0, 3.0])
+        rec.record_slot([5.0])
+        overall = rec.overall()
+        assert overall["count"] == 3
+        assert overall["max"] == 5.0
+
+    def test_all_latencies_empty(self):
+        assert LatencyRecorder().all_latencies().size == 0
+
+
+class TestSubmitValidation:
+    def test_bad_request_index(self, tiny_instance, solved_tiny):
+        placement, routing = solved_tiny
+        cluster = SimulatedCluster(tiny_instance, placement, routing)
+        with pytest.raises(IndexError, match="outside instance"):
+            cluster.submit(99, 0.0)
+
+    def test_negative_arrival(self, tiny_instance, solved_tiny):
+        placement, routing = solved_tiny
+        cluster = SimulatedCluster(tiny_instance, placement, routing)
+        with pytest.raises(ValueError, match="non-negative"):
+            cluster.submit(0, -1.0)

@@ -1,0 +1,85 @@
+"""Tests for repro.runtime.simulator (online time-slotted driver)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomProvisioning
+from repro.core import SoCL
+from repro.microservices import eshop_application
+from repro.model import ProblemConfig
+from repro.network import grid_topology
+from repro.runtime import OnlineSimulator
+from repro.workload import WorkloadSpec
+
+
+@pytest.fixture
+def sim_components():
+    network = grid_topology(3, 3, seed=3)
+    app = eshop_application()
+    config = ProblemConfig(weight=0.5, budget=6000.0)
+    spec = WorkloadSpec(n_users=15)
+    return network, app, config, spec
+
+
+class TestOnlineSimulator:
+    def test_slot_records(self, sim_components):
+        net, app, cfg, spec = sim_components
+        sim = OnlineSimulator(net, app, cfg, spec, seed=0)
+        res = sim.run(SoCL(), n_slots=3)
+        assert len(res.slots) == 3
+        assert res.recorder.n_slots == 3
+        for rec in res.slots:
+            assert rec.n_requests == 15
+            assert rec.objective > 0
+            assert rec.mean_latency >= 0
+
+    def test_solver_name_captured(self, sim_components):
+        net, app, cfg, spec = sim_components
+        sim = OnlineSimulator(net, app, cfg, spec, seed=0)
+        res = sim.run(RandomProvisioning(seed=0), n_slots=2)
+        assert res.solver_name == "RP"
+
+    def test_volumes_cap_requests(self, sim_components):
+        net, app, cfg, spec = sim_components
+        sim = OnlineSimulator(net, app, cfg, spec, seed=0)
+        res = sim.run(SoCL(), n_slots=3, volumes=[5, 8, 100])
+        assert [r.n_requests for r in res.slots] == [5, 8, 15]
+
+    def test_deterministic(self, sim_components):
+        net, app, cfg, spec = sim_components
+        a = OnlineSimulator(net, app, cfg, spec, seed=9).run(SoCL(), n_slots=2)
+        b = OnlineSimulator(net, app, cfg, spec, seed=9).run(SoCL(), n_slots=2)
+        assert a.mean_delay == pytest.approx(b.mean_delay)
+        assert np.allclose(a.slot_means(), b.slot_means())
+
+    def test_mobility_produces_churn(self, sim_components):
+        net, app, cfg, spec = sim_components
+        sim = OnlineSimulator(net, app, cfg, spec, move_prob=0.8, seed=0)
+        res = sim.run(SoCL(), n_slots=4)
+        assert any(r.churn > 0 for r in res.slots)
+
+    def test_static_users_no_churn(self, sim_components):
+        net, app, cfg, spec = sim_components
+        sim = OnlineSimulator(net, app, cfg, spec, move_prob=0.0, seed=0)
+        res = sim.run(SoCL(), n_slots=3)
+        assert all(r.churn == 0 for r in res.slots)
+
+    def test_cold_starts_accumulate(self, sim_components):
+        net, app, cfg, spec = sim_components
+        sim = OnlineSimulator(net, app, cfg, spec, seed=0)
+        res = sim.run(SoCL(), n_slots=2)
+        assert sum(r.cold_starts for r in res.slots) > 0
+
+    def test_trace_summary(self, sim_components):
+        net, app, cfg, spec = sim_components
+        sim = OnlineSimulator(net, app, cfg, spec, seed=0)
+        res = sim.run(SoCL(), n_slots=3)
+        assert res.mean_delay > 0
+        assert res.max_delay >= res.mean_delay
+        assert res.slot_means().shape == (3,)
+
+    def test_invalid_slots(self, sim_components):
+        net, app, cfg, spec = sim_components
+        sim = OnlineSimulator(net, app, cfg, spec, seed=0)
+        with pytest.raises(ValueError):
+            sim.run(SoCL(), n_slots=0)

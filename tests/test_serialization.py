@@ -1,0 +1,135 @@
+"""Tests for repro.serialization (JSON round-trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import SoCL
+from repro.model import evaluate, optimal_routing, Placement
+from repro.serialization import (
+    application_from_dict,
+    application_to_dict,
+    config_from_dict,
+    config_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    network_from_dict,
+    network_to_dict,
+    placement_from_dict,
+    placement_to_dict,
+    request_from_dict,
+    request_to_dict,
+    routing_from_dict,
+    routing_to_dict,
+    save_instance,
+    solution_to_dict,
+)
+
+
+class TestNetworkRoundTrip:
+    def test_preserves_structure(self, line3_network):
+        clone = network_from_dict(network_to_dict(line3_network))
+        assert clone.n == line3_network.n
+        assert np.allclose(clone.rate_matrix, line3_network.rate_matrix)
+        assert np.allclose(clone.compute, line3_network.compute)
+        assert np.allclose(clone.storage, line3_network.storage)
+
+    def test_json_safe(self, diamond_network):
+        text = json.dumps(network_to_dict(diamond_network))
+        clone = network_from_dict(json.loads(text))
+        assert np.allclose(clone.rate_matrix, diamond_network.rate_matrix)
+
+    def test_wrong_kind_rejected(self, line3_network):
+        data = network_to_dict(line3_network)
+        data["kind"] = "zebra"
+        with pytest.raises(ValueError, match="expected kind"):
+            network_from_dict(data)
+
+    def test_wrong_version_rejected(self, line3_network):
+        data = network_to_dict(line3_network)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            network_from_dict(data)
+
+
+class TestApplicationRoundTrip:
+    def test_preserves_everything(self, eshop_app):
+        clone = application_from_dict(application_to_dict(eshop_app))
+        assert clone.name == eshop_app.name
+        assert clone.n_services == eshop_app.n_services
+        assert clone.dependency_edges == eshop_app.dependency_edges
+        assert clone.entrypoints == eshop_app.entrypoints
+        for a, b in zip(clone.services, eshop_app.services):
+            assert a == b
+
+
+class TestRequestRoundTrip:
+    def test_round_trip(self, tiny_instance):
+        for req in tiny_instance.requests:
+            clone = request_from_dict(request_to_dict(req))
+            assert clone == req
+
+
+class TestConfigRoundTrip:
+    def test_finite_deadline(self, tiny_instance):
+        cfg = tiny_instance.config.with_(deadline=12.5)
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_infinite_deadline(self, tiny_instance):
+        cfg = tiny_instance.config
+        clone = config_from_dict(config_to_dict(cfg))
+        assert np.isinf(clone.deadline)
+
+
+class TestInstanceRoundTrip:
+    def test_solutions_transfer(self, tiny_instance):
+        """A solution computed on the original scores identically on the
+        deserialized clone — the strongest round-trip check."""
+        clone = instance_from_dict(instance_to_dict(tiny_instance))
+        p = Placement.full(tiny_instance)
+        r = optimal_routing(tiny_instance, p)
+        original = evaluate(tiny_instance, p, r)
+        p2 = placement_from_dict(placement_to_dict(p))
+        r2 = routing_from_dict(routing_to_dict(r), clone)
+        transferred = evaluate(clone, p2, r2)
+        assert transferred.objective == pytest.approx(original.objective)
+
+    def test_deadline_vector_preserved(self, tiny_instance):
+        inst = tiny_instance.with_deadlines([1.0, 2.0, 3.0, 4.0])
+        clone = instance_from_dict(instance_to_dict(inst))
+        assert np.allclose(clone.deadlines, [1.0, 2.0, 3.0, 4.0])
+
+    def test_file_round_trip(self, tiny_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(tiny_instance, path)
+        clone = load_instance(path)
+        assert clone.n_requests == tiny_instance.n_requests
+        assert clone.config == tiny_instance.config
+
+    def test_solver_agrees_on_clone(self, medium_instance):
+        clone = instance_from_dict(instance_to_dict(medium_instance))
+        a = SoCL().solve(medium_instance)
+        b = SoCL().solve(clone)
+        assert a.report.objective == pytest.approx(b.report.objective)
+
+
+class TestDecisionsRoundTrip:
+    def test_placement(self, tiny_instance):
+        p = Placement.from_pairs(tiny_instance, [(0, 1), (2, 2)])
+        clone = placement_from_dict(placement_to_dict(p))
+        assert clone == p
+
+    def test_routing(self, tiny_instance):
+        p = Placement.full(tiny_instance)
+        r = optimal_routing(tiny_instance, p)
+        clone = routing_from_dict(routing_to_dict(r), tiny_instance)
+        assert np.array_equal(clone.assignment, r.assignment)
+
+    def test_solution_bundle(self, tiny_instance):
+        result = SoCL().solve(tiny_instance)
+        bundle = solution_to_dict(tiny_instance, result)
+        assert bundle["objective"] == pytest.approx(result.report.objective)
+        text = json.dumps(bundle)  # must be JSON-safe
+        assert "placement" in json.loads(text)

@@ -1,0 +1,81 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, derive_seed, maybe_shuffled, spawn
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9)
+        b = as_generator(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough_identity(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(0, 5)
+        assert len(children) == 5
+
+    def test_children_independent(self):
+        a, b = spawn(0, 2)
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_deterministic_across_calls(self):
+        a1 = spawn(99, 3)[1].integers(0, 10**9)
+        a2 = spawn(99, 3)[1].integers(0, 10**9)
+        assert a1 == a2
+
+    def test_zero_children(self):
+        assert spawn(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            spawn(0, -1)
+
+
+class TestDeriveSeed:
+    def test_in_63_bit_range(self):
+        s = derive_seed(0)
+        assert 0 <= s < 2**63
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(0, salt=0) != derive_seed(0, salt=1)
+
+    def test_deterministic(self):
+        assert derive_seed(5, salt=3) == derive_seed(5, salt=3)
+
+
+class TestMaybeShuffled:
+    def test_none_rng_returns_input_unchanged(self):
+        arr = np.arange(10)
+        out = maybe_shuffled(None, arr)
+        assert np.array_equal(out, arr)
+
+    def test_shuffle_is_permutation(self):
+        arr = np.arange(50)
+        out = maybe_shuffled(np.random.default_rng(0), arr)
+        assert sorted(out) == list(range(50))
+
+    def test_does_not_mutate_input(self):
+        arr = np.arange(50)
+        maybe_shuffled(np.random.default_rng(0), arr)
+        assert np.array_equal(arr, np.arange(50))

@@ -1,0 +1,138 @@
+"""Tests for repro.utils.timing and repro.utils.parallel."""
+
+import time
+
+import pytest
+
+from repro.utils.parallel import chunk, effective_workers, parallel_map, serial_map
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        sw = Stopwatch()
+        with sw.measure():
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.009
+
+    def test_laps_accumulate(self):
+        sw = Stopwatch()
+        with sw.measure():
+            pass
+        with sw.measure():
+            pass
+        assert len(sw.laps) == 2
+        assert sw.elapsed == pytest.approx(sum(sw.laps))
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Stopwatch().stop()
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw.measure():
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert sw.laps == []
+
+    def test_exception_still_stops(self):
+        sw = Stopwatch()
+        with pytest.raises(ValueError):
+            with sw.measure():
+                raise ValueError("boom")
+        assert not sw.running
+        assert sw.elapsed >= 0.0
+
+
+class TestTimed:
+    def test_returns_result_and_time(self):
+        result, seconds = timed(sum, range(100))
+        assert result == 4950
+        assert seconds >= 0.0
+
+    def test_kwargs_forwarded(self):
+        result, _ = timed(sorted, [3, 1, 2], reverse=True)
+        assert result == [3, 2, 1]
+
+
+class TestEffectiveWorkers:
+    def test_one(self):
+        assert effective_workers(1) == 1
+
+    def test_zero_means_all(self):
+        assert effective_workers(0) >= 1
+
+    def test_minus_one_means_all(self):
+        assert effective_workers(-1) == effective_workers(0)
+
+    def test_capped_at_cpu_count(self):
+        import os
+
+        assert effective_workers(10_000) <= (os.cpu_count() or 1)
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            effective_workers(-2)
+
+
+class TestChunk:
+    def test_balanced(self):
+        chunks = chunk(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+
+    def test_preserves_order(self):
+        chunks = chunk(list(range(10)), 3)
+        flat = [x for c in chunks for x in c]
+        assert flat == list(range(10))
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk([1, 2], 5)
+        assert chunks == [[1], [2]]
+
+    def test_empty_input(self):
+        assert chunk([], 3) == []
+
+    def test_invalid_n_chunks(self):
+        with pytest.raises(ValueError):
+            chunk([1], 0)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], n_jobs=1) == [1, 4, 9]
+
+    def test_small_input_falls_back_to_serial(self):
+        # below the min_items_per_worker guard — must not spawn a pool
+        assert parallel_map(_square, [2], n_jobs=4) == [4]
+
+    def test_thread_pool_preserves_order(self):
+        items = list(range(100))
+        out = parallel_map(_square, items, n_jobs=2, use_threads=True)
+        assert out == [x * x for x in items]
+
+    def test_process_pool_preserves_order(self):
+        items = list(range(64))
+        out = parallel_map(_square, items, n_jobs=2)
+        assert out == [x * x for x in items]
+
+    def test_serial_map(self):
+        assert serial_map(_square, [3, 4]) == [9, 16]

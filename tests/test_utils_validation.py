@@ -1,0 +1,87 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability("p", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2.0])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability("p", bad)
+
+
+class TestCheckInRange:
+    def test_inclusive_boundaries(self):
+        assert check_in_range("v", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("v", 2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_rejects_boundary(self):
+        with pytest.raises(ValueError):
+            check_in_range("v", 1.0, 1.0, 2.0, inclusive=False)
+
+    def test_message_contains_name_and_value(self):
+        with pytest.raises(ValueError, match="v must be in"):
+            check_in_range("v", 5.0, 0.0, 1.0)
+
+
+class TestCheckIndex:
+    def test_valid_index(self):
+        assert check_index("i", 3, 5) == 3
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            check_index("i", 5, 5)
+
+    def test_negative(self):
+        with pytest.raises(IndexError):
+            check_index("i", -1, 5)
+
+    def test_numpy_integer_accepted(self):
+        import numpy as np
+
+        assert check_index("i", np.int64(2), 5) == 2
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            check_index("i", "abc", 5)
+
+
+class TestCheckType:
+    def test_accepts_matching(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "3", int)

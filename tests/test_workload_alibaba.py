@@ -1,0 +1,120 @@
+"""Tests for repro.workload.alibaba (trace synthesis + similarity)."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    CallGraphTrace,
+    service_similarity_profile,
+    similarity_matrix,
+    synthesize_traces,
+    trace_similarity,
+)
+from repro.workload.alibaba import cross_file_similarity
+
+
+class TestTraceSimilarity:
+    def test_identical_traces(self):
+        t = CallGraphTrace("s", ("a", "b", "c"))
+        assert trace_similarity(t, t) == 1.0
+
+    def test_disjoint_traces(self):
+        a = CallGraphTrace("s", ("a", "b"))
+        b = CallGraphTrace("s", ("c", "d"))
+        assert trace_similarity(a, b) == 0.0
+
+    def test_partial_overlap(self):
+        a = CallGraphTrace("s", ("a", "b", "c"))  # edges ab, bc
+        b = CallGraphTrace("s", ("a", "b", "d"))  # edges ab, bd
+        assert trace_similarity(a, b) == pytest.approx(1 / 3)
+
+    def test_symmetric(self):
+        a = CallGraphTrace("s", ("a", "b", "c"))
+        b = CallGraphTrace("s", ("b", "c"))
+        assert trace_similarity(a, b) == trace_similarity(b, a)
+
+    def test_single_node_traces(self):
+        a = CallGraphTrace("s", ("a",))
+        b = CallGraphTrace("s", ("a",))
+        c = CallGraphTrace("s", ("b",))
+        assert trace_similarity(a, b) == 1.0
+        assert trace_similarity(a, c) == 0.0
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            CallGraphTrace("s", ())
+
+
+class TestSynthesizeTraces:
+    def test_counts(self):
+        traces = synthesize_traces(n_services=3, traces_per_service=5, seed=0)
+        assert len(traces) == 15
+        assert len({t.service for t in traces}) == 3
+
+    def test_deterministic(self):
+        a = synthesize_traces(seed=4)
+        b = synthesize_traces(seed=4)
+        assert [t.chain for t in a] == [t.chain for t in b]
+
+    def test_chains_at_least_two(self):
+        for t in synthesize_traces(seed=0, drop_prob=0.9):
+            assert t.length >= 2
+
+    def test_no_perturbation_gives_near_identical(self):
+        traces = synthesize_traces(
+            n_services=1,
+            traces_per_service=5,
+            drop_prob=0.0,
+            swap_prob=0.0,
+            substitute_prob=0.0,
+            seed=0,
+        )
+        profile = service_similarity_profile(traces)
+        # only the trigger offset varies → very high similarity
+        assert profile["svc0"]["mean"] > 0.6
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            synthesize_traces(chain_length=1)
+        with pytest.raises(ValueError):
+            synthesize_traces(drop_prob=1.5)
+
+
+class TestSimilarityAnalysis:
+    def test_matrix_properties(self):
+        traces = synthesize_traces(n_services=2, traces_per_service=4, seed=0)
+        sim = similarity_matrix(traces)
+        assert sim.shape == (8, 8)
+        assert np.allclose(sim, sim.T)
+        assert np.allclose(np.diag(sim), 1.0)
+        assert (sim >= 0).all() and (sim <= 1).all()
+
+    def test_profile_reproduces_fig3b_shape(self):
+        # paper: long-chain services have max pairwise similarity ≈ 0.65
+        traces = synthesize_traces(
+            n_services=10, traces_per_service=20, chain_length=14, seed=0
+        )
+        profile = service_similarity_profile(traces)
+        maxima = [stats["max"] for stats in profile.values()]
+        assert max(maxima) < 0.95  # never identical
+        assert np.mean(maxima) < 0.8  # diverse dependency structures
+
+    def test_profile_single_trace_service(self):
+        profile = service_similarity_profile([CallGraphTrace("x", ("a", "b"))])
+        assert profile["x"]["count"] == 1.0
+        assert profile["x"]["max"] == 1.0
+
+    def test_cross_file_shape(self):
+        a = synthesize_traces(n_services=2, traces_per_service=3, seed=0)
+        b = synthesize_traces(n_services=2, traces_per_service=2, seed=1)
+        cross = cross_file_similarity(a, b)
+        assert cross.shape == (6, 4)
+        assert (cross >= 0).all() and (cross <= 1).all()
+
+    def test_cross_service_similarity_low(self):
+        # traces of different services share no microservices at all
+        traces = synthesize_traces(n_services=2, traces_per_service=3, seed=0)
+        svc0 = [t for t in traces if t.service == "svc0"]
+        svc1 = [t for t in traces if t.service == "svc1"]
+        cross = cross_file_similarity(svc0, svc1)
+        assert cross.max() == 0.0

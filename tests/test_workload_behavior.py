@@ -1,0 +1,135 @@
+"""Tests for repro.workload.behavior (user behavior / preference model)."""
+
+import numpy as np
+import pytest
+
+from repro.microservices import eshop_application
+from repro.network import grid_topology
+from repro.workload import BehaviorModel, UserProfile, behavioral_requests
+from repro.workload.requests import demand_matrix
+
+
+@pytest.fixture
+def app():
+    return eshop_application()
+
+
+@pytest.fixture
+def net():
+    return grid_topology(3, 3, seed=0)
+
+
+class TestUserProfile:
+    def test_valid(self):
+        p = UserProfile(0, entry_weights=(0.5, 0.5), depth_bias=0.7, pivot_prob=0.1)
+        assert p.user == 0
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            UserProfile(0, entry_weights=(), depth_bias=0.5, pivot_prob=0.1)
+        with pytest.raises(ValueError):
+            UserProfile(0, entry_weights=(0.0, 0.0), depth_bias=0.5, pivot_prob=0.1)
+        with pytest.raises(ValueError):
+            UserProfile(0, entry_weights=(-1.0, 2.0), depth_bias=0.5, pivot_prob=0.1)
+
+    def test_invalid_probs(self):
+        with pytest.raises(ValueError):
+            UserProfile(0, entry_weights=(1.0,), depth_bias=1.5, pivot_prob=0.1)
+
+
+class TestBehaviorModel:
+    def test_profiles_created(self, app):
+        model = BehaviorModel(app, n_users=10, seed=0)
+        assert len(model.profiles) == 10
+        for p in model.profiles:
+            assert len(p.entry_weights) == len(app.entrypoints)
+            assert sum(p.entry_weights) == pytest.approx(1.0)
+
+    def test_sessions_are_valid_chains(self, app):
+        model = BehaviorModel(app, n_users=5, seed=0)
+        edges = set(app.dependency_edges)
+        rng = np.random.default_rng(1)
+        for u in range(5):
+            for _ in range(20):
+                chain = model.sample_session(u, rng=rng)
+                assert chain[0] in app.entrypoints
+                for e in zip(chain, chain[1:]):
+                    assert e in edges
+                assert len(set(chain)) == len(chain)
+
+    def test_deep_users_go_deeper(self, app):
+        deep = BehaviorModel(app, n_users=30, seed=0, mean_depth_bias=0.95, mean_pivot_prob=0.0)
+        shallow = BehaviorModel(app, n_users=30, seed=0, mean_depth_bias=0.05, mean_pivot_prob=0.0)
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        deep_lens = [len(deep.sample_session(u, rng=rng_a)) for u in range(30)]
+        shallow_lens = [len(shallow.sample_session(u, rng=rng_b)) for u in range(30)]
+        assert np.mean(deep_lens) > np.mean(shallow_lens)
+
+    def test_max_length_respected(self, app):
+        model = BehaviorModel(app, n_users=3, seed=0, mean_depth_bias=0.95)
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            assert len(model.sample_session(0, rng=rng, max_length=2)) <= 2
+
+    def test_entry_distribution_normalized(self, app):
+        model = BehaviorModel(app, n_users=20, seed=0)
+        dist = model.entry_distribution()
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_deterministic_profiles(self, app):
+        a = BehaviorModel(app, n_users=5, seed=7)
+        b = BehaviorModel(app, n_users=5, seed=7)
+        assert a.profiles == b.profiles
+
+    def test_invalid_params(self, app):
+        with pytest.raises(ValueError):
+            BehaviorModel(app, n_users=0)
+        with pytest.raises(ValueError):
+            BehaviorModel(app, n_users=5, mean_depth_bias=2.0)
+
+
+class TestBehavioralRequests:
+    def test_one_request_per_user(self, net, app):
+        model = BehaviorModel(app, n_users=12, seed=0)
+        reqs = behavioral_requests(net, app, model, rng=1)
+        assert len(reqs) == 12
+        assert [r.index for r in reqs] == list(range(12))
+
+    def test_demand_is_temporally_correlated(self, net, app):
+        """The point of the behavior model: the same population produces
+        similar demand across slots (unlike fresh random chains)."""
+        model = BehaviorModel(app, n_users=60, seed=0)
+        homes = np.zeros(60, dtype=np.int64)  # fix homes to isolate chains
+        d = []
+        for slot in range(2):
+            reqs = behavioral_requests(net, app, model, rng=slot, homes=homes)
+            d.append(demand_matrix(reqs, app.n_services, net.n).sum(axis=1))
+        # service-demand correlation between consecutive slots is high
+        corr = np.corrcoef(d[0], d[1])[0, 1]
+        assert corr > 0.7
+
+    def test_homes_override(self, net, app):
+        model = BehaviorModel(app, n_users=4, seed=0)
+        reqs = behavioral_requests(net, app, model, rng=0, homes=[2, 2, 2, 2])
+        assert all(r.home == 2 for r in reqs)
+
+    def test_homes_shape_validated(self, net, app):
+        model = BehaviorModel(app, n_users=4, seed=0)
+        with pytest.raises(ValueError, match="shape"):
+            behavioral_requests(net, app, model, rng=0, homes=[1, 2])
+
+    def test_data_scale(self, net, app):
+        model = BehaviorModel(app, n_users=6, seed=0)
+        base = behavioral_requests(net, app, model, rng=3, data_scale=1.0)
+        scaled = behavioral_requests(net, app, model, rng=3, data_scale=10.0)
+        assert scaled[0].data_in == pytest.approx(10.0 * base[0].data_in)
+
+    def test_usable_in_problem_instance(self, net, app):
+        from repro.core import SoCL
+        from repro.model import ProblemConfig, ProblemInstance
+
+        model = BehaviorModel(app, n_users=15, seed=0)
+        reqs = behavioral_requests(net, app, model, rng=0, data_scale=5.0)
+        inst = ProblemInstance(net, app, reqs, ProblemConfig(budget=6000.0))
+        result = SoCL().solve(inst)
+        assert result.feasibility.feasible

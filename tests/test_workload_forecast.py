@@ -1,0 +1,144 @@
+"""Tests for repro.workload.forecast."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    EwmaForecaster,
+    HoltForecaster,
+    SlidingMaxForecaster,
+    evaluate_forecaster,
+)
+from repro.workload.forecast import Forecaster
+
+
+ALL_FORECASTERS = [
+    lambda: EwmaForecaster(alpha=0.3),
+    lambda: HoltForecaster(),
+    lambda: SlidingMaxForecaster(window=4),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_FORECASTERS)
+class TestCommonForecasterBehaviour:
+    def test_protocol(self, factory):
+        assert isinstance(factory(), Forecaster)
+
+    def test_empty_forecast_zero(self, factory):
+        assert factory().forecast(1) == 0.0
+
+    def test_constant_series_converges(self, factory):
+        f = factory()
+        for _ in range(20):
+            f.update(10.0)
+        assert f.forecast(1) == pytest.approx(10.0, rel=0.05)
+
+    def test_negative_demand_rejected(self, factory):
+        with pytest.raises(ValueError, match="negative"):
+            factory().update(-1.0)
+
+    def test_invalid_horizon(self, factory):
+        f = factory()
+        f.update(5.0)
+        with pytest.raises(ValueError):
+            f.forecast(0)
+
+    def test_nonnegative_forecasts(self, factory):
+        f = factory()
+        rng = np.random.default_rng(0)
+        for v in rng.uniform(0, 100, size=50):
+            f.update(float(v))
+            assert f.forecast(1) >= 0.0
+
+
+class TestEwma:
+    def test_smoothing_formula(self):
+        f = EwmaForecaster(alpha=0.5)
+        f.update(10.0)
+        f.update(20.0)
+        assert f.forecast(1) == pytest.approx(15.0)
+
+    def test_alpha_one_tracks_exactly(self):
+        f = EwmaForecaster(alpha=1.0)
+        f.update(3.0)
+        f.update(42.0)
+        assert f.forecast(1) == 42.0
+
+    def test_alpha_zero_rejected(self):
+        with pytest.raises(ValueError):
+            EwmaForecaster(alpha=0.0)
+
+    def test_flat_multi_horizon(self):
+        f = EwmaForecaster(alpha=0.5)
+        f.update(8.0)
+        assert f.forecast(5) == f.forecast(1)
+
+
+class TestHolt:
+    def test_tracks_linear_trend(self):
+        f = HoltForecaster(alpha=0.6, beta=0.4, phi=1.0)
+        for t in range(30):
+            f.update(float(10 + 2 * t))
+        # next value should be ≈ 10 + 2·30 = 70
+        assert f.forecast(1) == pytest.approx(70.0, rel=0.05)
+
+    def test_beats_ewma_on_ramps(self):
+        series = [10.0 + 3.0 * t for t in range(40)]
+        holt = evaluate_forecaster(HoltForecaster(), series)
+        ewma = evaluate_forecaster(EwmaForecaster(alpha=0.3), series)
+        assert holt.mae < ewma.mae
+
+    def test_damping_bounds_long_horizon(self):
+        f = HoltForecaster(alpha=0.6, beta=0.4, phi=0.5)
+        for t in range(20):
+            f.update(float(t))
+        # damped trend: forecast(100) converges instead of exploding
+        assert f.forecast(100) < f.forecast(1) + 10.0
+
+    def test_never_negative(self):
+        f = HoltForecaster()
+        for v in [100, 50, 10, 1, 0, 0, 0]:
+            f.update(float(v))
+        assert f.forecast(10) >= 0.0
+
+
+class TestSlidingMax:
+    def test_envelope(self):
+        f = SlidingMaxForecaster(window=3)
+        for v in (1.0, 5.0, 2.0):
+            f.update(v)
+        assert f.forecast(1) == 5.0
+
+    def test_window_expiry(self):
+        f = SlidingMaxForecaster(window=2)
+        for v in (9.0, 1.0, 2.0):
+            f.update(v)
+        assert f.forecast(1) == 2.0
+
+    def test_conservative_bias(self):
+        rng = np.random.default_rng(1)
+        series = rng.uniform(0, 10, size=60).tolist()
+        score = evaluate_forecaster(SlidingMaxForecaster(window=6), series)
+        assert score.bias > 0  # over-provisions by construction
+
+
+class TestEvaluateForecaster:
+    def test_perfect_on_constant(self):
+        score = evaluate_forecaster(EwmaForecaster(alpha=0.5), [7.0] * 20)
+        assert score.mae == pytest.approx(0.0)
+        assert score.rmse == pytest.approx(0.0)
+        assert score.n == 17  # 20 − warmup 3
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            evaluate_forecaster(EwmaForecaster(), [1.0, 2.0], warmup=3)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            evaluate_forecaster(EwmaForecaster(), [1.0] * 10, warmup=0)
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(2)
+        series = rng.uniform(0, 50, size=50).tolist()
+        score = evaluate_forecaster(HoltForecaster(), series)
+        assert score.rmse >= score.mae

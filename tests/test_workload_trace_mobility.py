@@ -1,0 +1,146 @@
+"""Tests for repro.workload.trace and repro.workload.mobility."""
+
+import numpy as np
+import pytest
+
+from repro.network import grid_topology
+from repro.workload import RandomWaypointMobility, TemporalTrace, generate_arrivals
+from repro.workload.trace import diurnal_rate
+
+
+class TestDiurnalRate:
+    def test_peaks_above_base(self):
+        t = np.linspace(0, 24, 200)
+        rate = diurnal_rate(t, base=10.0)
+        assert rate.max() > 15.0
+        assert rate.min() >= 10.0
+
+    def test_periodic(self):
+        assert diurnal_rate(np.array([1.0])) == pytest.approx(
+            diurnal_rate(np.array([25.0]))
+        )
+
+    def test_peak_location(self):
+        t = np.linspace(0, 24, 24 * 60)
+        rate = diurnal_rate(t, morning_peak=9.5)
+        peak_hour = t[int(np.argmax(rate))] % 24
+        assert abs(peak_hour - 9.5) < 0.5 or abs(peak_hour - 20.0) < 0.5
+
+
+class TestTemporalTrace:
+    def test_properties(self):
+        trace = TemporalTrace(interval_minutes=5.0, volumes=np.array([1, 2, 3]))
+        assert trace.n_intervals == 3
+        assert trace.duration_hours == pytest.approx(0.25)
+
+    def test_hours_wrap(self):
+        trace = TemporalTrace(
+            interval_minutes=60.0, volumes=np.ones(30), start_hour=22.0
+        )
+        assert trace.hours.max() < 24.0
+
+    def test_peak_to_mean(self):
+        trace = TemporalTrace(interval_minutes=5.0, volumes=np.array([1, 1, 4]))
+        assert trace.peak_to_mean() == pytest.approx(2.0)
+
+    def test_zero_volumes(self):
+        trace = TemporalTrace(interval_minutes=5.0, volumes=np.zeros(3))
+        assert trace.peak_to_mean() == 0.0
+        assert trace.coefficient_of_variation() == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TemporalTrace(interval_minutes=0.0, volumes=np.ones(3))
+        with pytest.raises(ValueError):
+            TemporalTrace(interval_minutes=5.0, volumes=np.array([]))
+        with pytest.raises(ValueError):
+            TemporalTrace(interval_minutes=5.0, volumes=np.array([-1.0]))
+
+
+class TestGenerateArrivals:
+    def test_interval_count(self):
+        trace = generate_arrivals(10.0, interval_minutes=5.0, seed=0)
+        assert trace.n_intervals == 120
+
+    def test_deterministic(self):
+        a = generate_arrivals(2.0, seed=7)
+        b = generate_arrivals(2.0, seed=7)
+        assert np.array_equal(a.volumes, b.volumes)
+
+    def test_fluctuating(self):
+        # the paper's Fig. 4 point: significant temporal fluctuation
+        trace = generate_arrivals(10.0, seed=0)
+        assert trace.coefficient_of_variation() > 0.1
+        assert trace.peak_to_mean() > 1.3
+
+    def test_bursts_raise_peak(self):
+        calm = generate_arrivals(10.0, seed=1, burst_rate_per_hour=0.0)
+        bursty = generate_arrivals(
+            10.0, seed=1, burst_rate_per_hour=3.0, burst_magnitude=6.0
+        )
+        assert bursty.volumes.max() >= calm.volumes.max()
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            generate_arrivals(0.0)
+
+
+class TestMobility:
+    @pytest.fixture
+    def net(self):
+        return grid_topology(3, 3, seed=0)
+
+    def test_initial_homes_in_range(self, net):
+        mob = RandomWaypointMobility(net, 20, seed=0)
+        assert mob.homes.min() >= 0 and mob.homes.max() < net.n
+
+    def test_discrete_moves_to_neighbors(self, net):
+        mob = RandomWaypointMobility(net, 50, move_prob=1.0, seed=0)
+        before = mob.homes
+        after = mob.step()
+        for b, a in zip(before, after):
+            if b != a:
+                assert a in net.neighbors(int(b))
+
+    def test_zero_move_prob_is_static(self, net):
+        mob = RandomWaypointMobility(net, 20, move_prob=0.0, seed=0)
+        before = mob.homes
+        after = mob.step()
+        assert np.array_equal(before, after)
+
+    def test_run_shape(self, net):
+        mob = RandomWaypointMobility(net, 10, seed=0)
+        homes = mob.run(5)
+        assert homes.shape == (5, 10)
+
+    def test_planar_mode(self, net):
+        mob = RandomWaypointMobility(net, 15, mode="planar", seed=0)
+        homes = mob.run(10)
+        assert homes.min() >= 0 and homes.max() < net.n
+
+    def test_planar_eventually_moves(self, net):
+        mob = RandomWaypointMobility(
+            net, 30, mode="planar", speed_range=(1.0, 2.0), seed=0
+        )
+        h = mob.run(20)
+        assert (h[0] != h[-1]).any()
+
+    def test_churn(self, net):
+        mob = RandomWaypointMobility(net, 10, seed=0)
+        assert mob.churn(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(
+            1 / 3
+        )
+
+    def test_churn_shape_mismatch(self, net):
+        mob = RandomWaypointMobility(net, 10, seed=0)
+        with pytest.raises(ValueError):
+            mob.churn(np.array([1]), np.array([1, 2]))
+
+    def test_deterministic(self, net):
+        a = RandomWaypointMobility(net, 10, seed=3).run(5)
+        b = RandomWaypointMobility(net, 10, seed=3).run(5)
+        assert np.array_equal(a, b)
+
+    def test_invalid_mode(self, net):
+        with pytest.raises(ValueError, match="mode"):
+            RandomWaypointMobility(net, 10, mode="teleport")
