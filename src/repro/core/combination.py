@@ -22,6 +22,21 @@ still host the instance, and maximize channel speed from the user's home
 nearest host overall is used (cross-group fallback), and only if the
 service has no edge instance at all does traffic go to the cloud — which
 the single-instance skip in Alg. 4 prevents.
+
+Incremental evaluation
+----------------------
+Removing (or adding) an instance of service ``i`` only changes service
+``i``'s host set, so :class:`CombinationState` caches its derived
+quantities *per service* — reliance rows, ζ rows — and invalidates only
+the touched service between descent rounds instead of recomputing the
+full tables.  The ζ row of a service is produced for **all** of its
+hosts at once by one masked best/second-best argmin over the
+``(demand_nodes, hosts)`` cost matrix (see :meth:`CombinationState._zeta_row`),
+replacing the per-(host, demand-node) Python loops.  The serial stage's
+true-objective evaluations share a :class:`~repro.model.engine.BatchRouter`
+so each candidate merge re-routes only the chains touching the merged
+service.  All cached results are bit-identical to a fresh recompute;
+``tests/test_property_combination_cache.py`` enforces this.
 """
 
 from __future__ import annotations
@@ -35,6 +50,7 @@ from repro.core.config import SoCLConfig
 from repro.core.partition import PartitionResult
 from repro.core.storage import storage_plan
 from repro.model.cost import deployment_cost
+from repro.model.engine import BatchRouter
 from repro.model.instance import ProblemInstance
 from repro.model.latency import total_latency
 from repro.model.placement import Placement, Routing
@@ -58,7 +74,10 @@ class CombinationState:
     """Mutable working state of the combination stage.
 
     Tracks the placement, per-(service, home) reliance choices and the
-    derived routing/objective, recomputing lazily after each mutation.
+    derived routing/objective.  Caches are *per service* and lazily
+    recomputed: :meth:`remove`/:meth:`add` invalidate only the touched
+    service, and :meth:`set_placement` diffs the placement matrices to
+    invalidate only the services whose host sets actually changed.
     """
 
     def __init__(
@@ -81,48 +100,132 @@ class CombinationState:
                 for v in group:
                     gid[v] = s
             self._group_id[service] = gid
-        self._reliance: Optional[np.ndarray] = None
+        self._rel_rows: dict[int, np.ndarray] = {}
+        self._zeta_rows: dict[int, dict[int, float]] = {}
+        self._reliance_matrix: Optional[np.ndarray] = None
+        self._router: Optional[BatchRouter] = None
+        self._cost_cache: Optional[float] = None
+        # placement-dependent host arrays (invalidated per service) and
+        # instance-static demand slices (never invalidated)
+        self._hosts_cache: dict[int, np.ndarray] = {}
+        self._demand_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    def _hosts(self, service: int) -> np.ndarray:
+        hosts = self._hosts_cache.get(service)
+        if hosts is None:
+            hosts = self.placement.hosts(service)
+            self._hosts_cache[service] = hosts
+        return hosts
+
+    def _demand(self, service: int) -> tuple:
+        """Static per-service demand slices (never invalidated).
+
+        ``(demand_nodes, data_volumes, user_counts, row_indices,
+        group_of_node)``; the last entry is ``None`` for services without
+        a partition.
+        """
+        entry = self._demand_cache.get(service)
+        if entry is None:
+            inst = self.instance
+            demand = np.nonzero(inst.demand_counts[service] > 0)[0]
+            gid = self._group_id.get(service)
+            entry = (
+                demand,
+                inst.demand_data[service][demand],
+                inst.demand_counts[service][demand].astype(np.float64),
+                np.arange(demand.size),
+                None if gid is None else gid[demand],
+            )
+            self._demand_cache[service] = entry
+        return entry
 
     # ------------------------------------------------------------------
-    def invalidate(self) -> None:
-        self._reliance = None
+    def invalidate(self, service: Optional[int] = None) -> None:
+        """Drop cached derived state.
+
+        With a ``service`` argument only that service's reliance/ζ rows
+        are dropped (the per-service incremental path); without one the
+        full cache is cleared, forcing a from-scratch recompute.
+        """
+        if service is None:
+            self._rel_rows.clear()
+            self._zeta_rows.clear()
+            self._hosts_cache.clear()
+            if self._router is not None:
+                self._router.invalidate()
+        else:
+            self._rel_rows.pop(service, None)
+            self._zeta_rows.pop(service, None)
+            self._hosts_cache.pop(service, None)
+        self._reliance_matrix = None
+        self._cost_cache = None
+
+    # -- host selection kernel -----------------------------------------
+    def _select_hosts(
+        self,
+        service: int,
+        demand: np.ndarray,
+        hosts: np.ndarray,
+        trans: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray, Optional[np.ndarray], np.ndarray]:
+        """Connection-update picks for every demand node at once.
+
+        Returns ``(pick, key, same, has_same)``: for each demand node the
+        index *into* ``hosts`` of the reliance choice, the selection-key
+        matrix (transfer coefficient with the compute tie-break folded
+        in), the same-partition-group candidate mask (``None`` when the
+        service has no partition) and the per-row flag of whether the
+        group preference applied.  ``trans`` lets callers that already
+        gathered the ``inv_rate[demand × hosts]`` block pass it in.
+        """
+        inst = self.instance
+        if trans is None:
+            trans = inst.inv_rate[demand[:, None], hosts[None, :]]
+        key = trans - 1e-12 * inst.compute_ext[hosts][None, :]
+        gid = self._group_id.get(service)
+        if gid is None:
+            return key.argmin(axis=1), key, None, np.zeros(demand.size, dtype=bool)
+        gf = self._demand(service)[4]
+        same = (gf[:, None] >= 0) & (gid[hosts][None, :] == gf[:, None])
+        has_same = same.any(axis=1)
+        pick_all = key.argmin(axis=1)
+        pick_same = np.where(same, key, np.inf).argmin(axis=1)
+        pick = np.where(has_same, pick_same, pick_all)
+        return pick, key, same, has_same
 
     def _reliance_for_service(self, service: int) -> np.ndarray:
         """Per-home reliance node for one service (−1 where no demand)."""
         inst = self.instance
-        hosts = self.placement.hosts(service)
+        hosts = self._hosts(service)
         out = np.full(inst.n_servers, -1, dtype=np.int64)
-        demand_nodes = np.nonzero(inst.demand_counts[service] > 0)[0]
-        if demand_nodes.size == 0:
+        demand = self._demand(service)[0]
+        if demand.size == 0:
             return out
         if hosts.size == 0:
-            out[demand_nodes] = inst.cloud
+            out[demand] = inst.cloud
             return out
-        inv = inst.inv_rate
-        gid = self._group_id.get(service)
-        for f in demand_nodes:
-            cand = hosts
-            if gid is not None and gid[f] >= 0:
-                same = hosts[gid[hosts] == gid[f]]
-                if same.size:
-                    cand = same
-            # highest channel speed == smallest transfer coefficient;
-            # tie-break toward higher compute.
-            key = inv[f, cand] - 1e-12 * inst.compute_ext[cand]
-            out[f] = cand[int(np.argmin(key))]
+        pick, _, _, _ = self._select_hosts(service, demand, hosts)
+        out[demand] = hosts[pick]
         return out
+
+    def _reliance_row(self, service: int) -> np.ndarray:
+        row = self._rel_rows.get(service)
+        if row is None:
+            row = self._reliance_for_service(service)
+            self._rel_rows[service] = row
+        return row
 
     @property
     def reliance(self) -> np.ndarray:
         """``(S, N)`` reliance matrix: node serving service ``i`` for
         users homed at ``n`` (−1 where irrelevant)."""
-        if self._reliance is None:
+        if self._reliance_matrix is None:
             inst = self.instance
             rel = np.full((inst.n_services, inst.n_servers), -1, dtype=np.int64)
             for service in (int(i) for i in inst.requested_services):
-                rel[service] = self._reliance_for_service(service)
-            self._reliance = rel
-        return self._reliance
+                rel[service] = self._reliance_row(service)
+            self._reliance_matrix = rel
+        return self._reliance_matrix
 
     def routing(self) -> Routing:
         """Materialize the reliance choices as a :class:`Routing`."""
@@ -144,73 +247,127 @@ class CombinationState:
         routing (cheap, used inside the parallel stage); ``"optimal"``
         re-routes every request optimally first — the value the serial
         stage's gradient δ compares (Alg. 3 lines 7/9 evaluate the true
-        objective).
+        objective).  The optimal path goes through a cached
+        :class:`~repro.model.engine.BatchRouter`, so consecutive calls
+        that differ in one service's hosts only re-route the chains
+        containing that service.
         """
         inst = self.instance
         lam = inst.config.weight
-        cost = deployment_cost(inst, self.placement)
+        cost = self.cost()
         if routing == "optimal":
-            from repro.model.routing import optimal_routing
-
-            r = optimal_routing(inst, self.placement)
+            if self._router is None:
+                self._router = BatchRouter(inst)
+            r = self._router.route(self.placement)
         else:
             r = self.routing()
         lat = float(total_latency(inst, r).sum())
         return lam * cost + (1.0 - lam) * lat
 
     def cost(self) -> float:
-        return deployment_cost(self.instance, self.placement)
+        """Deployment cost of the current placement (cached per mutation)."""
+        if self._cost_cache is None:
+            self._cost_cache = deployment_cost(self.instance, self.placement)
+        return self._cost_cache
 
     # ------------------------------------------------------------------
+    def _zeta_row(self, service: int) -> dict[int, float]:
+        """ζ for **every** host of ``service`` in one vectorized pass.
+
+        One ``(demand_nodes, hosts)`` cost matrix plus best/second-best
+        masked argmins yields, for each demand node, its reliance pick
+        and the replacement host it would fall back to if that pick were
+        removed (same-group second-best when the group still has a host,
+        otherwise the best remaining host overall — the connection-update
+        rule).  Summing the per-node cost deltas grouped by pick gives
+        ζ for all hosts simultaneously; values are bit-identical to the
+        removed-one-at-a-time recompute.
+        """
+        row = self._zeta_rows.get(service)
+        if row is not None:
+            return row
+        inst = self.instance
+        hosts = self._hosts(service)
+        demand, w, n_users, rows, _ = self._demand(service)
+        if demand.size == 0:
+            row = {int(k): 0.0 for k in hosts}
+            self._zeta_rows[service] = row
+            return row
+
+        q = inst.service_compute[service]
+        unit = q / inst.compute_ext[hosts]
+        trans = inst.inv_rate[demand[:, None], hosts[None, :]]
+        cost = w[:, None] * trans + n_users[:, None] * unit[None, :]
+
+        pick, key, same, has_same = self._select_hosts(service, demand, hosts, trans)
+        key_excl = key.copy()
+        key_excl[rows, pick] = np.inf
+        repl_all = key_excl.argmin(axis=1)
+        if same is not None:
+            s_cnt = same.sum(axis=1)
+            masked_excl = np.where(same, key_excl, np.inf)
+            repl_same = masked_excl.argmin(axis=1)
+            # the group rule survives removal only if a second same-group
+            # host exists; otherwise fall back to the remaining hosts
+            repl = np.where(has_same & (s_cnt >= 2), repl_same, repl_all)
+        else:
+            repl = repl_all
+
+        before = cost[rows, pick]
+        after = cost[rows, repl]
+        # segment sums grouped by pick: a stable sort keeps each host's
+        # affected nodes in demand order, so the contiguous slice sums are
+        # bit-identical to the boolean-masked ``after[pick == t].sum()``
+        order = np.argsort(pick, kind="stable")
+        after_s = after[order]
+        before_s = before[order]
+        bounds = np.searchsorted(pick[order], np.arange(hosts.size + 1)).tolist()
+        row = {}
+        for t, node in enumerate(hosts.tolist()):
+            lo, hi = bounds[t], bounds[t + 1]
+            # hosts nothing picks lose nothing: empty sums are exactly 0.0
+            row[node] = (
+                float(after_s[lo:hi].sum() - before_s[lo:hi].sum())
+                if hi > lo
+                else 0.0
+            )
+        self._zeta_rows[service] = row
+        return row
+
     def latency_loss(self, service: int, node: int) -> Optional[float]:
         """Latency loss ``ζ_{i,k}`` of removing ``(service, node)``.
 
         Returns ``None`` when removal is not allowed: the node hosts no
         instance, or it is the service's last instance (Alg. 4's skip).
+        Served from the per-service ζ-row cache.
         """
-        inst = self.instance
         if not self.placement.has(service, node):
             return None
-        hosts = self.placement.hosts(service)
-        if hosts.size <= 1:
+        if self._hosts(service).size <= 1:
             return None
-        rel = self.reliance[service]
-        affected = np.nonzero(rel == node)[0]
-        if affected.size == 0:
-            return 0.0
-
-        inv = inst.inv_rate
-        comp = inst.compute_ext
-        q = inst.service_compute[service]
-        w = inst.demand_data[service][affected]
-        n_users = inst.demand_counts[service][affected].astype(np.float64)
-
-        remaining = hosts[hosts != node]
-        gid = self._group_id.get(service)
-        before = w * inv[affected, node] + n_users * (q / comp[node])
-        after = np.empty_like(before)
-        for idx, f in enumerate(affected):
-            cand = remaining
-            if gid is not None and gid[f] >= 0:
-                same = remaining[gid[remaining] == gid[f]]
-                if same.size:
-                    cand = same
-            key = inv[f, cand] - 1e-12 * comp[cand]
-            alt = cand[int(np.argmin(key))]
-            after[idx] = w[idx] * inv[f, alt] + n_users[idx] * (q / comp[alt])
-        return float(after.sum() - before.sum())
+        return self._zeta_row(service)[node]
 
     def remove(self, service: int, node: int) -> None:
         self.placement.remove(service, node)
-        self.invalidate()
+        self.invalidate(service)
 
     def add(self, service: int, node: int) -> None:
         self.placement.add(service, node)
-        self.invalidate()
+        self.invalidate(service)
 
     def set_placement(self, placement: Placement) -> None:
+        """Swap in a new placement, invalidating only changed services."""
+        changed = np.nonzero(
+            (self.placement.matrix != placement.matrix).any(axis=1)
+        )[0]
         self.placement = placement.copy()
-        self.invalidate()
+        for service in changed:
+            self._rel_rows.pop(int(service), None)
+            self._zeta_rows.pop(int(service), None)
+            self._hosts_cache.pop(int(service), None)
+        if changed.size:
+            self._reliance_matrix = None
+            self._cost_cache = None
 
 
 def latency_losses(
@@ -221,43 +378,42 @@ def latency_losses(
     """Alg. 4: ζ for every removable instance (single-instance services
     and tabu entries skipped).
 
-    ``n_jobs > 1`` evaluates services across a thread pool — the
-    "parallel" in the paper's parallel local search.  The per-service
-    kernels are numpy-bound, so threads (not processes) are the right
-    fan-out; results are identical to the serial sweep.
+    Thanks to the per-service ζ-row cache only services whose host set
+    changed since the last sweep are recomputed.  ``n_jobs > 1``
+    evaluates the stale services across a thread pool — the "parallel"
+    in the paper's parallel local search.  The per-service kernels are
+    numpy-bound, so threads (not processes) are the right fan-out;
+    results are identical to the serial sweep.
     """
     tabu = tabu or set()
     inst = state.instance
-    services = [int(i) for i in inst.requested_services]
-    # materialize reliance once up front; thread workers then only read
-    state.reliance
+    removable = [
+        int(i)
+        for i in inst.requested_services
+        if state._hosts(int(i)).size > 1
+    ]
+    stale = [s for s in removable if s not in state._zeta_rows]
+    if stale:
+        if n_jobs == 1:
+            for s in stale:
+                state._zeta_row(s)
+        else:
+            from repro.utils.parallel import parallel_map
 
-    def sweep_service(service: int) -> list[tuple[tuple[int, int], float]]:
-        hosts = state.placement.hosts(service)
-        if hosts.size <= 1:
-            return []
-        out = []
-        for node in (int(k) for k in hosts):
+            parallel_map(
+                state._zeta_row,
+                stale,
+                n_jobs=n_jobs,
+                min_items_per_worker=1,
+                use_threads=True,
+            )
+    out: dict[tuple[int, int], float] = {}
+    for service in removable:
+        for node, z in state._zeta_row(service).items():
             if (service, node) in tabu:
                 continue
-            z = state.latency_loss(service, node)
-            if z is not None:
-                out.append(((service, node), z))
-        return out
-
-    if n_jobs == 1:
-        chunks = [sweep_service(s) for s in services]
-    else:
-        from repro.utils.parallel import parallel_map
-
-        chunks = parallel_map(
-            sweep_service,
-            services,
-            n_jobs=n_jobs,
-            min_items_per_worker=1,
-            use_threads=True,
-        )
-    return {key: z for chunk in chunks for key, z in chunk}
+            out[(service, node)] = z
+    return out
 
 
 def _filter_conflicts(
@@ -314,6 +470,12 @@ def relocation_pass(
     prices every demand node at its nearest host (the same star-shaped
     approximation behind ζ); the final optimal routing can only improve
     on it.  Returns the number of moves applied.
+
+    Every (k → q) move of a service is scored at once: with the per-node
+    best and second-best host costs precomputed, the latency without
+    host ``k`` is a single ``where``, and one broadcasted ``minimum``
+    against the full ``(demand, servers)`` cost matrix prices all
+    destinations simultaneously — no per-pair Python loop.
     """
     inst = state.instance
     inv = inst.inv_rate[: inst.n_servers, : inst.n_servers]
@@ -340,28 +502,33 @@ def relocation_pass(
                 w[:, None] * inv[np.ix_(demand_nodes, np.arange(inst.n_servers))]
                 + nf[:, None] * (q_i / comp)[None, :]
             )
+            n_demand = demand_nodes.size
+            rows = np.arange(n_demand)
+            sub = cost_fk[:, hosts]
+            t1 = sub.argmin(axis=1)
+            v1 = sub[rows, t1]
+            sub_excl = sub.copy()
+            sub_excl[rows, t1] = np.inf
+            v2 = sub_excl.min(axis=1)  # +inf when the service has one host
+            base = v1.sum()
 
-            def group_latency(host_list: np.ndarray) -> float:
-                return float(cost_fk[:, host_list].min(axis=1).sum())
+            # feasible destinations: not already hosting, storage fits
+            feasible = used + phi[service] <= capacity + 1e-9
+            feasible[hosts] = False
 
-            base = group_latency(hosts)
-            best_delta = -1e-9
-            best_move: Optional[tuple[int, int]] = None
-            host_set = set(int(k) for k in hosts)
-            for k in (int(v) for v in hosts):
-                others = np.array([v for v in hosts if v != k], dtype=np.int64)
-                for q in range(inst.n_servers):
-                    if q in host_set:
-                        continue
-                    if used[q] + phi[service] > capacity[q] + 1e-9:
-                        continue
-                    candidate = np.append(others, q)
-                    delta = group_latency(candidate) - base
-                    if delta < best_delta:
-                        best_delta = delta
-                        best_move = (k, q)
-            if best_move is not None:
-                k, q = best_move
+            # delta[t, q] = Σ_f min(cost without host t, cost at q) − base
+            delta = np.full((hosts.size, inst.n_servers), np.inf)
+            for t in range(hosts.size):
+                base_wo = np.where(t1 == t, v2, v1)
+                # transpose-first keeps the f-reduction on the contiguous
+                # axis → bit-identical sums to the per-pair evaluation
+                trial = np.minimum(base_wo[None, :], cost_fk.T).sum(axis=1)
+                delta[t, feasible] = trial[feasible] - base
+
+            flat = np.argmin(delta)
+            if delta.ravel()[flat] < -1e-9:
+                t, q = divmod(int(flat), inst.n_servers)
+                k = int(hosts[t])
                 state.remove(service, k)
                 state.add(service, q)
                 used[k] -= phi[service]

@@ -27,6 +27,7 @@ from repro.model.routing import (
     load_aware_routing,
     route_request,
 )
+from repro.model.engine import BatchRouter
 
 __all__ = [
     "ProblemConfig",
@@ -52,4 +53,5 @@ __all__ = [
     "greedy_routing",
     "load_aware_routing",
     "route_request",
+    "BatchRouter",
 ]

@@ -16,6 +16,15 @@ chain position.  Two engines are provided:
   with the highest channel speed from the user's home
   (``v_q = argmax b(l'_{f(u_h), q})``), ties broken by compute power.
 
+Both engines are *batched*: instead of one Python-level DP per request,
+the star model routes every chain position of the whole workload with a
+single masked broadcast, and the chain model runs one padded Viterbi over
+the entire workload at once — ``max_chain`` layer steps with the requests
+as the batch axis, regardless of how many distinct chain signatures
+exist.  Results — including argmin tie-breaking — are identical to the
+per-request DP (:func:`_route_one`), which remains the reference kernel
+and is still used by the sequential :func:`load_aware_routing` engine.
+
 Services without any edge instance fall back to the cloud node.
 """
 
@@ -41,6 +50,23 @@ def _host_lists(instance: ProblemInstance, placement: Placement) -> list[np.ndar
     return hosts
 
 
+def _padded_hosts(hosts: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Stack per-service host arrays into ``(S, Hmax)`` index/valid pair.
+
+    Padding slots repeat index 0 and are masked out by ``valid``; host
+    order (ascending node index) is preserved so masked argmins break
+    ties exactly like the per-service loops.
+    """
+    n_services = len(hosts)
+    hmax = max(h.size for h in hosts)
+    pad = np.zeros((n_services, hmax), dtype=np.int64)
+    valid = np.zeros((n_services, hmax), dtype=bool)
+    for i, h in enumerate(hosts):
+        pad[i, : h.size] = h
+        valid[i, : h.size] = True
+    return pad, valid
+
+
 def route_request(
     instance: ProblemInstance,
     placement: Placement,
@@ -51,57 +77,167 @@ def route_request(
     """Minimum-latency node sequence for request ``h`` (DP over layers).
 
     Returns an array of extended node indices with length equal to the
-    request's chain length.
+    request's chain length.  Thin wrapper over :func:`_route_one`, the
+    single-request reference kernel.
     """
     model = model or instance.config.latency_model
-    req = instance.requests[h]
     if hosts is None:
         hosts = _host_lists(instance, placement)
-    inv = instance.inv_rate
-    comp = instance.compute_ext
-    q = instance.service_compute
-    home = req.home
+    return _route_one(
+        instance,
+        instance.requests[h],
+        hosts,
+        instance.inv_rate,
+        instance.compute_ext,
+        model,
+    )
 
-    if model == "star":
-        # positions decouple: cost_j(k) = inflow_j·inv[home,k] + q_j/c_k
-        nodes = np.empty(req.length, dtype=np.int64)
-        inflow = [req.data_in, *req.edge_data]
-        for j, svc in enumerate(req.chain):
-            cand = hosts[svc]
-            cost = inflow[j] * inv[home, cand] + q[svc] / comp[cand]
-            if j == req.length - 1:
-                cost = cost + req.data_out * inv[cand, home]
-            nodes[j] = cand[int(np.argmin(cost))]
-        return nodes
 
-    # chain model: Viterbi over layers
-    cand0 = hosts[req.chain[0]]
-    cost = req.data_in * inv[home, cand0] + q[req.chain[0]] / comp[cand0]
-    back: list[np.ndarray] = []
-    prev_cand = cand0
-    for j in range(1, req.length):
-        svc = req.chain[j]
-        cand = hosts[svc]
-        # transition (|prev| × |cand|): transfer + processing at cand
+# ----------------------------------------------------------------------
+# batched kernels
+# ----------------------------------------------------------------------
+def _star_assign(
+    instance: ProblemInstance,
+    hosts: list[np.ndarray],
+    comp: np.ndarray,
+    a: np.ndarray,
+    services: Optional[np.ndarray] = None,
+) -> None:
+    """Star-model batch kernel: one masked broadcast, no per-request loop.
+
+    Positions decouple under the star model, so every valid ``(h, j)``
+    chain position of the workload becomes one row of a flat
+    ``(positions, Hmax)`` cost matrix; a single masked argmin yields all
+    assignments at once.  ``services`` restricts the update to positions
+    whose service is in the set (incremental re-routing after a placement
+    change that touched only those services).
+
+    A pure ``(service, home)`` argmin table would be even smaller, but it
+    is exact only when all requests ship identical data volumes: the
+    inflow term ``r·inv[home, k]`` scales with the per-request volume and
+    can flip the argmin, so we keep the per-position rows.
+    """
+    inst = instance
+    mask = inst.chain_mask
+    chain = inst.chain_matrix
+    if services is not None:
+        mask = mask & np.isin(chain, services)
+    hs, js = np.nonzero(mask)
+    if hs.size == 0:
+        return
+    pad, valid = _padded_hosts(hosts)
+    inv = inst.inv_rate
+    q = inst.service_compute
+    svc = chain[hs, js]
+    cand = pad[svc]  # (P, Hmax)
+    home = inst.homes[hs]
+    w_in = inst.inflow_matrix[hs, js]
+    last = js == inst.chain_lengths[hs] - 1
+    out_w = np.where(last, inst.data_out[hs], 0.0)
+    cost = w_in[:, None] * inv[home[:, None], cand] + q[svc][:, None] / comp[cand]
+    cost = cost + out_w[:, None] * inv[cand, home[:, None]]
+    cost[~valid[svc]] = np.inf
+    pick = np.argmin(cost, axis=1)
+    a[hs, js] = cand[np.arange(hs.size), pick]
+
+
+def _chain_assign_batch(
+    instance: ProblemInstance,
+    hosts: list[np.ndarray],
+    comp: np.ndarray,
+    a: np.ndarray,
+    rows: Optional[np.ndarray] = None,
+) -> None:
+    """Chain-model batch kernel: one padded Viterbi for the whole workload.
+
+    Candidate sets are padded to a common width (``_padded_hosts``) so
+    requests with *different* chains share the same layer step: the DP
+    advances layer by layer over a ``(requests, prev, cand)`` transition
+    tensor — ``max_chain`` vectorized steps total, regardless of how many
+    requests or distinct chain signatures exist.  Requests whose chain
+    has already ended simply drop out of the active row set (chains are
+    contiguous, so the active sets are nested).  Backtracking runs once
+    per distinct chain *length* (each request's terminal ``data_out`` leg
+    applies at its own last layer).
+
+    Padding slots repeat host index 0; their column costs are forced to
+    ``+inf`` after every layer so argmins — taken over candidates in
+    ascending host order, padding last — break ties exactly like the
+    per-request reference kernel :func:`_route_one`.
+
+    ``rows`` restricts the DP to a subset of requests (incremental
+    re-routing); assignments for other requests are left untouched.
+    """
+    inst = instance
+    inv = inst.inv_rate
+    q = inst.service_compute
+    pad, valid = _padded_hosts(hosts)
+    if rows is None:
+        chain = inst.chain_matrix
+        mask = inst.chain_mask
+        homes = inst.homes
+        data_in, data_out = inst.data_in, inst.data_out
+        edge_w = inst.edge_data_matrix
+        lengths = inst.chain_lengths
+    else:
+        chain = inst.chain_matrix[rows]
+        mask = inst.chain_mask[rows]
+        homes = inst.homes[rows]
+        data_in, data_out = inst.data_in[rows], inst.data_out[rows]
+        edge_w = inst.edge_data_matrix[rows]
+        lengths = inst.chain_lengths[rows]
+    n_rows, n_layers = chain.shape
+    if n_rows == 0:
+        return
+    width = pad.shape[1]
+    cols = np.arange(width)
+
+    # forward pass: costs[j] / backs[j-1] restricted to the rows whose
+    # chain reaches layer j (``acts[j]``, sorted and nested)
+    svc0 = chain[:, 0]
+    cand0 = pad[svc0]
+    cost = data_in[:, None] * inv[homes[:, None], cand0] + q[svc0][:, None] / comp[cand0]
+    cost[~valid[svc0]] = np.inf
+    acts: list[np.ndarray] = [np.arange(n_rows)]
+    costs: list[np.ndarray] = [cost]
+    backs: list[np.ndarray] = []
+    for j in range(1, n_layers):
+        act = np.nonzero(mask[:, j])[0]
+        if act.size == 0:
+            break
+        prev_pos = np.searchsorted(acts[j - 1], act)
+        svc = chain[act, j]
+        prev_cand = pad[chain[act, j - 1]]
+        cand = pad[svc]
+        ew = edge_w[act, j - 1]
         trans = (
-            cost[:, None]
-            + req.edge_data[j - 1] * inv[np.ix_(prev_cand, cand)]
-            + (q[svc] / comp[cand])[None, :]
+            costs[j - 1][prev_pos][:, :, None]
+            + ew[:, None, None] * inv[prev_cand[:, :, None], cand[:, None, :]]
+            + (q[svc][:, None] / comp[cand])[:, None, :]
         )
-        argmin = trans.argmin(axis=0)
-        back.append(argmin)
-        cost = trans[argmin, np.arange(cand.size)]
-        prev_cand = cand
+        argmin = trans.argmin(axis=1)  # (|act|, width)
+        cost = trans[np.arange(act.size)[:, None], argmin, cols[None, :]]
+        cost[~valid[svc]] = np.inf
+        acts.append(act)
+        costs.append(cost)
+        backs.append(argmin)
 
-    # return leg
-    cost = cost + req.data_out * inv[prev_cand, home]
-    nodes = np.empty(req.length, dtype=np.int64)
-    idx = int(np.argmin(cost))
-    nodes[-1] = prev_cand[idx]
-    for j in range(req.length - 1, 0, -1):
-        idx = int(back[j - 1][idx])
-        nodes[j - 1] = hosts[req.chain[j - 1]][idx]
-    return nodes
+    # terminal leg + backtrack, one vectorized pass per distinct length
+    for length in np.unique(lengths):
+        length = int(length)
+        grp = np.nonzero(lengths == length)[0]
+        pos = np.searchsorted(acts[length - 1], grp)
+        last_cand = pad[chain[grp, length - 1]]
+        final = costs[length - 1][pos] + data_out[grp][:, None] * inv[
+            last_cand, homes[grp][:, None]
+        ]
+        sel = final.argmin(axis=1)
+        grp_rows = np.arange(grp.size)
+        out_rows = grp if rows is None else rows[grp]
+        a[out_rows, length - 1] = last_cand[grp_rows, sel]
+        for j in range(length - 1, 0, -1):
+            sel = backs[j - 1][np.searchsorted(acts[j], grp), sel]
+            a[out_rows, j - 1] = pad[chain[grp, j - 1]][grp_rows, sel]
 
 
 def optimal_routing(
@@ -109,13 +245,20 @@ def optimal_routing(
     placement: Placement,
     model: Optional[str] = None,
 ) -> Routing:
-    """Exact minimum-latency routing for every request."""
+    """Exact minimum-latency routing for every request (batched).
+
+    Identical results (including tie-breaking) to running
+    :func:`_route_one` per request; see the batch kernels above for how
+    the per-request loop is collapsed.
+    """
+    model = model or instance.config.latency_model
     hosts = _host_lists(instance, placement)
     H, L = instance.n_requests, instance.max_chain
     a = np.full((H, L), -1, dtype=np.int64)
-    for h in range(H):
-        nodes = route_request(instance, placement, h, model=model, hosts=hosts)
-        a[h, : nodes.size] = nodes
+    if model == "star":
+        _star_assign(instance, hosts, instance.compute_ext, a)
+    else:
+        _chain_assign_batch(instance, hosts, instance.compute_ext, a)
     return Routing(instance, a)
 
 
@@ -138,8 +281,10 @@ def load_aware_routing(
     congestion proxy.  Requests are processed in descending compute
     demand so heavy chains claim capacity first.
 
-    With ``congestion_weight=0`` this reduces exactly to
-    :func:`optimal_routing`.
+    Each step routes through the shared :func:`_route_one` DP kernel;
+    the sequential load updates make this the one engine that cannot be
+    batched across requests.  With ``congestion_weight=0`` this reduces
+    exactly to :func:`optimal_routing`.
     """
     if congestion_weight < 0:
         raise ValueError(
@@ -170,7 +315,12 @@ def load_aware_routing(
 
 
 def _route_one(instance, req, hosts, inv, comp, model) -> np.ndarray:
-    """Single-request DP shared by the optimal and load-aware engines."""
+    """Single-request DP reference kernel.
+
+    The batched engines must stay result-identical to this function; the
+    property suite (``tests/test_property_routing_batch.py``) enforces
+    the equivalence.  :func:`load_aware_routing` calls it directly.
+    """
     q = instance.service_compute
     home = req.home
     if model == "star":
@@ -221,16 +371,27 @@ def greedy_routing(
     coefficient ``inv_rate[home, q]`` — with ties broken by higher
     compute power, and the home node itself always preferred (local
     service has infinite channel speed).
+
+    The pick depends only on ``(service, home)``, so a single masked
+    argmin builds the full best-host table and the per-request loop
+    disappears entirely.
     """
-    hosts = _host_lists(instance, placement)
-    inv = instance.inv_rate
-    comp = instance.compute_ext
-    H, L = instance.n_requests, instance.max_chain
+    inst = instance
+    hosts = _host_lists(inst, placement)
+    pad, valid = _padded_hosts(hosts)  # (S, Hmax)
+    inv = inst.inv_rate
+    comp = inst.compute_ext
+    # key[f, s, c]: transfer coefficient home f → candidate c of service s,
+    # compute tie-break folded in; one argmin gives the whole table.
+    key = inv[: inst.n_servers, :][:, pad] - 1e-12 * comp[pad][None, :, :]
+    key = np.where(valid[None, :, :], key, np.inf)
+    pick = np.argmin(key, axis=2)  # (N, S)
+    best = pad[np.arange(inst.n_services)[None, :], pick]  # (N, S) node table
+
+    H, L = inst.n_requests, inst.max_chain
     a = np.full((H, L), -1, dtype=np.int64)
-    for h, req in enumerate(instance.requests):
-        home = req.home
-        for j, svc in enumerate(req.chain):
-            cand = hosts[svc]
-            key = inv[home, cand] - 1e-12 * comp[cand]  # tie-break on compute
-            a[h, j] = cand[int(np.argmin(key))]
-    return Routing(instance, a)
+    mask = inst.chain_mask
+    chain_safe = np.where(mask, inst.chain_matrix, 0)
+    assigned = best[inst.homes[:, None], chain_safe]
+    a[mask] = assigned[mask]
+    return Routing(inst, a)

@@ -1,21 +1,26 @@
 """Parallel fan-out helpers for SoCL's parallel local-search stage.
 
 The multi-scale combination module (paper Alg. 3, lines 1-5) evaluates the
-latency loss of many candidate instance merges *in parallel*.  The
-evaluations are pure functions of small numpy arrays, so we support three
-execution modes and let the caller pick via ``n_jobs``:
+latency loss of many candidate instance merges *in parallel*.  The caller
+picks the worker count via ``n_jobs`` (``1`` — serial; ``>1`` — that many
+workers, capped at the CPU count; ``0``/``-1`` — all cores) and the pool
+flavor via ``use_threads``:
 
-* ``n_jobs=1`` (default) — serial; the numpy-vectorized inner loops are
-  usually fast enough that process startup dominates below a few thousand
-  candidates.
-* ``n_jobs>1`` — ``concurrent.futures.ProcessPoolExecutor`` with chunking,
-  for CPU-bound sweeps on large instances.
-* ``n_jobs=0`` / ``n_jobs=-1`` — use all available cores.
+* ``use_threads=False`` (default) — ``ProcessPoolExecutor``.  True
+  multi-core for CPU-bound Python work, but ``fn``/items must pickle and
+  each worker pays interpreter + import startup; only worth it when the
+  per-item work is substantial.
+* ``use_threads=True`` — ``ThreadPoolExecutor``.  Zero startup/pickling
+  cost and shared memory; the right choice when ``fn`` releases the GIL,
+  which numpy-bound kernels largely do.  The ζ sweep
+  (:func:`repro.core.combination.latency_losses`) uses this mode: its
+  per-service kernels mutate the shared :class:`CombinationState` cache,
+  which threads see directly and processes would silently drop.
 
 Following the HPC guides, we prefer vectorization first and only fan out
-across processes when the per-item work is substantial; ``parallel_map``
-therefore takes a ``min_items_per_worker`` guard that silently falls back
-to serial execution for small inputs.
+when the per-item work is substantial; ``parallel_map`` therefore takes a
+``min_items_per_worker`` guard that silently falls back to serial
+execution for small inputs.
 """
 
 from __future__ import annotations
@@ -67,9 +72,14 @@ def parallel_map(
 ) -> list[R]:
     """Map ``fn`` over ``items``, optionally across workers.
 
-    Results preserve input order.  Falls back to a plain loop when the
-    input is too small to amortize pool startup, or ``n_jobs`` resolves
-    to one worker.
+    Results preserve input order.  ``use_threads`` selects the pool
+    flavor (see the module docstring for the trade-off); the default is
+    processes.  Runs serially — no pool is created at all — when
+    ``n_jobs`` resolves to one worker **or** the input holds fewer than
+    ``min_items_per_worker * 2`` items, so tiny sweeps never pay pool
+    startup.  Callers whose ``fn`` has side effects (e.g. filling a
+    shared cache) must pass ``use_threads=True``: with processes the
+    mutation happens in the worker and is lost.
     """
     items = list(items)
     workers = effective_workers(n_jobs)

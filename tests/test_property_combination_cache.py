@@ -1,0 +1,118 @@
+"""Property-based tests for :class:`CombinationState`'s incremental caches.
+
+The combination stage caches reliance rows, ζ rows, hosts, deployment
+cost and the batch-routed objective *per service*, invalidating only the
+services a mutation touches.  The contract is strict: after **any**
+sequence of ``remove`` / ``add`` / ``set_placement`` calls, every
+derived quantity must be bit-identical to a state freshly constructed
+from the same placement — not approximately equal, since ζ ordering
+decides which instances merge.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CombinationState, initial_partition, latency_losses
+from repro.microservices import Application, Microservice
+from repro.model import Placement, ProblemConfig, ProblemInstance
+from repro.network import grid_topology
+from repro.workload import WorkloadSpec, generate_requests
+
+
+def build_instance(seed: int, n_users: int) -> ProblemInstance:
+    app = Application(
+        [
+            Microservice(0, "a", compute=1.0, storage=1.5, deploy_cost=100.0, data_out=2.0),
+            Microservice(1, "b", compute=2.0, storage=2.0, deploy_cost=150.0, data_out=1.0),
+            Microservice(2, "c", compute=1.5, storage=1.0, deploy_cost=120.0, data_out=0.5),
+        ],
+        [(0, 1), (1, 2)],
+        entrypoints=[0],
+    )
+    net = grid_topology(2, 3, seed=seed % 4)
+    requests = generate_requests(
+        net, app, WorkloadSpec(n_users=n_users, max_chain=3), rng=seed
+    )
+    return ProblemInstance(net, app, requests, ProblemConfig(budget=3000.0))
+
+
+def draw_placement(draw, inst, min_hosts=1) -> Placement:
+    x = np.zeros((inst.n_services, inst.n_servers), dtype=bool)
+    for svc in (int(i) for i in inst.requested_services):
+        hosts = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=inst.n_servers - 1),
+                min_size=min_hosts,
+                max_size=inst.n_servers,
+            )
+        )
+        for k in hosts:
+            x[svc, k] = True
+    return Placement(x)
+
+
+@st.composite
+def instances_with_placements(draw):
+    seed = draw(st.integers(min_value=0, max_value=20))
+    n_users = draw(st.integers(min_value=3, max_value=12))
+    inst = build_instance(seed, n_users)
+    return inst, draw_placement(draw, inst)
+
+
+def assert_state_equals_fresh(state: CombinationState) -> None:
+    """Every cached quantity must be bitwise equal to a fresh recompute."""
+    fresh = CombinationState(state.instance, state.partitions, state.placement)
+    assert np.array_equal(state.reliance, fresh.reliance)
+    z_inc = latency_losses(state)
+    z_fresh = latency_losses(fresh)
+    assert list(z_inc) == list(z_fresh)  # same keys in the same order
+    for key in z_fresh:
+        assert z_inc[key] == z_fresh[key], key  # exact, not approx
+    assert state.cost() == fresh.cost()
+    assert state.objective("reliance") == fresh.objective("reliance")
+    assert state.objective("optimal") == fresh.objective("optimal")
+
+
+@settings(max_examples=20, deadline=None)
+@given(pair=instances_with_placements(), data=st.data())
+def test_incremental_state_matches_fresh_after_mutations(pair, data):
+    inst, placement = pair
+    partitions = initial_partition(inst)
+    state = CombinationState(inst, partitions, placement)
+    # populate all caches before mutating so staleness would be caught
+    latency_losses(state)
+    state.objective("optimal")
+
+    n_steps = data.draw(st.integers(min_value=1, max_value=5), label="steps")
+    for _ in range(n_steps):
+        op = data.draw(st.sampled_from(["remove", "add", "set"]), label="op")
+        if op == "set":
+            state.set_placement(draw_placement(data.draw, inst))
+        else:
+            svc = data.draw(
+                st.integers(min_value=0, max_value=inst.n_services - 1),
+                label="service",
+            )
+            node = data.draw(
+                st.integers(min_value=0, max_value=inst.n_servers - 1),
+                label="node",
+            )
+            if state.placement.has(svc, node):
+                if state.placement.instance_count(svc) > 1:
+                    state.remove(svc, node)
+            else:
+                state.add(svc, node)
+        assert_state_equals_fresh(state)
+
+
+@settings(max_examples=15, deadline=None)
+@given(pair=instances_with_placements())
+def test_set_placement_only_invalidates_changed_services(pair):
+    """An identical placement swap must keep every ζ row cached."""
+    inst, placement = pair
+    partitions = initial_partition(inst)
+    state = CombinationState(inst, partitions, placement)
+    latency_losses(state)
+    cached = set(state._zeta_rows)
+    state.set_placement(placement.copy())
+    assert set(state._zeta_rows) == cached
