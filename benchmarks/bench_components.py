@@ -5,7 +5,9 @@ pieces that dominate SoCL's runtime, so performance regressions in the
 vectorized kernels are caught:
 
 * all-pairs path table construction (lexicographic Floyd–Warshall);
-* Alg. 1 partitioning; Alg. 2 pre-provisioning;
+* Alg. 1 partitioning; Alg. 2 pre-provisioning — plus their in-tree
+  ``*_reference`` loop kernels, so one run yields the paired
+  before/after numbers recorded in ``BENCH_pipeline.json``;
 * the ζ latency-loss sweep (Alg. 4);
 * whole-workload latency evaluation (Eq. 2, vectorized);
 * per-request DP routing.
@@ -20,6 +22,8 @@ from repro.core import (
     latency_losses,
     preprovision,
 )
+from repro.core.partition import initial_partition_reference
+from repro.core.preprovision import preprovision_reference
 from repro.model import Placement, optimal_routing
 from repro.model.latency import total_latency
 from repro.network.paths import PathTable
@@ -52,8 +56,20 @@ def test_component_partition(benchmark, instance):
     assert result.services
 
 
+def test_component_partition_reference(benchmark, instance):
+    """Alg. 1 with the original per-pair Python loops (paired baseline)."""
+    result = benchmark(initial_partition_reference, instance)
+    assert result.services
+
+
 def test_component_preprovision(benchmark, instance, partitions):
     placement = benchmark(preprovision, instance, partitions)
+    assert placement.total_instances > 0
+
+
+def test_component_preprovision_reference(benchmark, instance, partitions):
+    """Alg. 2 with per-node contribution loops (paired baseline)."""
+    placement = benchmark(preprovision_reference, instance, partitions)
     assert placement.total_instances > 0
 
 

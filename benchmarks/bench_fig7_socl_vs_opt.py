@@ -6,11 +6,18 @@ users).  Reduced scale: 10 users / 8 servers; the bench measures both
 solvers, asserts the gap bound and the runtime advantage.
 """
 
+import os
+
 import pytest
 
 from repro.baselines import OptimalSolver
 from repro.core import SoCL
+from repro.experiments.figures import fig7_socl_vs_opt
 from repro.experiments.scenarios import ScenarioParams, build_scenario
+
+# REPRO_BENCH_JOBS > 1 fans the figure-sweep cells out on a process pool
+# (rows are order-identical to serial; see experiments/harness.py).
+N_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 _results: dict[str, object] = {}
 
@@ -65,3 +72,19 @@ def test_fig7_gap_and_speedup(benchmark):
     )
     assert -1e-9 <= gap < 0.099  # paper's optimality-gap bound
     assert speedup > 5.0  # an order of magnitude at paper scale
+
+
+def test_fig7_figure_sweep(benchmark):
+    """The full fig-7 generator (small scales), honoring REPRO_BENCH_JOBS."""
+    rows = benchmark.pedantic(
+        fig7_socl_vs_opt,
+        kwargs=dict(
+            user_scales=(4,), node_scales=(5,), base_users=4,
+            time_limit=60.0, n_jobs=N_JOBS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["figure"] = "fig7"
+    benchmark.extra_info["n_jobs"] = N_JOBS
+    assert len(rows) == 4  # (users + nodes) sweeps x (OPT, SoCL)

@@ -6,6 +6,8 @@ RP worst and degrading fastest.  Reduced scale: 40 and 80 users.  The
 ordering benchmark asserts the paper's ranking.
 """
 
+import os
+
 import pytest
 
 from repro.baselines import (
@@ -14,7 +16,12 @@ from repro.baselines import (
     RandomProvisioning,
 )
 from repro.core import SoCL
+from repro.experiments.figures import fig8_baselines
 from repro.experiments.scenarios import ScenarioParams, build_scenario
+
+# REPRO_BENCH_JOBS > 1 fans the figure-sweep cells out on a process pool
+# (rows are order-identical to serial; see experiments/harness.py).
+N_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 USER_SCALES = (40, 80)
 _objectives: dict[tuple[str, int], float] = {}
@@ -73,3 +80,16 @@ def test_fig8_ordering(benchmark):
     assert objs["SoCL"] <= objs["GC-OG"]
     assert objs["GC-OG"] < objs["JDR"]
     assert objs["GC-OG"] < objs["RP"]
+
+
+def test_fig8_figure_sweep(benchmark):
+    """The full fig-8 generator, honoring REPRO_BENCH_JOBS."""
+    rows = benchmark.pedantic(
+        fig8_baselines,
+        kwargs=dict(user_scales=USER_SCALES, include_gcog=False, n_jobs=N_JOBS),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["figure"] = "fig8"
+    benchmark.extra_info["n_jobs"] = N_JOBS
+    assert len(rows) == len(USER_SCALES) * 3  # RP, JDR, SoCL per scale

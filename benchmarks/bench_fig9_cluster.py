@@ -9,11 +9,17 @@ Reduced scale: 12 users over 2 slots on the DES cluster.  Asserts
 SoCL's objective is lowest and its cost below the budget burners'.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.experiments.figures import fig9_cluster
 from repro.experiments.reporting import format_table
+
+# REPRO_BENCH_JOBS > 1 fans the (solver, user count) cells out on a
+# process pool (rows are order-identical to serial).
+N_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 _rows: list[dict] = []
 
@@ -21,7 +27,7 @@ _rows: list[dict] = []
 def test_fig9_cluster(benchmark):
     rows = benchmark.pedantic(
         fig9_cluster,
-        kwargs=dict(user_counts=(12,), n_servers=8, n_slots=2, seed=0),
+        kwargs=dict(user_counts=(12,), n_servers=8, n_slots=2, seed=0, n_jobs=N_JOBS),
         rounds=1,
         iterations=1,
     )
@@ -44,7 +50,7 @@ def test_fig9_median_latency_competitive(benchmark):
 
     def medians():
         rows = _rows or fig9_cluster(
-            user_counts=(12,), n_servers=8, n_slots=2, seed=0
+            user_counts=(12,), n_servers=8, n_slots=2, seed=0, n_jobs=N_JOBS
         )
         return {r["algorithm"]: r["median_latency"] for r in rows}
 

@@ -138,17 +138,17 @@ def cmd_figure(args: argparse.Namespace) -> int:
         print(f"peak-to-mean {out['peak_to_mean']:.2f}, "
               f"CoV {out['coefficient_of_variation']:.2f}")
     elif fig == "fig7":
-        rows = figures.fig7_socl_vs_opt(seed=args.seed)
+        rows = figures.fig7_socl_vs_opt(seed=args.seed, n_jobs=args.jobs)
         print(format_table(rows, title="Fig.7 SoCL vs OPT"))
     elif fig == "fig8":
-        rows = figures.fig8_baselines(seed=args.seed)
+        rows = figures.fig8_baselines(seed=args.seed, n_jobs=args.jobs)
         print(format_table(
             rows,
             columns=["n_users", "algorithm", "objective", "cost", "latency_sum", "runtime"],
             title="Fig.8 baselines across user scales",
         ))
     elif fig == "fig9":
-        rows = figures.fig9_cluster(seed=args.seed)
+        rows = figures.fig9_cluster(seed=args.seed, n_jobs=args.jobs)
         print(format_table(rows, title="Fig.9 cluster results"))
     elif fig == "fig10":
         series = figures.fig10_trace(seed=args.seed, n_slots=args.slots)
@@ -214,6 +214,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seeds=list(range(args.seeds)),
         solver_factories=factories,
         base=ScenarioParams(n_servers=args.servers, budget=args.budget),
+        n_jobs=args.jobs,
     )
     rows = aggregate(cells, group_by=("n_users", "algorithm"))
     print(
@@ -294,6 +295,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", help="fig2|fig3|fig4|fig7|fig8|fig9|fig10")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--slots", type=int, default=12)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for fig7/fig8/fig9 sweep cells")
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("trace", help="online mobility trace (Fig.10 setting)")
@@ -316,6 +319,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--solvers", nargs="+", choices=SOLVER_CHOICES, default=["rp", "jdr", "socl"]
     )
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for sweep cells")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("report", help="regenerate all figures into a Markdown report")

@@ -14,11 +14,24 @@ For each microservice ``m_i``:
    degree ``H(v) > 2``; validation computes the proactive factor
    ``Δ^η`` (Def. 5) against partition members in ascending order of
    communication intensity ``χ`` and accepts on the first ``Δ^η < 0``.
+
+The production kernels are vectorized: all services' ξ-thresholded
+adjacencies form one ``(S, n, n)`` boolean stack whose components are
+found together by min-label propagation, the per-service ξ percentile
+reads the (cached) upper-triangle pairs in one shot, and Δ-validation
+prices *all* outside nodes against *all* anchors with one group
+transfer-delay vector (see :func:`_group_delays`).  Accepted
+candidates carry zero demand weight, so growing a group never changes
+the delay sums — which is why one vector per group suffices where the
+reference recomputes per pair.  The original Python loops are kept as
+``*_reference`` kernels; ``tests/test_property_partition_preprovision.py``
+asserts identical partitions on random instances.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional, Sequence
 
 import numpy as np
@@ -97,13 +110,214 @@ def proactive_factor(
     return delay_eta - delay_anchor
 
 
+def _group_delays(
+    instance: ProblemInstance, service: int, members: np.ndarray
+) -> np.ndarray:
+    """Total transfer delay of the group's demand to every node.
+
+    ``delays[v] == (r * inv[members, v]).sum()`` — the quantity inside
+    :func:`proactive_factor` — for all ``v`` at once.  The C-order copy
+    before the broadcast keeps each row's product order and pairwise
+    summation identical to the scalar reference, so sign comparisons
+    between columns are bit-identical to per-pair evaluation.
+    """
+    inv = instance.inv_rate
+    r = instance.demand_data[service][members]
+    prod = np.ascontiguousarray(inv[members, :].T) * r
+    return prod.sum(axis=1)
+
+
+@lru_cache(maxsize=256)
+def _triu_pairs(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached ``np.triu_indices(n, k=1)`` (host counts repeat per instance)."""
+    return np.triu_indices(n, k=1)
+
+
+def _components_from_adjacency(
+    adj: np.ndarray, nodes: np.ndarray
+) -> list[list[int]]:
+    """Connected components of a boolean adjacency matrix.
+
+    Whole-matrix min-label propagation: every node repeatedly adopts the
+    smallest label in its neighborhood until a fixpoint, so all
+    components converge together in ``O(diameter)`` numpy rounds.
+    Self-loops are harmless (a node's own label is already in the
+    minimum).  Components come out in order of their smallest local
+    index with sorted members, matching
+    :func:`_virtual_components_reference`.
+    """
+    n = len(nodes)
+    labels = np.arange(n)
+    while True:
+        neighbor_min = np.where(adj, labels[None, :], n).min(axis=1)
+        updated = np.minimum(labels, neighbor_min)
+        if np.array_equal(updated, labels):
+            break
+        labels = updated
+    return [
+        sorted(int(v) for v in nodes[labels == root]) for root in np.unique(labels)
+    ]
+
+
 def _virtual_components(
     nodes: np.ndarray, virtual_rate: np.ndarray, xi: float
 ) -> list[list[int]]:
     """Connected components of the ξ-thresholded virtual graph."""
-    index = {int(v): i for i, v in enumerate(nodes)}
     n = len(nodes)
-    adj = [[] for _ in range(n)]
+    if n == 0:
+        return []
+    adj = virtual_rate[nodes[:, None], nodes] > xi
+    return _components_from_adjacency(adj, nodes)
+
+
+def _linear_quantile(sorted_vals: np.ndarray, q: float) -> float:
+    """``np.quantile(vals, q)`` (method ``"linear"``) on pre-sorted data.
+
+    Replicates numpy's virtual-index lerp — including the ``gamma >= 0.5``
+    reformulation — so the result is bit-identical to the reference
+    kernel's ``np.quantile`` call without its per-call dispatch overhead
+    (the dominant cost of Alg. 1 at small host counts).
+    """
+    n = sorted_vals.size
+    virtual = (n - 1) * q
+    prev = int(np.floor(virtual))
+    gamma = virtual - prev
+    a = sorted_vals[prev]
+    b = sorted_vals[min(prev + 1, n - 1)]
+    diff = b - a
+    if gamma >= 0.5:
+        return float(b - diff * (1.0 - gamma))
+    return float(a + diff * gamma)
+
+
+def _auto_threshold(
+    nodes: np.ndarray, virtual_rate: np.ndarray, percentile: float
+) -> float:
+    """Per-service ξ: the requested percentile of pairwise virtual rates."""
+    if len(nodes) < 2:
+        return 0.0
+    sub = virtual_rate[nodes[:, None], nodes]
+    return _auto_threshold_sub(sub, percentile)
+
+
+def _auto_threshold_sub(sub: np.ndarray, percentile: float) -> float:
+    """ξ percentile from a precomputed virtual-rate submatrix."""
+    g = sub.shape[0]
+    rows, cols = _triu_pairs(g)
+    rates = sub[rows, cols]
+    finite = rates[np.isfinite(rates) & (rates > 0)]
+    if finite.size == 0:
+        return 0.0
+    finite.sort()
+    return _linear_quantile(finite, percentile)
+
+
+def initial_partition(
+    instance: ProblemInstance,
+    config: SoCLConfig = SoCLConfig(),
+) -> PartitionResult:
+    """Run Alg. 1 over every requested microservice.
+
+    All per-service adjacency matrices live in one ``(S, n, n)`` boolean
+    stack, so the ξ-thresholding and the component label propagation run
+    as a handful of whole-stack numpy ops instead of ``S`` independent
+    per-service round-trips (the dispatch overhead of which dominates at
+    the paper's 20-server scales).
+    """
+    vr = instance.network.paths.virtual_rate_matrix
+    degrees = instance.network.degrees
+    n = instance.n_servers
+    requested = [int(i) for i in instance.requested_services]
+    if not requested:
+        return PartitionResult(by_service={})
+
+    host_mask = instance.demand_counts[requested] > 0  # (S, n)
+    host_lists = [row.nonzero()[0].tolist() for row in host_mask]
+
+    # Per-service ξ from the global upper triangle: the pairs of the
+    # per-service host submatrix are exactly the global i<j pairs with
+    # both endpoints hosting, in the same lexicographic order.
+    rows, cols = _triu_pairs(n)
+    if config.xi is None:
+        all_rates = vr[rows, cols]
+        usable = np.isfinite(all_rates) & (all_rates > 0)
+        pair_usable = host_mask[:, rows] & host_mask[:, cols] & usable
+        xis = np.zeros(len(requested))
+        for si in range(len(requested)):
+            finite = all_rates[pair_usable[si]]
+            if finite.size:
+                finite.sort()
+                xis[si] = _linear_quantile(finite, config.xi_percentile)
+    else:
+        xis = np.full(len(requested), config.xi)
+
+    # ξ-thresholded adjacency stack; self-loops and non-host rows are
+    # masked out by the host-mask outer product (isolated non-hosts drop
+    # out as singleton labels below).
+    adj = (vr[None, :, :] > xis[:, None, None]) & (
+        host_mask[:, None, :] & host_mask[:, :, None]
+    )
+
+    # Min-label propagation over the whole stack: every node adopts the
+    # smallest label in its neighborhood until fixpoint, so components of
+    # all services converge together in O(max diameter) rounds.
+    labels = np.broadcast_to(np.arange(n), host_mask.shape).copy()
+    while True:
+        neighbor_min = np.where(adj, labels[:, None, :], n).min(axis=2)
+        updated = np.minimum(labels, neighbor_min)
+        if np.array_equal(updated, labels):
+            break
+        labels = updated
+
+    avail_base = degrees >= config.min_degree
+    by_service: dict[int, ServicePartition] = {}
+    for si, service in enumerate(requested):
+        # Hosts ascend, and a component's label is its smallest member,
+        # so dict insertion order reproduces the reference's
+        # smallest-first component order with sorted members.
+        row = labels[si].tolist()
+        grouped: dict[int, list[int]] = {}
+        for v in host_lists[si]:
+            grouped.setdefault(row[v], []).append(v)
+        groups = list(grouped.values())
+        candidates: list[set[int]] = [set() for _ in groups]
+
+        if config.candidate_nodes:
+            available = avail_base & ~host_mask[si]
+            for s, group in enumerate(groups):
+                # One delay vector prices Δ^η for every (outside, anchor)
+                # pair: accept iff delays[eta] < max anchor delay.  The
+                # anchors' ascending-χ order only affects which anchor
+                # triggers the early exit, never the accept/reject set.
+                members = np.asarray(group, dtype=np.int64)
+                delays = _group_delays(instance, service, members)
+                accepted = available & (delays[:n] < delays[members].max())
+                taken = np.nonzero(accepted)[0]
+                if taken.size:
+                    picked = taken.tolist()
+                    group.extend(picked)
+                    candidates[s].update(picked)
+                    available[taken] = False
+
+        by_service[service] = ServicePartition(
+            service=service,
+            groups=[sorted(g) for g in groups],
+            candidates=candidates,
+            xi=float(xis[si]),
+        )
+    return PartitionResult(by_service=by_service)
+
+
+# ----------------------------------------------------------------------
+# Reference (pre-vectorization) kernels — kept for the equivalence
+# property suite and the paired before/after component benchmarks.
+# ----------------------------------------------------------------------
+def _virtual_components_reference(
+    nodes: np.ndarray, virtual_rate: np.ndarray, xi: float
+) -> list[list[int]]:
+    """Per-pair Python-loop components (the original Alg. 1 kernel)."""
+    n = len(nodes)
+    adj: list[list[int]] = [[] for _ in range(n)]
     for a in range(n):
         for b in range(a + 1, n):
             if virtual_rate[nodes[a], nodes[b]] > xi:
@@ -128,10 +342,10 @@ def _virtual_components(
     return components
 
 
-def _auto_threshold(
+def _auto_threshold_reference(
     nodes: np.ndarray, virtual_rate: np.ndarray, percentile: float
 ) -> float:
-    """Per-service ξ: the requested percentile of pairwise virtual rates."""
+    """Double-loop percentile over node pairs (the original kernel)."""
     if len(nodes) < 2:
         return 0.0
     rates = [
@@ -146,11 +360,11 @@ def _auto_threshold(
     return float(np.quantile(finite, percentile))
 
 
-def initial_partition(
+def initial_partition_reference(
     instance: ProblemInstance,
     config: SoCLConfig = SoCLConfig(),
 ) -> PartitionResult:
-    """Run Alg. 1 over every requested microservice."""
+    """Alg. 1 with the original per-pair loops (validation triple loop)."""
     vr = instance.network.paths.virtual_rate_matrix
     chi = communication_intensity(instance.network.paths.inv_rate)
     degrees = instance.network.degrees
@@ -161,9 +375,9 @@ def initial_partition(
         xi = (
             config.xi
             if config.xi is not None
-            else _auto_threshold(hosts, vr, config.xi_percentile)
+            else _auto_threshold_reference(hosts, vr, config.xi_percentile)
         )
-        groups = _virtual_components(hosts, vr, xi)
+        groups = _virtual_components_reference(hosts, vr, xi)
         candidates: list[set[int]] = [set() for _ in groups]
 
         if config.candidate_nodes:

@@ -19,6 +19,14 @@ placement:
 Every partition ends with at least one instance (the ``while |p^t| <
 ε_s·N̄`` loop always admits the first pick), realizing the paper's
 "optimized for routing" guarantee ③.
+
+The contribution scoring is vectorized: :func:`group_contributions`
+prices every member of a partition with one matvec over the group's
+``inv_rate`` submatrix (the zero diagonal contributes exactly the
+excluded self term, ``0.0``) instead of one :func:`instance_contribution`
+call per node.  The original per-node path is kept as
+:func:`preprovision_reference` for the equivalence property suite and
+the paired component benchmarks.
 """
 
 from __future__ import annotations
@@ -46,6 +54,21 @@ def instance_bound(instance: ProblemInstance, service: int) -> int:
     return max(1, min(n_hosts, n_upper))
 
 
+def instance_bounds(instance: ProblemInstance) -> dict[int, int]:
+    """``N̄(m_i)`` for every requested service in one vector pass.
+
+    Elementwise identical to per-service :func:`instance_bound` calls
+    (same subtraction/division/floor on the same floats).
+    """
+    requested = instance.requested_services
+    kappa = instance.service_cost[requested]
+    others = kappa.sum() - kappa
+    n_upper = np.floor((instance.config.budget - others) / kappa).astype(np.int64)
+    n_hosts = (instance.demand_counts[requested] > 0).sum(axis=1)
+    bounds = np.maximum(1, np.minimum(n_hosts, n_upper))
+    return {int(s): int(b) for s, b in zip(requested, bounds)}
+
+
 def instance_contribution(
     instance: ProblemInstance,
     service: int,
@@ -68,6 +91,23 @@ def instance_contribution(
     return transfer + processing
 
 
+def group_contributions(
+    instance: ProblemInstance, service: int, group: Sequence[int]
+) -> np.ndarray:
+    """All instance contributions ``D_{p_s}(v_k)`` of one group (Def. 7).
+
+    One matvec over the group's ``inv_rate`` submatrix replaces the
+    per-node :func:`instance_contribution` loop; the zero diagonal means
+    each column already excludes the self transfer term.
+    """
+    members = np.asarray(list(group), dtype=np.int64)
+    sub = instance.inv_rate[members[:, None], members]
+    r = instance.demand_data[service][members]
+    transfer = (np.ascontiguousarray(sub.T) * r).sum(axis=1)
+    processing = instance.service_compute[service] / instance.compute_ext[members]
+    return transfer + processing
+
+
 def _provision_group(
     instance: ProblemInstance,
     service: int,
@@ -78,10 +118,8 @@ def _provision_group(
     group = list(group)
     if quota >= len(group):
         return group
-    contributions = {
-        node: instance_contribution(instance, service, group, node)
-        for node in group
-    }
+    values = group_contributions(instance, service, group)
+    contributions = dict(zip(group, values.tolist()))
     chosen: list[int] = []
     remaining = sorted(group, key=lambda v: contributions[v])
     while len(chosen) < quota and remaining:
@@ -99,13 +137,14 @@ def preprovision(
     """Run Alg. 2: produce the pre-provisioning placement ``P^t``."""
     x = Placement.empty(instance)
     counts = instance.demand_counts
+    bounds = instance_bounds(instance)
 
     for service in partitions.services:
         part = partitions.partition(service)
-        bound = instance_bound(instance, service)
+        bound = bounds[service]
 
         group_demand = np.array(
-            [sum(int(counts[service, v]) for v in group) for group in part.groups],
+            [counts[service, group].sum() for group in part.groups],
             dtype=np.float64,
         )
         total = group_demand.sum()
@@ -120,5 +159,63 @@ def preprovision(
         for group, share in zip(part.groups, shares):
             quota = share * bound
             for node in _provision_group(instance, service, group, quota):
+                x.add(service, node)
+    return x
+
+
+# ----------------------------------------------------------------------
+# Reference (pre-vectorization) kernel — kept for the equivalence
+# property suite and the paired before/after component benchmarks.
+# ----------------------------------------------------------------------
+def _provision_group_reference(
+    instance: ProblemInstance,
+    service: int,
+    group: Sequence[int],
+    quota: float,
+) -> list[int]:
+    """Per-node contribution loop (the original Alg. 2 selection)."""
+    group = list(group)
+    if quota >= len(group):
+        return group
+    contributions = {
+        node: instance_contribution(instance, service, group, node)
+        for node in group
+    }
+    chosen: list[int] = []
+    remaining = sorted(group, key=lambda v: contributions[v])
+    while len(chosen) < quota and remaining:
+        chosen.append(remaining.pop(0))
+    if not chosen:
+        chosen.append(remaining.pop(0))
+    return sorted(chosen)
+
+
+def preprovision_reference(
+    instance: ProblemInstance,
+    partitions: PartitionResult,
+    config: SoCLConfig = SoCLConfig(),
+) -> Placement:
+    """Alg. 2 with the original per-node contribution loops."""
+    x = Placement.empty(instance)
+    counts = instance.demand_counts
+
+    for service in partitions.services:
+        part = partitions.partition(service)
+        bound = instance_bound(instance, service)
+
+        group_demand = np.array(
+            [sum(int(counts[service, v]) for v in group) for group in part.groups],
+            dtype=np.float64,
+        )
+        total = group_demand.sum()
+        if total <= 0:
+            for group in part.groups:
+                x.add(service, group[0])
+            continue
+        shares = group_demand / total
+
+        for group, share in zip(part.groups, shares):
+            quota = share * bound
+            for node in _provision_group_reference(instance, service, group, quota):
                 x.add(service, node)
     return x

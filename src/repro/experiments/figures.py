@@ -29,6 +29,7 @@ from repro.microservices.eshop import eshop_application
 from repro.model.instance import ProblemConfig
 from repro.network.generators import stadium_topology
 from repro.runtime.simulator import OnlineSimulator
+from repro.utils.parallel import parallel_map
 from repro.workload.alibaba import (
     cross_file_similarity,
     service_similarity_profile,
@@ -139,6 +140,32 @@ def fig4_temporal(
 # ----------------------------------------------------------------------
 # Fig. 7 + §V.B.1 — SoCL vs exact optimizer (objective and runtime)
 # ----------------------------------------------------------------------
+def _fig7_cell(task: tuple) -> list[dict]:
+    """One (sweep, scale) OPT-vs-SoCL pair; top-level for process pools."""
+    sweep, scale, params, time_limit = task
+    inst = build_scenario(params)
+    opt = OptimalSolver(time_limit=time_limit).solve(inst)
+    socl = SoCL().solve(inst)
+    gap = (
+        (socl.report.objective - opt.report.objective)
+        / opt.report.objective
+        * 100.0
+        if opt.report.objective
+        else 0.0
+    )
+    return [
+        {
+            "sweep": sweep,
+            "scale": scale,
+            "algorithm": name,
+            "objective": res.report.objective,
+            "runtime": res.runtime,
+            "gap_pct": 0.0 if name == "OPT" else gap,
+        }
+        for name, res in (("OPT", opt), ("SoCL", socl))
+    ]
+
+
 def fig7_socl_vs_opt(
     user_scales: Sequence[int] = (4, 6, 8),
     node_scales: Sequence[int] = (5, 6, 8),
@@ -146,91 +173,121 @@ def fig7_socl_vs_opt(
     base_servers: int = 6,
     seed: int = 0,
     time_limit: Optional[float] = 120.0,
+    n_jobs: int = 1,
 ) -> list[dict]:
     """Objective-gap and runtime comparison across user and node sweeps.
 
     One row per (sweep, scale, algorithm).  The paper reports gaps of
     ~3.3 % (30 users) and runtime improvements of 1-2 orders of
-    magnitude (1 958.6 s vs 22.3 s at 50 users).
+    magnitude (1 958.6 s vs 22.3 s at 50 users).  ``n_jobs > 1`` solves
+    the (sweep, scale) cells on a process pool with serial row order.
     """
-    rows: list[dict] = []
-
-    def run_pair(sweep: str, scale: int, params: ScenarioParams) -> None:
-        inst = build_scenario(params)
-        opt = OptimalSolver(time_limit=time_limit).solve(inst)
-        socl = SoCL().solve(inst)
-        gap = (
-            (socl.report.objective - opt.report.objective)
-            / opt.report.objective
-            * 100.0
-            if opt.report.objective
-            else 0.0
-        )
-        for name, res in (("OPT", opt), ("SoCL", socl)):
-            rows.append(
-                {
-                    "sweep": sweep,
-                    "scale": scale,
-                    "algorithm": name,
-                    "objective": res.report.objective,
-                    "runtime": res.runtime,
-                    "gap_pct": 0.0 if name == "OPT" else gap,
-                }
-            )
-
-    for n_users in user_scales:
-        run_pair(
+    tasks = [
+        (
             "users",
             n_users,
             ScenarioParams(
                 n_servers=base_servers, n_users=n_users, seed=seed, max_chain=4
             ),
+            time_limit,
         )
-    for n_servers in node_scales:
-        run_pair(
+        for n_users in user_scales
+    ] + [
+        (
             "nodes",
             n_servers,
             ScenarioParams(
                 n_servers=n_servers, n_users=base_users, seed=seed, max_chain=4
             ),
+            time_limit,
         )
-    return rows
+        for n_servers in node_scales
+    ]
+    per_cell = parallel_map(
+        _fig7_cell, tasks, n_jobs=n_jobs, min_items_per_worker=1, allow_oversubscribe=True
+    )
+    return [row for rows in per_cell for row in rows]
 
 
 # ----------------------------------------------------------------------
 # Fig. 8 — baselines across user scales (10 servers)
 # ----------------------------------------------------------------------
+def _fig8_cell(task: tuple) -> list[dict]:
+    """One user-scale cell of Fig. 8; top-level for process pools."""
+    n_users, n_servers, budget, seed, include_gcog = task
+    inst = build_scenario(
+        ScenarioParams(
+            n_servers=n_servers, n_users=n_users, budget=budget, seed=seed
+        )
+    )
+    solvers = [RandomProvisioning(seed=seed), JointDeploymentRouting()]
+    if include_gcog:
+        solvers.append(GreedyCombineOG())
+    solvers.append(SoCL())
+    return [
+        row.as_dict()
+        for row in compare_algorithms(inst, solvers, params={"n_users": n_users})
+    ]
+
+
 def fig8_baselines(
     user_scales: Sequence[int] = (40, 80, 120, 160),
     n_servers: int = 10,
     budget: float = 6000.0,
     seed: int = 0,
     include_gcog: bool = True,
+    n_jobs: int = 1,
 ) -> list[dict]:
     """Objective (cost & latency) of RP / JDR / GC-OG / SoCL per scale.
 
     Paper Fig. 8 uses 80/120/160/200 users: SoCL lowest everywhere, then
     GC-OG (but slow), then JDR, RP worst and degrading fastest.
+    ``n_jobs > 1`` solves the user-scale cells on a process pool with
+    serial row order.
     """
-    rows: list[dict] = []
-    for n_users in user_scales:
-        inst = build_scenario(
-            ScenarioParams(
-                n_servers=n_servers, n_users=n_users, budget=budget, seed=seed
-            )
-        )
-        solvers = [RandomProvisioning(seed=seed), JointDeploymentRouting()]
-        if include_gcog:
-            solvers.append(GreedyCombineOG())
-        solvers.append(SoCL())
-        for row in compare_algorithms(inst, solvers, params={"n_users": n_users}):
-            rows.append(row.as_dict())
-    return rows
+    tasks = [
+        (n_users, n_servers, budget, seed, include_gcog)
+        for n_users in user_scales
+    ]
+    per_cell = parallel_map(
+        _fig8_cell, tasks, n_jobs=n_jobs, min_items_per_worker=1, allow_oversubscribe=True
+    )
+    return [row for rows in per_cell for row in rows]
 
 
 # ----------------------------------------------------------------------
 # Fig. 9 — cluster testbed, 8 edge nodes, 50/70 users
 # ----------------------------------------------------------------------
+def _fig9_cell(task: tuple) -> dict:
+    """One (solver, user count) cluster run; top-level for process pools.
+
+    The network/application/simulator are rebuilt inside the worker from
+    the seed (all deterministic), so only the solver object and scalars
+    cross the pickle boundary.
+    """
+    solver, n_users, n_servers, n_slots, budget, seed, data_scale = task
+    network = stadium_topology(n_servers, seed=seed)
+    app = eshop_application()
+    sim = OnlineSimulator(
+        network,
+        app,
+        ProblemConfig(weight=0.5, budget=budget),
+        WorkloadSpec(n_users=n_users, data_scale=data_scale),
+        seed=seed,
+    )
+    res = sim.run(solver, n_slots=n_slots)
+    lats = res.recorder.all_latencies()
+    return {
+        "algorithm": res.solver_name,
+        "n_users": n_users,
+        "objective": float(np.mean([s.objective for s in res.slots])),
+        "cost": float(np.mean([s.cost for s in res.slots])),
+        "mean_latency": res.mean_delay,
+        "median_latency": float(np.median(lats)) if lats.size else 0.0,
+        "max_latency": res.max_delay,
+    }
+
+
 def fig9_cluster(
     user_counts: Sequence[int] = (50, 70),
     n_servers: int = 8,
@@ -238,6 +295,7 @@ def fig9_cluster(
     budget: float = 6000.0,
     seed: int = 0,
     data_scale: float = 5.0,
+    n_jobs: int = 1,
 ) -> list[dict]:
     """RP / JDR / SoCL on the simulated cluster: cost, latency, objective.
 
@@ -245,35 +303,21 @@ def fig9_cluster(
     for low completion times; SoCL balances both.  Also reports the
     median per-request latency (the paper's 2.795/3.989/2.796 pattern —
     SoCL serves most requests as well as RP with fewer instances).
+    ``n_jobs > 1`` runs the (solver, user count) cells on a process pool
+    with serial row order.
     """
-    rows: list[dict] = []
-    network = stadium_topology(n_servers, seed=seed)
-    app = eshop_application()
-    for n_users in user_counts:
-        for solver in (RandomProvisioning(seed=seed), JointDeploymentRouting(), SoCL()):
-            sim = OnlineSimulator(
-                network,
-                app,
-                ProblemConfig(weight=0.5, budget=budget),
-                WorkloadSpec(n_users=n_users, data_scale=data_scale),
-                seed=seed,
-            )
-            res = sim.run(solver, n_slots=n_slots)
-            lats = res.recorder.all_latencies()
-            rows.append(
-                {
-                    "algorithm": res.solver_name,
-                    "n_users": n_users,
-                    "objective": float(
-                        np.mean([s.objective for s in res.slots])
-                    ),
-                    "cost": float(np.mean([s.cost for s in res.slots])),
-                    "mean_latency": res.mean_delay,
-                    "median_latency": float(np.median(lats)) if lats.size else 0.0,
-                    "max_latency": res.max_delay,
-                }
-            )
-    return rows
+    tasks = [
+        (solver, n_users, n_servers, n_slots, budget, seed, data_scale)
+        for n_users in user_counts
+        for solver in (
+            RandomProvisioning(seed=seed),
+            JointDeploymentRouting(),
+            SoCL(),
+        )
+    ]
+    return parallel_map(
+        _fig9_cell, tasks, n_jobs=n_jobs, min_items_per_worker=1, allow_oversubscribe=True
+    )
 
 
 # ----------------------------------------------------------------------

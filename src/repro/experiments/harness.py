@@ -1,4 +1,11 @@
-"""Algorithm-comparison harness: run solvers on scenarios, tabulate rows."""
+"""Algorithm-comparison harness: run solvers on scenarios, tabulate rows.
+
+:func:`sweep` fans (solver, instance) cells out over a process pool when
+``n_jobs > 1``: solvers are instantiated in the parent (factories may be
+lambdas, which don't pickle — solver objects do) and shipped to workers
+along with the instance, and results come back in the exact order the
+serial path would produce them.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +19,7 @@ from repro.baselines import (
 )
 from repro.core import SoCL, SoCLConfig
 from repro.model.instance import ProblemInstance
+from repro.utils.parallel import parallel_map
 
 
 @dataclass(frozen=True)
@@ -51,6 +59,30 @@ def default_solvers(seed: int = 0, include_gcog: bool = True) -> list:
     return solvers
 
 
+def _row_from_result(solver, result, params: dict) -> AlgorithmRow:
+    """Tabulate one solver result into an :class:`AlgorithmRow`."""
+    return AlgorithmRow(
+        algorithm=getattr(solver, "name", type(solver).__name__),
+        objective=result.report.objective,
+        cost=result.report.cost,
+        latency_sum=result.report.latency_sum,
+        mean_latency=result.report.mean_latency,
+        max_latency=result.report.max_latency,
+        runtime=result.runtime,
+        feasible=result.feasibility.feasible,
+        params=dict(params),
+    )
+
+
+def _solve_cell(cell: tuple) -> AlgorithmRow:
+    """Solve one (solver, instance, params) sweep cell.
+
+    Top-level so it pickles into :func:`parallel_map` process workers.
+    """
+    solver, instance, params = cell
+    return _row_from_result(solver, solver.solve(instance), params)
+
+
 def compare_algorithms(
     instance: ProblemInstance,
     solvers: Optional[Sequence] = None,
@@ -60,35 +92,34 @@ def compare_algorithms(
     if solvers is None:
         solvers = default_solvers()
     params = params or {}
-    rows: list[AlgorithmRow] = []
-    for solver in solvers:
-        result = solver.solve(instance)
-        rows.append(
-            AlgorithmRow(
-                algorithm=getattr(solver, "name", type(solver).__name__),
-                objective=result.report.objective,
-                cost=result.report.cost,
-                latency_sum=result.report.latency_sum,
-                mean_latency=result.report.mean_latency,
-                max_latency=result.report.max_latency,
-                runtime=result.runtime,
-                feasible=result.feasibility.feasible,
-                params=dict(params),
-            )
-        )
-    return rows
+    return [
+        _row_from_result(solver, solver.solve(instance), params)
+        for solver in solvers
+    ]
 
 
 def sweep(
     instances: Iterable[tuple[dict, ProblemInstance]],
     solvers_factory: Callable[[], Sequence] = default_solvers,
+    n_jobs: int = 1,
 ) -> list[AlgorithmRow]:
     """Run the solver lineup over a parameterized instance sweep.
 
     ``instances`` yields ``(params, instance)`` pairs; a fresh solver
     lineup is created per instance so stateful solvers don't leak.
+    With ``n_jobs > 1`` the (solver, instance) cells are solved on a
+    process pool; row order matches the serial nested loop regardless
+    (only the ``runtime`` field is timing-dependent).
     """
-    rows: list[AlgorithmRow] = []
-    for params, instance in instances:
-        rows.extend(compare_algorithms(instance, solvers_factory(), params))
-    return rows
+    cells = [
+        (solver, instance, params)
+        for params, instance in instances
+        for solver in solvers_factory()
+    ]
+    return parallel_map(
+        _solve_cell,
+        cells,
+        n_jobs=n_jobs,
+        min_items_per_worker=1,
+        allow_oversubscribe=True,
+    )

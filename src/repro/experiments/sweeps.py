@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.experiments.scenarios import ScenarioParams, build_scenario
+from repro.utils.parallel import parallel_map
 
 
 @dataclass(frozen=True)
@@ -55,17 +56,51 @@ class SweepCell:
         }
 
 
+def _solve_grid_cell(task: tuple) -> list[SweepCell]:
+    """Solve one (overrides, seed) grid cell for every algorithm.
+
+    Top-level so it pickles into :func:`parallel_map` process workers;
+    the scenario is rebuilt inside the worker (``ScenarioParams`` is a
+    plain picklable dataclass) so the parent never ships instances, and
+    the single build is shared by all algorithms of the cell exactly
+    like the serial loop did.
+    """
+    overrides, seed, solvers, base = task
+    instance = build_scenario(base.with_(seed=seed, **overrides))
+    cells: list[SweepCell] = []
+    for algo_name, solver in solvers:
+        result = solver.solve(instance)
+        cells.append(
+            SweepCell(
+                params=dict(overrides),
+                seed=seed,
+                algorithm=algo_name,
+                objective=result.report.objective,
+                cost=result.report.cost,
+                latency_sum=result.report.latency_sum,
+                runtime=result.runtime,
+                feasible=result.feasibility.feasible,
+            )
+        )
+    return cells
+
+
 def grid_sweep(
     axes: Mapping[str, Sequence],
     seeds: Sequence[int],
     solver_factories: Mapping[str, Callable[[], object]],
     base: ScenarioParams = ScenarioParams(),
+    n_jobs: int = 1,
 ) -> list[SweepCell]:
     """Run every solver over the cartesian product of ``axes`` × ``seeds``.
 
     ``axes`` maps :class:`ScenarioParams` field names to value lists;
     unknown fields raise immediately.  A fresh solver is created per
-    cell so stateful solvers cannot leak across cells.
+    cell so stateful solvers cannot leak across cells.  ``n_jobs > 1``
+    solves (params, seed) cells on a process pool — solvers are
+    instantiated in the parent (factories may be lambdas, which don't
+    pickle) — and the flattened cell order is identical to the serial
+    nested loop.
     """
     if not axes:
         raise ValueError("axes must contain at least one parameter")
@@ -80,26 +115,24 @@ def grid_sweep(
         )
 
     names = list(axes)
-    cells: list[SweepCell] = []
-    for combo in itertools.product(*(axes[name] for name in names)):
-        overrides = dict(zip(names, combo))
-        for seed in seeds:
-            instance = build_scenario(base.with_(seed=int(seed), **overrides))
-            for algo_name, factory in solver_factories.items():
-                result = factory().solve(instance)
-                cells.append(
-                    SweepCell(
-                        params=dict(overrides),
-                        seed=int(seed),
-                        algorithm=algo_name,
-                        objective=result.report.objective,
-                        cost=result.report.cost,
-                        latency_sum=result.report.latency_sum,
-                        runtime=result.runtime,
-                        feasible=result.feasibility.feasible,
-                    )
-                )
-    return cells
+    tasks = [
+        (
+            dict(zip(names, combo)),
+            int(seed),
+            [(name, factory()) for name, factory in solver_factories.items()],
+            base,
+        )
+        for combo in itertools.product(*(axes[name] for name in names))
+        for seed in seeds
+    ]
+    per_cell = parallel_map(
+        _solve_grid_cell,
+        tasks,
+        n_jobs=n_jobs,
+        min_items_per_worker=1,
+        allow_oversubscribe=True,
+    )
+    return [cell for cells in per_cell for cell in cells]
 
 
 def aggregate(

@@ -26,6 +26,7 @@ dependency-free and easily property-testable.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -110,13 +111,20 @@ class PathTable:
             return 0.0
         return float(1.0 / inv)
 
-    @property
+    @cached_property
     def virtual_rate_matrix(self) -> np.ndarray:
-        """Dense matrix of ``B(l')`` values (inf diagonal, 0 unreachable)."""
+        """Dense matrix of ``B(l')`` values (inf diagonal, 0 unreachable).
+
+        Built once per table and memoized: ``cached_property`` stores the
+        result straight into the instance ``__dict__``, which bypasses
+        the frozen dataclass's ``__setattr__`` guard without weakening
+        it.  The cached array is marked read-only so shared access stays
+        as safe as the rebuilt-per-call version was.
+        """
         with np.errstate(divide="ignore"):
             vr = 1.0 / self.inv_rate
         vr[~np.isfinite(self.inv_rate)] = 0.0
-        return vr
+        return _readonly(vr)
 
     def path(self, src: int, dst: int) -> list[int]:
         """Reconstruct the chosen route ``π*(src, dst)`` as a node list.

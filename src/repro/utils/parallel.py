@@ -33,13 +33,22 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
-def effective_workers(n_jobs: int) -> int:
-    """Resolve an ``n_jobs`` request into a concrete worker count (>= 1)."""
+def effective_workers(n_jobs: int, allow_oversubscribe: bool = False) -> int:
+    """Resolve an ``n_jobs`` request into a concrete worker count (>= 1).
+
+    By default explicit requests are capped at the CPU count (CPU-bound
+    kernels gain nothing beyond it).  ``allow_oversubscribe=True`` honors
+    an explicit positive ``n_jobs`` verbatim — the experiment harness
+    uses this so sweep cells that block on subprocess solvers (and tests
+    on single-core CI runners) can still fan out.
+    """
     cpus = os.cpu_count() or 1
     if n_jobs in (0, -1):
         return cpus
     if n_jobs < -1:
         raise ValueError(f"n_jobs must be >= -1, got {n_jobs}")
+    if allow_oversubscribe:
+        return max(1, n_jobs)
     return max(1, min(n_jobs, cpus))
 
 
@@ -69,6 +78,7 @@ def parallel_map(
     n_jobs: int = 1,
     min_items_per_worker: int = 8,
     use_threads: bool = False,
+    allow_oversubscribe: bool = False,
 ) -> list[R]:
     """Map ``fn`` over ``items``, optionally across workers.
 
@@ -77,12 +87,14 @@ def parallel_map(
     processes.  Runs serially — no pool is created at all — when
     ``n_jobs`` resolves to one worker **or** the input holds fewer than
     ``min_items_per_worker * 2`` items, so tiny sweeps never pay pool
-    startup.  Callers whose ``fn`` has side effects (e.g. filling a
+    startup.  ``allow_oversubscribe`` forwards to
+    :func:`effective_workers` and lets an explicit ``n_jobs`` exceed the
+    CPU count.  Callers whose ``fn`` has side effects (e.g. filling a
     shared cache) must pass ``use_threads=True``: with processes the
     mutation happens in the worker and is lost.
     """
     items = list(items)
-    workers = effective_workers(n_jobs)
+    workers = effective_workers(n_jobs, allow_oversubscribe=allow_oversubscribe)
     if workers == 1 or len(items) < min_items_per_worker * 2:
         return [fn(item) for item in items]
 

@@ -117,3 +117,27 @@ class TestCommunicationIntensity:
         inv = np.array([[0.0, 0.25], [0.25, 0.0]])
         chi = communication_intensity(inv)
         assert np.allclose(chi, [4.0, 4.0])
+
+
+class TestVirtualRateMatrixCache:
+    def test_cached_same_object(self, line3_network):
+        pt = line3_network.paths
+        assert pt.virtual_rate_matrix is pt.virtual_rate_matrix
+
+    def test_cached_matrix_read_only(self, line3_network):
+        vr = line3_network.paths.virtual_rate_matrix
+        with pytest.raises(ValueError):
+            vr[0, 1] = 123.0
+
+    def test_cached_values_match_scalar_accessor(self, diamond_network):
+        pt = diamond_network.paths
+        vr = pt.virtual_rate_matrix
+        for k in range(pt.n):
+            for q in range(pt.n):
+                assert vr[k, q] == pt.virtual_rate(k, q)
+
+    def test_frozen_dataclass_still_frozen(self, line3_network):
+        pt = line3_network.paths
+        pt.virtual_rate_matrix  # populate the cache
+        with pytest.raises(Exception):
+            pt.hops = np.zeros((3, 3))

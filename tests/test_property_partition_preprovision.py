@@ -1,0 +1,102 @@
+"""Property-based equivalence tests for the vectorized Alg. 1 / Alg. 2.
+
+The vectorized kernels (:func:`repro.core.partition.initial_partition`,
+:func:`repro.core.preprovision.preprovision`) promise results *identical*
+to the in-tree reference loops (``initial_partition_reference``,
+``preprovision_reference``) — same ξ thresholds, groups, candidate sets,
+and placement matrices.  Hypothesis drives random scenario scales, seeds
+and SoCL configurations through both paths.
+
+Also proves the zero-weight growth lemma the broadcast validation relies
+on: accepted candidate nodes carry exactly zero demand weight for their
+service, so growing a group with candidates never changes any group
+transfer-delay sum (shown with order-independent ``math.fsum`` so the
+statement is about the real-number sums, not one summation order).
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SoCLConfig
+from repro.core.partition import initial_partition, initial_partition_reference
+from repro.core.preprovision import preprovision, preprovision_reference
+from repro.experiments.scenarios import ScenarioParams, build_scenario
+
+CONFIGS = (
+    SoCLConfig(),
+    SoCLConfig(candidate_nodes=False),
+    SoCLConfig(xi_percentile=0.85, min_degree=1),
+    SoCLConfig(xi_percentile=0.15),
+    SoCLConfig(xi=1e-6),
+)
+
+
+@st.composite
+def scenario_and_config(draw):
+    seed = draw(st.integers(min_value=0, max_value=40))
+    n_servers = draw(st.sampled_from([4, 6, 8, 12]))
+    n_users = draw(st.integers(min_value=2, max_value=30))
+    config = draw(st.sampled_from(CONFIGS))
+    inst = build_scenario(
+        ScenarioParams(n_servers=n_servers, n_users=n_users, seed=seed)
+    )
+    return inst, config
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario_and_config())
+def test_partition_matches_reference(case):
+    inst, config = case
+    vec = initial_partition(inst, config)
+    ref = initial_partition_reference(inst, config)
+    assert vec.services == ref.services
+    for service in vec.services:
+        pv, pr = vec.partition(service), ref.partition(service)
+        assert pv.xi == pr.xi
+        assert pv.groups == pr.groups
+        assert pv.candidates == pr.candidates
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario_and_config())
+def test_preprovision_matches_reference(case):
+    inst, config = case
+    part = initial_partition(inst, config)
+    vec = preprovision(inst, part, config)
+    ref = preprovision_reference(inst, initial_partition_reference(inst, config), config)
+    assert np.array_equal(vec.matrix, ref.matrix)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=40), st.sampled_from([6, 8, 12]))
+def test_zero_weight_growth_lemma(seed, n_servers):
+    """Growing a group with accepted candidates never changes delay sums.
+
+    Candidates host no requests for their service, so their demand
+    weight is exactly ``0.0`` and every term they add to a group
+    transfer-delay sum is exactly zero (when the virtual link is finite).
+    Hence Δ-validating outside nodes against the *grown* group — as the
+    reference loop does after each acceptance — prices exactly the same
+    real-number sums as one vector over the original members, which is
+    why a single broadcast comparison per group is enough.
+    """
+    inst = build_scenario(ScenarioParams(n_servers=n_servers, n_users=20, seed=seed))
+    part = initial_partition(inst)
+    inv = inst.inv_rate
+    for service in part.services:
+        weights = inst.demand_data[service]
+        sp = part.partition(service)
+        for group, cands in zip(sp.groups, sp.candidates):
+            members = [v for v in group if v not in cands]
+            for cand in cands:
+                assert weights[cand] == 0.0
+            for target in range(inst.n_servers):
+                if not all(math.isfinite(inv[v, target]) for v in group):
+                    continue
+                for cand in cands:
+                    assert weights[cand] * inv[cand, target] == 0.0
+                grown = math.fsum(weights[v] * inv[v, target] for v in group)
+                original = math.fsum(weights[v] * inv[v, target] for v in members)
+                assert grown == original
