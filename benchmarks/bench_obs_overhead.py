@@ -1,0 +1,155 @@
+"""Observability overhead benchmark: tracing must be ~free when off.
+
+Times the full SoCL solve at the fig-9 cluster scale (20 servers, 100
+users, seed 0 — the same instance as ``BENCH_pipeline.json``) in two
+modes:
+
+* **disabled** — the default ambient ``NullTracer`` (what every
+  untraced run pays for the instrumentation call sites);
+* **enabled** — a live ``Tracer`` recording spans and counters.
+
+Run standalone (not under pytest-benchmark — the paired comparison
+needs one process timing both modes back to back):
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --json BENCH_obs.json
+
+With ``--baseline-src DIR`` pointing at an *uninstrumented* source tree
+(e.g. a ``git worktree`` of the pre-observability commit) the same
+timing loop also runs in a subprocess against that tree, so the JSON
+records the true instrumentation overhead — disabled-mode vs code with
+no call sites at all.  The acceptance bar recorded in ``BENCH_obs.json``
+is disabled-mode overhead **< 2 %** of the uninstrumented median.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+
+
+def _timing_loop(repeats: int, warmup: int) -> dict:
+    """Time solve_socl in disabled and enabled tracing modes."""
+    from repro.core import SoCL
+    from repro.experiments.scenarios import ScenarioParams, build_scenario
+
+    instance = build_scenario(ScenarioParams(n_servers=20, n_users=100, seed=0))
+    solver = SoCL()
+
+    def _measure(run) -> list[float]:
+        for _ in range(warmup):
+            run()
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run()
+            samples.append(time.perf_counter() - t0)
+        return samples
+
+    out = {"disabled": _measure(lambda: solver.solve(instance))}
+
+    try:
+        from repro.obs import Tracer, use_tracer
+    except ImportError:  # uninstrumented baseline tree has no repro.obs
+        return out
+
+    def _traced():
+        with use_tracer(Tracer("bench")):
+            solver.solve(instance)
+
+    out["enabled"] = _measure(_traced)
+    return out
+
+
+def _stats(samples: list[float]) -> dict:
+    return {
+        "min": min(samples),
+        "max": max(samples),
+        "mean": statistics.fmean(samples),
+        "median": statistics.median(samples),
+        "stddev": statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        "rounds": len(samples),
+    }
+
+
+def _baseline_samples(src: str, repeats: int, warmup: int) -> list[float]:
+    """Run the disabled-mode loop against another source tree."""
+    code = (
+        "import json, sys; sys.path.insert(0, sys.argv[1]); "
+        "from benchmarks.bench_obs_overhead import _timing_loop; "
+        "print(json.dumps(_timing_loop(int(sys.argv[2]), int(sys.argv[3]))))"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code, src, str(repeats), str(warmup)],
+        check=True,
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": f"{src}:."},
+    )
+    return json.loads(proc.stdout)["disabled"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=20)
+    parser.add_argument("--warmup", type=int, default=3)
+    parser.add_argument("--json", default=None, help="write results to this path")
+    parser.add_argument(
+        "--baseline-src",
+        default=None,
+        help="src/ dir of an uninstrumented checkout for the true baseline",
+    )
+    args = parser.parse_args(argv)
+
+    modes = _timing_loop(args.repeats, args.warmup)
+    result: dict = {
+        "description": (
+            "Observability overhead on the full SoCL solve at the fig-9 "
+            "cluster scale (20 servers, 100 users, seed 0). 'disabled' is "
+            "the instrumented pipeline under the default NullTracer; "
+            "'enabled' records spans and counters; 'uninstrumented' (when "
+            "present) is the pre-observability code with no call sites. "
+            "Acceptance: disabled-mode median overhead < 2% vs "
+            "uninstrumented. Times in seconds."
+        ),
+        "command": "PYTHONPATH=src python benchmarks/bench_obs_overhead.py",
+        "scenario": {"n_servers": 20, "n_users": 100, "seed": 0},
+        "acceptance_targets": {"disabled_overhead_pct_max": 2.0},
+        "benchmarks": {mode: _stats(samples) for mode, samples in modes.items()},
+    }
+
+    if args.baseline_src:
+        base = _baseline_samples(args.baseline_src, args.repeats, args.warmup)
+        result["benchmarks"]["uninstrumented"] = _stats(base)
+        base_med = statistics.median(base)
+        dis_med = statistics.median(modes["disabled"])
+        result["disabled_overhead_pct"] = (dis_med / base_med - 1.0) * 100.0
+    if "enabled" in modes:
+        dis_med = statistics.median(modes["disabled"])
+        en_med = statistics.median(modes["enabled"])
+        result["enabled_overhead_pct"] = (en_med / dis_med - 1.0) * 100.0
+
+    for mode, stats in result["benchmarks"].items():
+        print(f"{mode:>14s}: median {stats['median']*1e3:8.2f} ms "
+              f"(mean {stats['mean']*1e3:.2f} ms over {stats['rounds']} rounds)")
+    for key in ("disabled_overhead_pct", "enabled_overhead_pct"):
+        if key in result:
+            print(f"{key}: {result[key]:+.2f}%")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if "disabled_overhead_pct" in result:
+        return 0 if result["disabled_overhead_pct"] < 2.0 else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

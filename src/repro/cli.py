@@ -11,12 +11,20 @@ Subcommands:
   injection, printing the per-slot delay series as a sparkline;
 * ``dataset``  — list the curated 20-project microservice registry.
 
+Every subcommand also accepts the observability flags ``--trace
+out.jsonl`` (run under a :mod:`repro.obs` tracer, write the JSONL trace
+and print the span-tree/counter summary to stderr) and ``--log-level
+debug|info|warning|error`` (stdlib logging across all ``repro``
+modules).  Tracing is observational: results are bit-identical with it
+on or off.
+
 Everything is deterministic given ``--seed``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Optional, Sequence
 
@@ -28,6 +36,9 @@ from repro.baselines import (
 )
 from repro.core import SoCL, SoCLConfig
 from repro.core.online import OnlineSoCL
+from repro.obs import LOG_LEVELS, Tracer, setup_logging, summary, use_tracer, write_jsonl
+
+logger = logging.getLogger(__name__)
 
 SOLVER_CHOICES = ("socl", "socl-online", "rp", "jdr", "gcog", "opt")
 
@@ -274,16 +285,30 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SoCL serverless-edge microservice provisioning (CLUSTER 2025 reproduction)",
     )
+    # observability flags, shared by every subcommand (after the verb:
+    # ``repro figure fig7 --trace out.jsonl --log-level debug``)
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace", metavar="PATH", default=None, dest="trace_out",
+        help="write a JSONL span/counter trace of the run to PATH",
+    )
+    obs_flags.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="warning",
+        help="stdlib logging verbosity for all repro modules",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("solve", help="run one algorithm on a scenario")
+    def add_command(name: str, **kwargs):
+        return sub.add_parser(name, parents=[obs_flags], **kwargs)
+
+    p = add_command("solve", help="run one algorithm on a scenario")
     _add_scenario_args(p)
     p.add_argument("--solver", choices=SOLVER_CHOICES, default="socl")
     p.add_argument("--time-limit", type=float, default=None)
     p.add_argument("--placement", action="store_true", help="print the placement")
     p.set_defaults(func=cmd_solve)
 
-    p = sub.add_parser("compare", help="run the baseline lineup")
+    p = add_command("compare", help="run the baseline lineup")
     _add_scenario_args(p)
     p.add_argument(
         "--solvers", nargs="+", choices=SOLVER_CHOICES,
@@ -291,7 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_compare)
 
-    p = sub.add_parser("figure", help="regenerate a paper figure's data")
+    p = add_command("figure", help="regenerate a paper figure's data")
     p.add_argument("name", help="fig2|fig3|fig4|fig7|fig8|fig9|fig10")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--slots", type=int, default=12)
@@ -299,7 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for fig7/fig8/fig9 sweep cells")
     p.set_defaults(func=cmd_figure)
 
-    p = sub.add_parser("trace", help="online mobility trace (Fig.10 setting)")
+    p = add_command("trace", help="online mobility trace (Fig.10 setting)")
     _add_scenario_args(p)
     p.set_defaults(servers=16, users=30)
     p.add_argument("--solver", choices=SOLVER_CHOICES, default="socl")
@@ -308,10 +333,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-slot node failure probability (failure injection)")
     p.set_defaults(func=cmd_trace)
 
-    p = sub.add_parser("dataset", help="list the curated project registry")
+    p = add_command("dataset", help="list the curated project registry")
     p.set_defaults(func=cmd_dataset)
 
-    p = sub.add_parser("sweep", help="multi-seed sweep with mean±std aggregation")
+    p = add_command("sweep", help="multi-seed sweep with mean±std aggregation")
     p.add_argument("--servers", type=int, default=10)
     p.add_argument("--users", type=int, nargs="+", default=[20, 60])
     p.add_argument("--budget", type=float, default=6000.0)
@@ -323,7 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for sweep cells")
     p.set_defaults(func=cmd_sweep)
 
-    p = sub.add_parser("report", help="regenerate all figures into a Markdown report")
+    p = add_command("report", help="regenerate all figures into a Markdown report")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--full", action="store_true", help="bench-scale sweeps (slower)")
     p.add_argument("--only", nargs="+", default=None,
@@ -336,7 +361,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    setup_logging(args.log_level)
+    if not args.trace_out:
+        return args.func(args)
+    tracer = Tracer("repro")
+    with use_tracer(tracer):
+        with tracer.span(f"cli.{args.command}"):
+            rc = args.func(args)
+    n_records = write_jsonl(tracer, args.trace_out)
+    print(summary(tracer), file=sys.stderr)
+    print(f"trace: wrote {n_records} records to {args.trace_out}", file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,6 +41,7 @@ service.  All cached results are bit-identical to a fresh recompute;
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -54,6 +55,9 @@ from repro.model.engine import BatchRouter
 from repro.model.instance import ProblemInstance
 from repro.model.latency import total_latency
 from repro.model.placement import Placement, Routing
+from repro.obs import MetricsRegistry, current_tracer
+
+logger = logging.getLogger(__name__)
 
 
 #: Number of near-minimal-ζ merge candidates the serial stage evaluates
@@ -109,6 +113,13 @@ class CombinationState:
         # instance-static demand slices (never invalidated)
         self._hosts_cache: dict[int, np.ndarray] = {}
         self._demand_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        # telemetry: ζ/reliance rows served from cache vs rebuilt.  Plain
+        # int bumps (cheap enough to keep unconditional); the combination
+        # driver publishes them to the ambient tracer when enabled.
+        self.zeta_hits = 0
+        self.zeta_rebuilds = 0
+        self.reliance_hits = 0
+        self.reliance_rebuilds = 0
 
     def _hosts(self, service: int) -> np.ndarray:
         hosts = self._hosts_cache.get(service)
@@ -211,8 +222,11 @@ class CombinationState:
     def _reliance_row(self, service: int) -> np.ndarray:
         row = self._rel_rows.get(service)
         if row is None:
+            self.reliance_rebuilds += 1
             row = self._reliance_for_service(service)
             self._rel_rows[service] = row
+        else:
+            self.reliance_hits += 1
         return row
 
     @property
@@ -285,7 +299,9 @@ class CombinationState:
         """
         row = self._zeta_rows.get(service)
         if row is not None:
+            self.zeta_hits += 1
             return row
+        self.zeta_rebuilds += 1
         inst = self.instance
         hosts = self._hosts(service)
         demand, w, n_users, rows, _ = self._demand(service)
@@ -445,7 +461,14 @@ def _filter_conflicts(
 
 @dataclass
 class CombinationStats:
-    """Diagnostics of one combination run."""
+    """Diagnostics of one combination run.
+
+    Compatibility shim: the combination driver now accumulates these
+    counts in a :class:`repro.obs.MetricsRegistry` (namespaced
+    ``combination.*`` in traces); this dataclass is built from the
+    registry at the end of the run so ``SoCLResult.stats`` keeps its
+    historical shape and values.
+    """
 
     parallel_rounds: int = 0
     parallel_merges: int = 0
@@ -454,6 +477,24 @@ class CombinationStats:
     migrations: int = 0
     forced_merges: int = 0
     relocations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "parallel_rounds": self.parallel_rounds,
+            "parallel_merges": self.parallel_merges,
+            "serial_merges": self.serial_merges,
+            "rollbacks": self.rollbacks,
+            "migrations": self.migrations,
+            "forced_merges": self.forced_merges,
+            "relocations": self.relocations,
+        }
+
+    @classmethod
+    def from_registry(cls, reg: MetricsRegistry) -> "CombinationStats":
+        """Build the legacy stats view from a combination-run registry."""
+        return cls(
+            **{name: int(reg.get(name)) for name in cls.__dataclass_fields__}
+        )
 
 
 def relocation_pass(
@@ -546,41 +587,55 @@ def multi_scale_combination(
     preprovisioned: Placement,
     config: SoCLConfig = SoCLConfig(),
 ) -> tuple[Placement, CombinationStats]:
-    """Run Alg. 3 end-to-end; returns the final placement and stats."""
+    """Run Alg. 3 end-to-end; returns the final placement and stats.
+
+    Diagnostics accumulate in a local :class:`~repro.obs.MetricsRegistry`
+    (the source of truth; :class:`CombinationStats` is derived from it at
+    the end) and, when the ambient tracer is enabled, are published under
+    the ``combination.*`` namespace alongside the ζ/reliance cache and
+    :class:`~repro.model.engine.BatchRouter` layer stats.
+    """
+    tracer = current_tracer()
     state = CombinationState(instance, partitions, preprovisioned, config)
-    stats = CombinationStats()
+    reg = MetricsRegistry()
     conflicts = dependency_conflict_pairs(instance)
     budget = instance.config.budget
 
     # ---------------- large-scale parallel descent ----------------
-    while state.cost() > budget and stats.parallel_rounds < config.max_parallel_rounds:
-        zetas = latency_losses(state, n_jobs=config.n_jobs)
-        if not zetas:
-            break
-        n_pick = max(1, int(np.floor(config.omega * len(zetas))))
-        ranked = sorted(zetas, key=zetas.get)[:n_pick]
-        counts = {
-            svc: state.placement.instance_count(svc)
-            for svc in {ik[0] for ik in ranked}
-        }
-        accepted = _filter_conflicts(ranked, zetas, conflicts, counts)
-        if not accepted:
-            # conflict filtering removed everything — fall back to the
-            # single best merge so the loop always progresses.
-            best = min(zetas, key=zetas.get)
-            if state.placement.instance_count(best[0]) > 1:
-                accepted = [best]
-            else:
+    with tracer.span("parallel_descent"):
+        while (
+            state.cost() > budget
+            and reg.get("parallel_rounds") < config.max_parallel_rounds
+        ):
+            zetas = latency_losses(state, n_jobs=config.n_jobs)
+            if not zetas:
                 break
-        for service, node in accepted:
-            state.remove(service, node)
-            stats.parallel_merges += 1
-        stats.parallel_rounds += 1
+            n_pick = max(1, int(np.floor(config.omega * len(zetas))))
+            ranked = sorted(zetas, key=zetas.get)[:n_pick]
+            counts = {
+                svc: state.placement.instance_count(svc)
+                for svc in {ik[0] for ik in ranked}
+            }
+            accepted = _filter_conflicts(ranked, zetas, conflicts, counts)
+            if not accepted:
+                # conflict filtering removed everything — fall back to the
+                # single best merge so the loop always progresses.
+                best = min(zetas, key=zetas.get)
+                if state.placement.instance_count(best[0]) > 1:
+                    accepted = [best]
+                else:
+                    break
+            reg.inc("merges_proposed", len(ranked))
+            reg.inc("merges_accepted", len(accepted))
+            for service, node in accepted:
+                state.remove(service, node)
+                reg.inc("parallel_merges")
+            reg.inc("parallel_rounds")
 
     # Initial storage repair before the serial stage.
     plan = storage_plan(instance, state.placement, config)
     state.set_placement(plan.placement)
-    stats.migrations += len(plan.migrations)
+    reg.inc("migrations", len(plan.migrations))
     storage_ok = plan.success
 
     # ---------------- small-scale serial descent ----------------
@@ -590,67 +645,90 @@ def multi_scale_combination(
     # δ = Q' − Q'' + Θ, with deadline roll-back and storage planning.
     tabu: set[tuple[int, int]] = set()
     theta = config.theta
-    for _ in range(config.max_serial_iterations):
-        forced = (not storage_ok) or (state.cost() > budget)
-        zetas = latency_losses(state, tabu, n_jobs=config.n_jobs)
-        if not zetas:
-            break
-        q_before = state.objective("optimal")
-        snapshot = state.placement.copy()
+    with tracer.span("serial_descent"):
+        for _ in range(config.max_serial_iterations):
+            forced = (not storage_ok) or (state.cost() > budget)
+            zetas = latency_losses(state, tabu, n_jobs=config.n_jobs)
+            if not zetas:
+                break
+            q_before = state.objective("optimal")
+            snapshot = state.placement.copy()
 
-        candidates = sorted(zetas, key=zetas.get)[:_SERIAL_CANDIDATES]
-        best: Optional[tuple[float, tuple[int, int], object]] = None
-        for service, node in candidates:
+            candidates = sorted(zetas, key=zetas.get)[:_SERIAL_CANDIDATES]
+            reg.inc("merges_proposed", len(candidates))
+            best: Optional[tuple[float, tuple[int, int], object]] = None
+            for service, node in candidates:
+                state.set_placement(snapshot)
+                state.remove(service, node)
+                plan = storage_plan(instance, state.placement, config)
+                state.set_placement(plan.placement)
+                # deadline check (Eq. 4) with roll-back
+                lat = total_latency(instance, state.routing())
+                if np.any(lat > instance.deadlines + 1e-9):
+                    tabu.add((service, node))
+                    reg.inc("rollbacks")
+                    continue
+                q_after = state.objective("optimal")
+                if best is None or q_after < best[0]:
+                    best = (q_after, (service, node), plan)
+            if best is None:
+                state.set_placement(snapshot)
+                continue
+
+            q_after, (service, node), plan = best
+            # rebuild the chosen merge (the loop leaves the last candidate set)
             state.set_placement(snapshot)
             state.remove(service, node)
             plan = storage_plan(instance, state.placement, config)
             state.set_placement(plan.placement)
-            # deadline check (Eq. 4) with roll-back
-            lat = total_latency(instance, state.routing())
-            if np.any(lat > instance.deadlines + 1e-9):
-                tabu.add((service, node))
-                stats.rollbacks += 1
+
+            if forced:
+                # Budget/storage still violated: merging is mandatory, the
+                # gradient test does not apply (Alg. 5 line 17 path).
+                storage_ok = plan.success
+                reg.inc("migrations", len(plan.migrations))
+                reg.inc("serial_merges")
+                reg.inc("merges_accepted")
+                reg.inc("forced_merges")
                 continue
-            q_after = state.objective("optimal")
-            if best is None or q_after < best[0]:
-                best = (q_after, (service, node), plan)
-        if best is None:
-            state.set_placement(snapshot)
-            continue
 
-        q_after, (service, node), plan = best
-        # rebuild the chosen merge (the loop leaves the last candidate set)
-        state.set_placement(snapshot)
-        state.remove(service, node)
-        plan = storage_plan(instance, state.placement, config)
-        state.set_placement(plan.placement)
-
-        if forced:
-            # Budget/storage still violated: merging is mandatory, the
-            # gradient test does not apply (Alg. 5 line 17 path).
+            delta = q_before - q_after + theta
+            if delta <= 0:
+                state.set_placement(snapshot)
+                break
             storage_ok = plan.success
-            stats.migrations += len(plan.migrations)
-            stats.serial_merges += 1
-            stats.forced_merges += 1
-            continue
-
-        delta = q_before - q_after + theta
-        if delta <= 0:
-            state.set_placement(snapshot)
-            break
-        storage_ok = plan.success
-        stats.migrations += len(plan.migrations)
-        stats.serial_merges += 1
+            reg.inc("migrations", len(plan.migrations))
+            reg.inc("serial_merges")
+            reg.inc("merges_accepted")
 
     # ---------------- relocation polish ----------------
     if config.relocation:
-        snapshot = state.placement.copy()
-        stats.relocations = relocation_pass(state, config)
-        if stats.relocations:
-            # deadline guard: relocations must not break Eq. (4)
-            lat = total_latency(instance, state.routing())
-            if np.any(lat > instance.deadlines + 1e-9):
-                state.set_placement(snapshot)
-                stats.relocations = 0
+        with tracer.span("relocation"):
+            snapshot = state.placement.copy()
+            reg.inc("relocations", relocation_pass(state, config))
+            if reg.get("relocations"):
+                # deadline guard: relocations must not break Eq. (4)
+                lat = total_latency(instance, state.routing())
+                if np.any(lat > instance.deadlines + 1e-9):
+                    state.set_placement(snapshot)
+                    reg.inc("relocations", -reg.get("relocations"))
 
+    stats = CombinationStats.from_registry(reg)
+    if tracer.enabled:
+        reg.inc("zeta_cache_hits", state.zeta_hits)
+        reg.inc("zeta_cache_rebuilds", state.zeta_rebuilds)
+        reg.inc("reliance_cache_hits", state.reliance_hits)
+        reg.inc("reliance_cache_rebuilds", state.reliance_rebuilds)
+        if state._router is not None:
+            reg.inc("router_services_rerouted", state._router.rerouted_services)
+            reg.inc("router_services_cached", state._router.cached_services)
+        tracer.metrics.merge(reg, prefix="combination.")
+    logger.debug(
+        "multi_scale_combination: %d parallel + %d serial merges, "
+        "%d rollbacks, %d relocations",
+        stats.parallel_merges,
+        stats.serial_merges,
+        stats.rollbacks,
+        stats.relocations,
+    )
     return state.placement, stats

@@ -30,6 +30,7 @@ asserts identical partitions on random instances.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Optional, Sequence
@@ -39,6 +40,9 @@ import numpy as np
 from repro.core.config import SoCLConfig
 from repro.model.instance import ProblemInstance
 from repro.network.paths import communication_intensity
+from repro.obs import current_tracer
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -269,6 +273,19 @@ def initial_partition(
             break
         labels = updated
 
+    # Alg. 1 telemetry: ξ link filtering is a pure function of the adj
+    # stack, so the whole count costs two reductions — but only traced
+    # runs pay even that (tracer.enabled gates all metric computation).
+    tracer = current_tracer()
+    tracing = tracer.enabled
+    cand_evaluated = 0
+    cand_accepted = 0
+    if tracing:
+        kept = int(adj[:, rows, cols].sum())
+        pairs = int((host_mask[:, rows] & host_mask[:, cols]).sum())
+        tracer.inc("partition.virtual_links_kept", kept)
+        tracer.inc("partition.virtual_links_filtered", pairs - kept)
+
     avail_base = degrees >= config.min_degree
     by_service: dict[int, ServicePartition] = {}
     for si, service in enumerate(requested):
@@ -293,6 +310,9 @@ def initial_partition(
                 delays = _group_delays(instance, service, members)
                 accepted = available & (delays[:n] < delays[members].max())
                 taken = np.nonzero(accepted)[0]
+                if tracing:
+                    cand_evaluated += int(available.sum())
+                    cand_accepted += taken.size
                 if taken.size:
                     picked = taken.tolist()
                     group.extend(picked)
@@ -305,7 +325,19 @@ def initial_partition(
             candidates=candidates,
             xi=float(xis[si]),
         )
-    return PartitionResult(by_service=by_service)
+    result = PartitionResult(by_service=by_service)
+    if tracing:
+        tracer.inc("partition.components_found", result.total_groups())
+        tracer.inc("partition.candidates_accepted", cand_accepted)
+        tracer.inc("partition.candidates_rejected", cand_evaluated - cand_accepted)
+        logger.debug(
+            "initial_partition: %d services, %d groups, %d/%d candidates accepted",
+            len(requested),
+            result.total_groups(),
+            cand_accepted,
+            cand_evaluated,
+        )
+    return result
 
 
 # ----------------------------------------------------------------------

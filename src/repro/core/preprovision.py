@@ -31,6 +31,7 @@ the paired component benchmarks.
 
 from __future__ import annotations
 
+import logging
 from typing import Sequence
 
 import numpy as np
@@ -39,6 +40,9 @@ from repro.core.config import SoCLConfig
 from repro.core.partition import PartitionResult, ServicePartition
 from repro.model.instance import ProblemInstance
 from repro.model.placement import Placement
+from repro.obs import current_tracer
+
+logger = logging.getLogger(__name__)
 
 
 def instance_bound(instance: ProblemInstance, service: int) -> int:
@@ -139,6 +143,21 @@ def preprovision(
     counts = instance.demand_counts
     bounds = instance_bounds(instance)
 
+    # Alg. 2 telemetry: how often the budget bound N^u (rather than the
+    # host count |V(m_i)|) is what limits a service, and how many
+    # instances the quota allocation ends up placing.
+    tracer = current_tracer()
+    if tracer.enabled:
+        requested = instance.requested_services
+        kappa = instance.service_cost[requested]
+        others = kappa.sum() - kappa
+        n_upper = np.floor(
+            (instance.config.budget - others) / kappa
+        ).astype(np.int64)
+        n_hosts = (instance.demand_counts[requested] > 0).sum(axis=1)
+        tracer.inc("preprovision.budget_bound_clips", int((n_upper < n_hosts).sum()))
+        tracer.inc("preprovision.bound_floor_clamps", int((n_upper < 1).sum()))
+
     for service in partitions.services:
         part = partitions.partition(service)
         bound = bounds[service]
@@ -160,6 +179,14 @@ def preprovision(
             quota = share * bound
             for node in _provision_group(instance, service, group, quota):
                 x.add(service, node)
+    if tracer.enabled:
+        placed = int(x.matrix.sum())
+        tracer.inc("preprovision.quota_placements", placed)
+        logger.debug(
+            "preprovision: placed %d instances across %d services",
+            placed,
+            len(partitions.services),
+        )
     return x
 
 

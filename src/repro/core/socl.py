@@ -6,14 +6,25 @@
 per-stage wall-clock times and combination diagnostics — everything the
 experiment harness tabulates.
 
+Each stage runs inside a :mod:`repro.obs` span, so traced runs get a
+``socl.solve → {partition, preprovision, combination, routing}`` time
+tree (plus the per-algorithm counters emitted inside the stages).  The
+legacy ``stage_times``/``stats`` fields are kept as a compatibility
+shim: they carry the same keys and per-stage semantics as the original
+hand-rolled ``Stopwatch`` blocks, with values now sourced from the same
+``perf_counter`` windows the spans measure.
+
 The :class:`SoCL` class wraps the same pipeline as a reusable solver
 object (matching the baseline interface in :mod:`repro.baselines`).
 """
 
 from __future__ import annotations
 
+import logging
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.core.combination import CombinationStats, multi_scale_combination
 from repro.core.config import SoCLConfig
@@ -24,7 +35,9 @@ from repro.model.instance import ProblemInstance
 from repro.model.objective import ObjectiveReport, evaluate
 from repro.model.placement import Placement, Routing
 from repro.model.routing import greedy_routing, optimal_routing
-from repro.utils.timing import Stopwatch
+from repro.obs import current_tracer
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -45,41 +58,65 @@ class SoCLResult:
         return self.report.objective
 
 
+@contextmanager
+def _stage(tracer, name: str, stage_times: dict[str, float]) -> Iterator[None]:
+    """Time one pipeline stage into ``stage_times`` and a tracer span.
+
+    The ``stage_times`` shim measures its own ``perf_counter`` window
+    (spans record nothing in disabled mode), so the field stays
+    populated — same keys, same clock — whether or not tracing is on.
+    """
+    t0 = time.perf_counter()
+    with tracer.span(name):
+        yield
+    stage_times[name] = time.perf_counter() - t0
+
+
 def solve_socl(
     instance: ProblemInstance,
     config: SoCLConfig = SoCLConfig(),
 ) -> SoCLResult:
     """Run the three-stage SoCL pipeline on ``instance``."""
-    total = Stopwatch()
-    total.start()
+    tracer = current_tracer()
     stage_times: dict[str, float] = {}
+    t_total = time.perf_counter()
 
-    sw = Stopwatch()
-    with sw.measure():
-        partitions = initial_partition(instance, config)
-    stage_times["partition"] = sw.elapsed
+    with tracer.span(
+        "socl.solve",
+        n_servers=instance.n_servers,
+        n_requests=instance.n_requests,
+    ):
+        with _stage(tracer, "partition", stage_times):
+            partitions = initial_partition(instance, config)
 
-    sw = Stopwatch()
-    with sw.measure():
-        pre = preprovision(instance, partitions, config)
-    stage_times["preprovision"] = sw.elapsed
+        with _stage(tracer, "preprovision", stage_times):
+            pre = preprovision(instance, partitions, config)
 
-    sw = Stopwatch()
-    with sw.measure():
-        placement, stats = multi_scale_combination(instance, partitions, pre, config)
-    stage_times["combination"] = sw.elapsed
+        with _stage(tracer, "combination", stage_times):
+            placement, stats = multi_scale_combination(
+                instance, partitions, pre, config
+            )
 
-    sw = Stopwatch()
-    with sw.measure():
-        if config.routing == "optimal":
-            routing = optimal_routing(instance, placement)
-        else:
-            routing = greedy_routing(instance, placement)
-    stage_times["routing"] = sw.elapsed
+        with _stage(tracer, "routing", stage_times):
+            if config.routing == "optimal":
+                routing = optimal_routing(instance, placement)
+            else:
+                routing = greedy_routing(instance, placement)
 
-    runtime = total.stop()
+    runtime = time.perf_counter() - t_total
     report = evaluate(instance, placement, routing)
     feas = feasibility_report(instance, placement, routing)
+    if tracer.enabled:
+        tracer.set_gauge("socl.objective", report.objective)
+        tracer.set_gauge("socl.cost", report.cost)
+        tracer.inc("socl.solves")
+    logger.info(
+        "solve_socl: objective=%.3f cost=%.1f runtime=%.3fs (%s)",
+        report.objective,
+        report.cost,
+        runtime,
+        ", ".join(f"{k}={v * 1e3:.1f}ms" for k, v in stage_times.items()),
+    )
     return SoCLResult(
         placement=placement,
         routing=routing,

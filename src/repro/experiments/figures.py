@@ -12,7 +12,8 @@ offline in minutes; pass the paper's sizes explicitly (see
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import logging
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -28,8 +29,61 @@ from repro.experiments.scenarios import ScenarioParams, build_scenario
 from repro.microservices.eshop import eshop_application
 from repro.model.instance import ProblemConfig
 from repro.network.generators import stadium_topology
+from repro.obs import Tracer, current_tracer, use_tracer
 from repro.runtime.simulator import OnlineSimulator
 from repro.utils.parallel import parallel_map
+
+logger = logging.getLogger(__name__)
+
+
+def _traced_cell(bundle: tuple) -> tuple[object, dict]:
+    """Run one figure cell under a private tracer; (result, payload).
+
+    Top-level so it pickles into process-pool workers; ``bundle`` is
+    ``(cell_fn, task, label)`` with ``cell_fn`` itself a top-level
+    function.
+    """
+    cell_fn, task, label = bundle
+    tracer = Tracer(label)
+    with use_tracer(tracer):
+        out = cell_fn(task)
+    return out, tracer.payload()
+
+
+def _run_cells(
+    cell_fn: Callable[[tuple], object],
+    tasks: Sequence[tuple],
+    n_jobs: int,
+    label: str,
+    tracer=None,
+) -> list:
+    """Fan figure cells out over a process pool, merging worker traces.
+
+    With the ambient tracer disabled this is exactly the plain
+    ``parallel_map`` call; when enabled, each worker traces its own cell
+    and the payloads fold back into ``tracer`` (counters add, span
+    forests graft under per-cell roots), so traced parallel runs report
+    the same counters as traced serial runs.
+    """
+    if tracer is None:
+        tracer = current_tracer()
+    if tracer.enabled:
+        pairs = parallel_map(
+            _traced_cell,
+            [(cell_fn, task, f"{label}[{i}]") for i, task in enumerate(tasks)],
+            n_jobs=n_jobs,
+            min_items_per_worker=1,
+            allow_oversubscribe=True,
+        )
+        results = []
+        for out, payload in pairs:
+            tracer.merge_payload(payload)
+            results.append(out)
+        logger.info("%s: %d cells solved (traced)", label, len(results))
+        return results
+    return parallel_map(
+        cell_fn, tasks, n_jobs=n_jobs, min_items_per_worker=1, allow_oversubscribe=True
+    )
 from repro.workload.alibaba import (
     cross_file_similarity,
     service_similarity_profile,
@@ -203,9 +257,7 @@ def fig7_socl_vs_opt(
         )
         for n_servers in node_scales
     ]
-    per_cell = parallel_map(
-        _fig7_cell, tasks, n_jobs=n_jobs, min_items_per_worker=1, allow_oversubscribe=True
-    )
+    per_cell = _run_cells(_fig7_cell, tasks, n_jobs, "fig7")
     return [row for rows in per_cell for row in rows]
 
 
@@ -249,9 +301,7 @@ def fig8_baselines(
         (n_users, n_servers, budget, seed, include_gcog)
         for n_users in user_scales
     ]
-    per_cell = parallel_map(
-        _fig8_cell, tasks, n_jobs=n_jobs, min_items_per_worker=1, allow_oversubscribe=True
-    )
+    per_cell = _run_cells(_fig8_cell, tasks, n_jobs, "fig8")
     return [row for rows in per_cell for row in rows]
 
 
@@ -315,9 +365,7 @@ def fig9_cluster(
             SoCL(),
         )
     ]
-    return parallel_map(
-        _fig9_cell, tasks, n_jobs=n_jobs, min_items_per_worker=1, allow_oversubscribe=True
-    )
+    return _run_cells(_fig9_cell, tasks, n_jobs, "fig9")
 
 
 # ----------------------------------------------------------------------

@@ -5,12 +5,20 @@
 lambdas, which don't pickle — solver objects do) and shipped to workers
 along with the instance, and results come back in the exact order the
 serial path would produce them.
+
+Telemetry: rows carry the solver's per-stage wall-clock times
+(``t_partition`` … columns, empty for baselines without stages), and
+when the ambient :mod:`repro.obs` tracer is enabled each pool worker
+runs its cell under a private tracer and ships the picklable payload
+back for the parent to merge — counters are then identical to a serial
+traced run, with per-cell span trees grafted under worker roots.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+import logging
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.baselines import (
     GreedyCombineOG,
@@ -19,7 +27,13 @@ from repro.baselines import (
 )
 from repro.core import SoCL, SoCLConfig
 from repro.model.instance import ProblemInstance
+from repro.obs import Tracer, current_tracer, use_tracer
 from repro.utils.parallel import parallel_map
+
+logger = logging.getLogger(__name__)
+
+#: SoCL pipeline stages, in execution order (the ``t_<stage>`` columns).
+STAGE_NAMES = ("partition", "preprovision", "combination", "routing")
 
 
 @dataclass(frozen=True)
@@ -35,9 +49,10 @@ class AlgorithmRow:
     runtime: float
     feasible: bool
     params: dict
+    stage_times: Mapping[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "algorithm": self.algorithm,
             "objective": self.objective,
             "cost": self.cost,
@@ -48,6 +63,9 @@ class AlgorithmRow:
             "feasible": self.feasible,
             **self.params,
         }
+        for stage, seconds in self.stage_times.items():
+            out[f"t_{stage}"] = seconds
+        return out
 
 
 def default_solvers(seed: int = 0, include_gcog: bool = True) -> list:
@@ -71,6 +89,7 @@ def _row_from_result(solver, result, params: dict) -> AlgorithmRow:
         runtime=result.runtime,
         feasible=result.feasibility.feasible,
         params=dict(params),
+        stage_times=dict(getattr(result, "stage_times", None) or {}),
     )
 
 
@@ -81,6 +100,20 @@ def _solve_cell(cell: tuple) -> AlgorithmRow:
     """
     solver, instance, params = cell
     return _row_from_result(solver, solver.solve(instance), params)
+
+
+def _solve_cell_traced(cell: tuple) -> tuple[AlgorithmRow, dict]:
+    """Traced variant of :func:`_solve_cell`: returns (row, trace payload).
+
+    The worker builds its own tracer (process pools cannot share the
+    parent's), so the payload carries everything the cell emitted.
+    """
+    solver, instance, params = cell
+    name = getattr(solver, "name", type(solver).__name__)
+    tracer = Tracer(f"cell:{name}")
+    with use_tracer(tracer):
+        row = _row_from_result(solver, solver.solve(instance), params)
+    return row, tracer.payload()
 
 
 def compare_algorithms(
@@ -102,6 +135,7 @@ def sweep(
     instances: Iterable[tuple[dict, ProblemInstance]],
     solvers_factory: Callable[[], Sequence] = default_solvers,
     n_jobs: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> list[AlgorithmRow]:
     """Run the solver lineup over a parameterized instance sweep.
 
@@ -110,12 +144,31 @@ def sweep(
     With ``n_jobs > 1`` the (solver, instance) cells are solved on a
     process pool; row order matches the serial nested loop regardless
     (only the ``runtime`` field is timing-dependent).
+
+    ``tracer`` defaults to the ambient tracer; when enabled, each cell
+    is traced in its worker and the payloads are merged back here.
     """
     cells = [
         (solver, instance, params)
         for params, instance in instances
         for solver in solvers_factory()
     ]
+    if tracer is None:
+        tracer = current_tracer()
+    if tracer.enabled:
+        pairs = parallel_map(
+            _solve_cell_traced,
+            cells,
+            n_jobs=n_jobs,
+            min_items_per_worker=1,
+            allow_oversubscribe=True,
+        )
+        rows = []
+        for row, payload in pairs:
+            tracer.merge_payload(payload)
+            rows.append(row)
+        logger.info("sweep: %d cells solved (traced)", len(rows))
+        return rows
     return parallel_map(
         _solve_cell,
         cells,

@@ -3,7 +3,11 @@
 The benchmark harness prints the same rows/series the paper reports;
 these helpers render lists of dicts (or
 :class:`repro.experiments.harness.AlgorithmRow`) as aligned text tables
-and CSV for EXPERIMENTS.md.
+and CSV for EXPERIMENTS.md.  :func:`format_span_tree` and
+:func:`format_counters` render :mod:`repro.obs` trace data as the
+human-readable run summary (``repro … --trace`` prints it after the
+JSONL is written); they take plain records/mappings so this module
+stays free of solver imports.
 """
 
 from __future__ import annotations
@@ -62,6 +66,58 @@ def format_table(
     for row in cells:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_span_tree(
+    span_records: Sequence[Mapping],
+    max_spans: int = 200,
+) -> str:
+    """Render flattened span records as an indented per-stage time tree.
+
+    ``span_records`` are the ``type == "span"`` records of
+    :func:`repro.obs.trace_records` (depth-first order with ``depth``
+    and ``duration`` fields).  Sibling repetition is *not* collapsed —
+    repeated stage names (e.g. one ``slot`` span per simulator slot)
+    print as separate lines up to ``max_spans``.
+    """
+    records = list(span_records)[: max_spans + 1]
+    truncated = len(records) > max_spans
+    if truncated:
+        records = records[:max_spans]
+    if not records:
+        return ""
+    durations = [f"{r['duration'] * 1e3:,.1f} ms" for r in records]
+    width = max(len(d) for d in durations)
+    lines = []
+    for record, dur in zip(records, durations):
+        indent = "  " * int(record.get("depth", 0))
+        attrs = record.get("attrs") or {}
+        suffix = (
+            "  [" + ", ".join(f"{k}={_fmt(v)}" for k, v in sorted(attrs.items())) + "]"
+            if attrs
+            else ""
+        )
+        lines.append(f"{dur.rjust(width)}  {indent}{record['name']}{suffix}")
+    if truncated:
+        lines.append(f"… ({max_spans} spans shown)")
+    return "\n".join(lines)
+
+
+def format_counters(
+    counters: Mapping[str, float],
+    gauges: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render tracer counters (and gauges) as one sorted metric table."""
+    rows = [
+        {"metric": name, "kind": "counter", "value": counters[name]}
+        for name in sorted(counters)
+    ] + [
+        {"metric": name, "kind": "gauge", "value": gauges[name]}
+        for name in sorted(gauges or {})
+    ]
+    if not rows:
+        return ""
+    return format_table(rows, columns=["metric", "kind", "value"])
 
 
 def rows_to_csv(rows: Iterable, columns: Optional[Sequence[str]] = None) -> str:

@@ -1,0 +1,147 @@
+"""JSONL trace export, record-schema validation and summary rendering.
+
+A trace file is one JSON object per line.  Schema (version 1):
+
+* ``{"type": "meta", "schema": 1, "name": str}`` — exactly one, first
+  line of the file;
+* ``{"type": "span", "name": str, "path": str, "depth": int,
+  "start": float, "duration": float, "attrs": dict}`` — one per span,
+  depth-first, ``path`` is the ``/``-joined ancestry (root first) and
+  ``depth`` its length minus one;
+* ``{"type": "counter", "name": str, "value": int | float}``;
+* ``{"type": "gauge", "name": str, "value": float}``.
+
+:func:`validate_record` enforces exactly this contract (the CI traced
+smoke step runs it over every emitted line); docs/OBSERVABILITY.md is
+the human-readable version of the same schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, Mapping
+
+from repro.obs.tracer import Span, Tracer
+
+#: Version stamped into the meta record; bump on breaking schema changes.
+SCHEMA_VERSION = 1
+
+_RECORD_TYPES = ("meta", "span", "counter", "gauge")
+
+
+def _span_records(span: Span, path: str) -> Iterator[dict]:
+    full = f"{path}/{span.name}" if path else span.name
+    yield {
+        "type": "span",
+        "name": span.name,
+        "path": full,
+        "depth": full.count("/"),
+        "start": float(span.start),
+        "duration": float(span.duration),
+        "attrs": dict(span.attrs),
+    }
+    for child in span.children:
+        yield from _span_records(child, full)
+
+
+def trace_records(tracer: Tracer) -> Iterator[dict]:
+    """All JSONL records of ``tracer``: meta, spans (DFS), counters, gauges."""
+    yield {"type": "meta", "schema": SCHEMA_VERSION, "name": tracer.name}
+    for root in tracer.roots:
+        yield from _span_records(root, "")
+    for name in sorted(tracer.counters):
+        yield {"type": "counter", "name": name, "value": tracer.counters[name]}
+    for name in sorted(tracer.gauges):
+        yield {"type": "gauge", "name": name, "value": tracer.gauges[name]}
+
+
+def write_jsonl(tracer: Tracer, path: str) -> int:
+    """Write the trace to ``path`` as JSONL; returns the record count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in trace_records(tracer):
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def validate_record(record: Mapping) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the documented schema."""
+    if not isinstance(record, Mapping):
+        raise ValueError(f"record must be a mapping, got {type(record).__name__}")
+    kind = record.get("type")
+    if kind not in _RECORD_TYPES:
+        raise ValueError(f"unknown record type {kind!r}; expected {_RECORD_TYPES}")
+    if kind == "meta":
+        _require(record, "schema", int)
+        _require(record, "name", str)
+        if record["schema"] != SCHEMA_VERSION:
+            raise ValueError(f"unsupported schema version {record['schema']}")
+        return
+    _require(record, "name", str)
+    if kind == "span":
+        _require(record, "path", str)
+        _require(record, "depth", int)
+        _require(record, "start", (int, float))
+        _require(record, "duration", (int, float))
+        if record["duration"] < 0:
+            raise ValueError("span duration must be >= 0")
+        attrs = _require(record, "attrs", Mapping)
+        if not all(isinstance(k, str) for k in attrs):
+            raise ValueError("span attrs keys must be strings")
+        if not record["path"].endswith(record["name"]):
+            raise ValueError("span path must end with its name")
+        if record["depth"] != record["path"].count("/"):
+            raise ValueError("span depth must match its path")
+    else:  # counter / gauge
+        value = _require(record, "value", (int, float))
+        if isinstance(value, bool):
+            raise ValueError(f"{kind} value must be numeric, got bool")
+
+
+def _require(record: Mapping, key: str, types) -> object:
+    if key not in record:
+        raise ValueError(f"record missing required key {key!r}")
+    value = record[key]
+    if isinstance(value, bool) and types in (int, (int, float)):
+        raise ValueError(f"key {key!r} must be {types}, got bool")
+    if not isinstance(value, types):
+        raise ValueError(
+            f"key {key!r} must be {types}, got {type(value).__name__}"
+        )
+    return value
+
+
+def validate_jsonl(path: str) -> int:
+    """Validate every line of a trace file; returns the record count."""
+    n = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                validate_record(json.loads(line))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+            n += 1
+    if n == 0:
+        raise ValueError(f"{path}: empty trace file")
+    return n
+
+
+def summary(tracer: Tracer) -> str:
+    """Human-readable run summary: span time tree + counter/gauge table."""
+    # imported lazily: repro.experiments pulls in the solver stack, which
+    # itself imports repro.obs — the function-level import breaks the cycle.
+    from repro.experiments.reporting import format_counters, format_span_tree
+
+    parts = [f"trace {tracer.name!r}"]
+    tree = format_span_tree(
+        [r for r in trace_records(tracer) if r["type"] == "span"]
+    )
+    if tree:
+        parts.append(tree)
+    table = format_counters(tracer.counters, tracer.gauges)
+    if table:
+        parts.append(table)
+    return "\n\n".join(parts)

@@ -1,0 +1,42 @@
+"""Stdlib-logging wiring for the ``repro`` package.
+
+Library modules obtain loggers the standard way
+(``logging.getLogger(__name__)``) and never configure handlers; the CLI
+(or any embedding application) calls :func:`setup_logging` once to pick
+the verbosity.  ``--log-level debug`` narrates stage progress, merge
+rounds and per-slot simulator events; the default ``warning`` keeps the
+library silent, matching the previous behavior.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, Union
+
+#: CLI-facing level names (any stdlib level name also works).
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def setup_logging(
+    level: Union[str, int, None] = "warning",
+    stream=None,
+) -> logging.Logger:
+    """Configure root logging for the repro package; returns its logger.
+
+    ``level`` accepts a name from :data:`LOG_LEVELS` (case-insensitive)
+    or a numeric stdlib level.  Reconfigures on repeat calls (``force``)
+    so tests and long-lived sessions can change verbosity.
+    """
+    if level is None:
+        level = "warning"
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(
+                f"unknown log level {level!r}; choices: {LOG_LEVELS}"
+            )
+        level = resolved
+    logging.basicConfig(level=level, format=_FORMAT, stream=stream, force=True)
+    return logging.getLogger("repro")

@@ -1,0 +1,78 @@
+"""Counter/gauge registry backing the span tracer.
+
+Counters are monotonically accumulated event counts (merge rounds,
+cache hits, quota placements …); gauges are last-write-wins scalar
+observations (final cost, ζ-cache size …).  The registry is a plain
+dict wrapper so disabled-mode call sites can skip it entirely and
+process-pool workers can ship it across the pickle boundary as the
+``{"counters": …, "gauges": …}`` payload produced by :meth:`as_dict`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+
+class MetricsRegistry:
+    """Named counters and gauges with cross-worker merge support."""
+
+    __slots__ = ("counters", "gauges")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+
+    def inc(self, name: str, value: Union[int, float] = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def get(self, name: str, default: Union[int, float] = 0) -> Union[int, float]:
+        return self.counters.get(name, default)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def as_dict(self) -> dict:
+        """Picklable snapshot (the payload shipped out of pool workers)."""
+        return {"counters": dict(self.counters), "gauges": dict(self.gauges)}
+
+    def merge(
+        self,
+        other: Union["MetricsRegistry", Mapping],
+        prefix: str = "",
+    ) -> None:
+        """Fold ``other`` into this registry.
+
+        Counters add, gauges last-write-win — so merging the payloads of
+        N pool workers yields the same totals as running them serially
+        under one registry.  ``other`` may be another registry or an
+        :meth:`as_dict` payload; ``prefix`` namespaces the merged names.
+        """
+        if isinstance(other, MetricsRegistry):
+            counters: Mapping = other.counters
+            gauges: Mapping = other.gauges
+        else:
+            counters = other.get("counters", {})
+            gauges = other.get("gauges", {})
+        for name, value in counters.items():
+            self.inc(prefix + name, value)
+        for name, value in gauges.items():
+            self.set_gauge(prefix + name, value)
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges)"
+        )
+
+
+def merged(payloads, prefix: str = "") -> MetricsRegistry:
+    """Merge many worker payloads into a fresh registry."""
+    reg = MetricsRegistry()
+    for payload in payloads:
+        if payload:
+            reg.merge(payload, prefix=prefix)
+    return reg

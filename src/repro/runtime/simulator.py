@@ -12,6 +12,7 @@ cold starts exactly as it would on Kubernetes.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -20,6 +21,7 @@ import numpy as np
 from repro.microservices.application import Application
 from repro.model.instance import ProblemConfig, ProblemInstance
 from repro.network.topology import EdgeNetwork
+from repro.obs import current_tracer
 from repro.runtime.cluster import SimulatedCluster
 from repro.runtime.metrics import LatencyRecorder
 from repro.runtime.serverless import InstancePool, ServerlessConfig
@@ -28,6 +30,8 @@ from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_positive
 from repro.workload.mobility import RandomWaypointMobility
 from repro.workload.users import WorkloadSpec, generate_requests
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -114,77 +118,84 @@ class OnlineSimulator:
         solver runs (failure-injection experiments).
         """
         check_positive("n_slots", n_slots)
+        tracer = current_tracer()
         recorder = LatencyRecorder()
         records: list[SlotRecord] = []
         pool: Optional[InstancePool] = None
         prev_homes = self.mobility.homes
 
         for slot in range(n_slots):
-            homes = self.mobility.step()
-            churn = float(np.mean(homes != prev_homes))
-            prev_homes = homes
+            with tracer.span("slot", index=slot) as slot_span:
+                homes = self.mobility.step()
+                churn = float(np.mean(homes != prev_homes))
+                prev_homes = homes
 
-            n_active = self.workload.n_users
-            if volumes is not None:
-                n_active = int(min(self.workload.n_users, volumes[slot % len(volumes)]))
-                n_active = max(1, n_active)
-            active = self._arrival_rng.choice(
-                self.workload.n_users, size=n_active, replace=False
-            )
+                n_active = self.workload.n_users
+                if volumes is not None:
+                    n_active = int(
+                        min(self.workload.n_users, volumes[slot % len(volumes)])
+                    )
+                    n_active = max(1, n_active)
+                active = self._arrival_rng.choice(
+                    self.workload.n_users, size=n_active, replace=False
+                )
 
-            spec = WorkloadSpec(
-                n_users=n_active,
-                hotspot_fraction=self.workload.hotspot_fraction,
-                hotspot_weight=self.workload.hotspot_weight,
-                length_bias=self.workload.length_bias,
-                min_chain=self.workload.min_chain,
-                max_chain=self.workload.max_chain,
-                data_in_range=self.workload.data_in_range,
-                data_out_range=self.workload.data_out_range,
-                edge_noise=self.workload.edge_noise,
-                data_scale=self.workload.data_scale,
-            )
-            requests = generate_requests(
-                self.network,
-                self.app,
-                spec,
-                rng=self._workload_rng,
-                homes=homes[active],
-            )
-            instance = ProblemInstance(
-                self.network, self.app, requests, self.problem_config
-            )
-            down: frozenset[int] = frozenset()
-            if outages is not None:
-                from repro.runtime.failures import degrade_instance
+                spec = WorkloadSpec(
+                    n_users=n_active,
+                    hotspot_fraction=self.workload.hotspot_fraction,
+                    hotspot_weight=self.workload.hotspot_weight,
+                    length_bias=self.workload.length_bias,
+                    min_chain=self.workload.min_chain,
+                    max_chain=self.workload.max_chain,
+                    data_in_range=self.workload.data_in_range,
+                    data_out_range=self.workload.data_out_range,
+                    edge_noise=self.workload.edge_noise,
+                    data_scale=self.workload.data_scale,
+                )
+                requests = generate_requests(
+                    self.network,
+                    self.app,
+                    spec,
+                    rng=self._workload_rng,
+                    homes=homes[active],
+                )
+                instance = ProblemInstance(
+                    self.network, self.app, requests, self.problem_config
+                )
+                down: frozenset[int] = frozenset()
+                if outages is not None:
+                    from repro.runtime.failures import degrade_instance
 
-                down = outages.step()
-                instance = degrade_instance(instance, down)
+                    down = outages.step()
+                    instance = degrade_instance(instance, down)
 
-            sw = Stopwatch()
-            with sw.measure():
-                result = solver.solve(instance)
+                sw = Stopwatch()
+                with sw.measure(), tracer.span("provision"):
+                    result = solver.solve(instance)
 
-            if pool is None:
-                pool = InstancePool(result.placement, self.serverless)
-            else:
-                pool.update_placement(result.placement)
-            cold_before = pool.cold_starts
+                if pool is None:
+                    pool = InstancePool(result.placement, self.serverless)
+                else:
+                    pool.update_placement(result.placement)
+                cold_before = pool.cold_starts
 
-            cluster = SimulatedCluster(
-                instance, result.placement, result.routing, pool=pool
-            )
-            # arrivals spread uniformly across the slot
-            offsets = self._arrival_rng.uniform(
-                0.0, self.slot_seconds, size=instance.n_requests
-            )
-            outcomes = cluster.run(
-                arrivals=[(h, float(offsets[h])) for h in range(instance.n_requests)]
-            )
-            latencies = np.array([o.latency for o in outcomes if o.done])
-            recorder.record_slot(latencies)
-            records.append(
-                SlotRecord(
+                cluster = SimulatedCluster(
+                    instance, result.placement, result.routing, pool=pool
+                )
+                # arrivals spread uniformly across the slot
+                offsets = self._arrival_rng.uniform(
+                    0.0, self.slot_seconds, size=instance.n_requests
+                )
+                with tracer.span("replay"):
+                    outcomes = cluster.run(
+                        arrivals=[
+                            (h, float(offsets[h]))
+                            for h in range(instance.n_requests)
+                        ]
+                    )
+                latencies = np.array([o.latency for o in outcomes if o.done])
+                recorder.record_slot(latencies)
+                record = SlotRecord(
                     slot=slot,
                     n_requests=instance.n_requests,
                     objective=result.report.objective,
@@ -196,7 +207,31 @@ class OnlineSimulator:
                     churn=churn,
                     n_down_nodes=len(down),
                 )
-            )
+                records.append(record)
+                if tracer.enabled:
+                    slot_span.set_attr(
+                        n_requests=record.n_requests,
+                        completed=int(latencies.size),
+                        cold_starts=record.cold_starts,
+                        churn=round(record.churn, 4),
+                        n_down_nodes=record.n_down_nodes,
+                    )
+                    tracer.inc("runtime.slots")
+                    tracer.inc("runtime.requests_total", record.n_requests)
+                    tracer.inc("runtime.requests_completed", int(latencies.size))
+                    tracer.inc(
+                        "runtime.requests_dropped",
+                        record.n_requests - int(latencies.size),
+                    )
+                    tracer.inc("runtime.cold_starts", record.cold_starts)
+                    tracer.inc("runtime.node_down_slots", int(bool(down)))
+                logger.debug(
+                    "slot %d: %d requests, mean latency %.3fs, %d cold starts",
+                    slot,
+                    record.n_requests,
+                    record.mean_latency,
+                    record.cold_starts,
+                )
         return OnlineTraceResult(
             solver_name=getattr(solver, "name", type(solver).__name__),
             slots=records,

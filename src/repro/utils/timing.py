@@ -62,13 +62,27 @@ class Stopwatch:
             self.stop()
 
     def reset(self) -> None:
+        """Zero the stopwatch.  Refuses while a lap is in flight — a
+        silent reset there would corrupt ``elapsed`` (the running lap's
+        ``stop`` would still append) and hide the measurement bug."""
+        if self._started_at is not None:
+            raise RuntimeError("cannot reset a running Stopwatch; stop() first")
         self.elapsed = 0.0
         self.laps.clear()
-        self._started_at = None
 
 
 def timed(fn: Callable[..., T], *args, **kwargs) -> tuple[T, float]:
-    """Run ``fn(*args, **kwargs)`` returning ``(result, seconds)``."""
+    """Run ``fn(*args, **kwargs)`` returning ``(result, seconds)``.
+
+    If ``fn`` raises, the exception propagates with the elapsed time
+    attached as ``exc.elapsed_seconds`` so callers timing fallible work
+    (e.g. an ILP solve hitting its time limit) still learn how long the
+    failed attempt took.
+    """
     start = time.perf_counter()
-    result = fn(*args, **kwargs)
+    try:
+        result = fn(*args, **kwargs)
+    except BaseException as exc:
+        exc.elapsed_seconds = time.perf_counter() - start
+        raise
     return result, time.perf_counter() - start

@@ -34,6 +34,7 @@ class TestDocFilesExist:
             "CONTRIBUTING.md",
             "LICENSE",
             "docs/ALGORITHMS.md",
+            "docs/OBSERVABILITY.md",
         ],
     )
     def test_exists_and_nonempty(self, name):

@@ -20,7 +20,16 @@ from repro.utils.parallel import effective_workers
 
 
 def _strip_runtime(rows):
-    return [{k: v for k, v in r.items() if k != "runtime"} for r in rows]
+    # runtime and the per-stage t_<stage> telemetry columns are the only
+    # timing-dependent fields; everything else must match exactly
+    return [
+        {
+            k: v
+            for k, v in r.items()
+            if k != "runtime" and not k.startswith("t_")
+        }
+        for r in rows
+    ]
 
 
 def test_effective_workers_oversubscribe():

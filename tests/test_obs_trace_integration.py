@@ -1,0 +1,134 @@
+"""Tracing is observational: enabling it must not change any result.
+
+The contract enforced here backs the ``--trace`` CLI flag and the CI
+traced smoke step: running the pipeline under an enabled tracer yields
+bit-identical placements, routings and objectives to an untraced run on
+both the fig-7 (offline solve) and fig-9 (online cluster simulation)
+experiment shapes, the emitted JSONL validates record-by-record, and a
+traced parallel sweep reports the same counters as a traced serial one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SoCL
+from repro.experiments.harness import sweep
+from repro.experiments.scenarios import ScenarioParams, build_scenario
+from repro.microservices import eshop_application
+from repro.model import ProblemConfig
+from repro.network import stadium_topology
+from repro.obs import Tracer, use_tracer, validate_jsonl
+from repro.runtime import OnlineSimulator
+from repro.workload import WorkloadSpec
+
+
+def _solve(traced: bool):
+    instance = build_scenario(ScenarioParams(n_servers=8, n_users=15, seed=0))
+    if traced:
+        tracer = Tracer("on")
+        with use_tracer(tracer):
+            return SoCL().solve(instance), tracer
+    return SoCL().solve(instance), None
+
+
+class TestBitIdenticalFig7:
+    """Offline solve (fig-7 scenario shape), tracing on vs off."""
+
+    def test_solution_identical(self):
+        off, _ = _solve(traced=False)
+        on, tracer = _solve(traced=True)
+        assert on.placement == off.placement
+        assert np.array_equal(on.routing.assignment, off.routing.assignment)
+        assert on.report.objective == off.report.objective
+        assert on.report.cost == off.report.cost
+        assert on.stats == off.stats
+        assert sorted(on.stage_times) == sorted(off.stage_times)
+        # and the traced run actually recorded the pipeline
+        assert tracer.counters["socl.solves"] == 1
+        names = {s.name for s in tracer.roots[0].children}
+        assert {"partition", "preprovision", "combination", "routing"} <= names
+
+
+class TestBitIdenticalFig9:
+    """Online cluster simulation (fig-9 shape), tracing on vs off."""
+
+    def _run(self, traced: bool):
+        sim = OnlineSimulator(
+            stadium_topology(8, seed=0),
+            eshop_application(),
+            ProblemConfig(weight=0.5, budget=4000.0),
+            WorkloadSpec(n_users=12, data_scale=5.0),
+            seed=0,
+        )
+        if traced:
+            tracer = Tracer("on")
+            with use_tracer(tracer):
+                return sim.run(SoCL(), n_slots=3), tracer
+        return sim.run(SoCL(), n_slots=3), None
+
+    def test_trace_identical(self):
+        off, _ = self._run(traced=False)
+        on, tracer = self._run(traced=True)
+        assert len(on.slots) == len(off.slots)
+        for a, b in zip(on.slots, off.slots):
+            assert a.n_requests == b.n_requests
+            assert a.objective == b.objective
+            assert a.cost == b.cost
+            assert a.mean_latency == b.mean_latency
+            assert a.max_latency == b.max_latency
+            assert a.cold_starts == b.cold_starts
+            assert a.churn == b.churn
+        assert np.array_equal(on.slot_means(), off.slot_means())
+        # per-slot telemetry adds up across the trace
+        assert tracer.counters["runtime.slots"] == 3
+        total = sum(s.n_requests for s in on.slots)
+        assert tracer.counters["runtime.requests_total"] == total
+
+
+class TestCliTrace:
+    def test_solve_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "trace.jsonl")
+        rc = main(
+            ["solve", "--servers", "6", "--users", "8", "--trace", out]
+        )
+        assert rc == 0
+        assert validate_jsonl(out) > 0
+        err = capsys.readouterr().err
+        assert "socl.solve" in err  # span tree summary printed to stderr
+        assert "wrote" in err
+
+    def test_log_level_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--log-level", "chatty"])
+
+
+class TestTracedParallelSweep:
+    def test_parallel_counters_match_serial(self):
+        instances = [
+            (
+                {"n_users": nu},
+                build_scenario(ScenarioParams(n_servers=6, n_users=nu, seed=0)),
+            )
+            for nu in (6, 10)
+        ]
+        serial_tracer = Tracer("serial")
+        serial_rows = sweep(instances, tracer=serial_tracer)
+        parallel_tracer = Tracer("parallel")
+        parallel_rows = sweep(instances, n_jobs=2, tracer=parallel_tracer)
+        assert serial_tracer.counters == parallel_tracer.counters
+        assert [r.algorithm for r in serial_rows] == [
+            r.algorithm for r in parallel_rows
+        ]
+        assert [r.objective for r in serial_rows] == [
+            r.objective for r in parallel_rows
+        ]
+        # stage timings came back from the workers for the SoCL rows
+        socl_rows = [r for r in parallel_rows if r.algorithm == "SoCL"]
+        assert socl_rows
+        assert all("partition" in r.stage_times for r in socl_rows)

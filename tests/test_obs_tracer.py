@@ -1,0 +1,239 @@
+"""Unit tests for the repro.obs tracing/metrics layer.
+
+Covers the tracer semantics the pipeline instrumentation relies on:
+the disabled-mode tracer is a true no-op, spans nest and time
+correctly, counters merge across process-pool payloads exactly like a
+serial run, and the JSONL export round-trips through the schema
+validator.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    merged,
+    setup_logging,
+    summary,
+    trace_records,
+    use_tracer,
+    validate_jsonl,
+    validate_record,
+    write_jsonl,
+)
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_is_ambient_default(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_noop_span_and_metrics(self):
+        with NULL_TRACER.span("anything", key=1) as sp:
+            sp.set_attr(more=2)
+            NULL_TRACER.inc("counter", 5)
+            NULL_TRACER.set_gauge("gauge", 1.0)
+        # a no-op tracer records nothing and exposes no state to leak
+        assert not hasattr(NULL_TRACER, "roots")
+        assert not hasattr(NULL_TRACER, "metrics")
+
+    def test_null_span_swallows_nothing(self):
+        # exceptions propagate through the inert span unchanged
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("x"):
+                raise ValueError("boom")
+
+
+class TestSpans:
+    def test_nesting(self):
+        tracer = Tracer("t")
+        with tracer.span("outer"):
+            with tracer.span("inner-a"):
+                pass
+            with tracer.span("inner-b", k=1):
+                pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner-a", "inner-b"]
+        assert outer.children[1].attrs == {"k": 1}
+
+    def test_children_sum_to_at_most_parent(self):
+        tracer = Tracer("t")
+        with tracer.span("outer"):
+            for _ in range(3):
+                with tracer.span("inner"):
+                    sum(range(2000))
+        outer = tracer.roots[0]
+        assert outer.total_child_time() <= outer.duration
+        assert all(c.duration >= 0.0 for c in outer.children)
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer("t")
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                raise RuntimeError("boom")
+        assert tracer.roots[0].duration >= 0.0
+        # the stack unwound: the next span is a new root, not a child
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["outer", "second"]
+
+    def test_set_attr_inside_block(self):
+        tracer = Tracer("t")
+        with tracer.span("s") as sp:
+            sp.set_attr(found=3)
+        assert tracer.roots[0].attrs == {"found": 3}
+
+    def test_span_roundtrip(self):
+        sp = Span(name="a", attrs={"x": 1}, start=0.5, duration=1.5)
+        sp.children.append(Span(name="b"))
+        assert Span.from_dict(sp.as_dict()) == sp
+
+
+class TestAmbient:
+    def test_use_tracer_scopes(self):
+        tracer = Tracer("scoped")
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_error(self):
+        tracer = Tracer("scoped")
+        with pytest.raises(ValueError):
+            with use_tracer(tracer):
+                raise ValueError("boom")
+        assert current_tracer() is NULL_TRACER
+
+
+class TestMetricsRegistry:
+    def test_inc_and_get(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        reg.inc("hits", 4)
+        assert reg.get("hits") == 5
+        assert reg.get("missing") == 0
+
+    def test_merge_counters_add_gauges_overwrite(self):
+        a = MetricsRegistry()
+        a.inc("n", 2)
+        a.set_gauge("g", 1.0)
+        b = MetricsRegistry()
+        b.inc("n", 3)
+        b.set_gauge("g", 9.0)
+        a.merge(b)
+        assert a.get("n") == 5
+        assert a.gauges["g"] == 9.0
+
+    def test_merge_payload_and_prefix(self):
+        a = MetricsRegistry()
+        a.merge({"counters": {"n": 2}, "gauges": {}}, prefix="worker.")
+        assert a.get("worker.n") == 2
+
+    def test_merged_equals_serial(self):
+        # N worker payloads merged == one registry fed all increments
+        serial = MetricsRegistry()
+        payloads = []
+        for i in range(4):
+            worker = MetricsRegistry()
+            worker.inc("cells", 1)
+            worker.inc("work", i)
+            serial.inc("cells", 1)
+            serial.inc("work", i)
+            payloads.append(worker.as_dict())
+        assert merged(payloads).counters == serial.counters
+
+
+class TestPayloadMerge:
+    def test_counters_match_serial_and_spans_graft(self):
+        worker = Tracer("worker-0")
+        with worker.span("solve"):
+            worker.inc("partition.components_found", 3)
+        parent = Tracer("parent")
+        parent.inc("partition.components_found", 1)
+        parent.merge_payload(worker.payload())
+        assert parent.counters["partition.components_found"] == 4
+        # the worker's forest lands under one synthetic root
+        graft = parent.roots[-1]
+        assert graft.name == "worker-0"
+        assert [c.name for c in graft.children] == ["solve"]
+
+    def test_empty_payload_is_noop(self):
+        parent = Tracer("parent")
+        parent.merge_payload(None)
+        parent.merge_payload({})
+        assert parent.roots == []
+        assert parent.counters == {}
+
+
+class TestExport:
+    def _tracer(self):
+        tracer = Tracer("unit")
+        with tracer.span("outer", n=2):
+            with tracer.span("inner"):
+                pass
+        tracer.inc("events", 2)
+        tracer.set_gauge("score", 1.5)
+        return tracer
+
+    def test_records_validate(self):
+        records = list(trace_records(self._tracer()))
+        assert records[0] == {"type": "meta", "schema": 1, "name": "unit"}
+        for record in records:
+            validate_record(record)
+        paths = [r["path"] for r in records if r["type"] == "span"]
+        assert paths == ["outer", "outer/inner"]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        n = write_jsonl(self._tracer(), path)
+        assert validate_jsonl(path) == n
+        with open(path, encoding="utf-8") as fh:
+            kinds = [json.loads(line)["type"] for line in fh]
+        assert kinds[0] == "meta"
+        assert kinds.count("span") == 2
+        assert "counter" in kinds and "gauge" in kinds
+
+    def test_validate_rejects_bad_records(self):
+        bad = [
+            {"type": "mystery"},
+            {"type": "span", "name": "a"},  # missing keys
+            {"type": "span", "name": "a", "path": "b/a", "depth": 0,
+             "start": 0.0, "duration": -1.0, "attrs": {}},  # negative
+            {"type": "span", "name": "a", "path": "b", "depth": 0,
+             "start": 0.0, "duration": 0.0, "attrs": {}},  # path mismatch
+            {"type": "counter", "name": "c", "value": True},  # bool
+            {"type": "meta", "schema": 99, "name": "x"},  # bad version
+        ]
+        for record in bad:
+            with pytest.raises(ValueError):
+                validate_record(record)
+
+    def test_validate_jsonl_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            validate_jsonl(str(path))
+
+    def test_summary_renders(self):
+        text = summary(self._tracer())
+        assert "outer" in text
+        assert "inner" in text
+        assert "events" in text
+        assert "score" in text
+
+
+class TestLogging:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            setup_logging("chatty")

@@ -154,6 +154,24 @@ class TestMetrics:
     def test_all_latencies_empty(self):
         assert LatencyRecorder().all_latencies().size == 0
 
+    def test_all_slots_empty(self):
+        rec = LatencyRecorder()
+        rec.record_slot([])
+        rec.record_slot([])
+        assert np.allclose(rec.slot_means(), [0.0, 0.0])
+        assert np.allclose(rec.slot_maxima(), [0.0, 0.0])
+        assert rec.overall()["count"] == 0
+
+    def test_no_slots(self):
+        rec = LatencyRecorder()
+        assert rec.slot_means().size == 0
+        assert rec.slot_maxima().size == 0
+
+    def test_summarize_single_sample(self):
+        s = summarize_latencies([2.5])
+        assert s["count"] == 1
+        assert s["mean"] == s["median"] == s["p95"] == s["max"] == 2.5
+
 
 class TestSubmitValidation:
     def test_bad_request_index(self, tiny_instance, solved_tiny):

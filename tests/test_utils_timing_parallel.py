@@ -58,6 +58,16 @@ class TestStopwatch:
         assert not sw.running
         assert sw.elapsed >= 0.0
 
+    def test_reset_while_running_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError, match="running"):
+            sw.reset()
+        # the guard must not disturb the in-flight lap
+        assert sw.running
+        sw.stop()
+        assert len(sw.laps) == 1
+
 
 class TestTimed:
     def test_returns_result_and_time(self):
@@ -68,6 +78,15 @@ class TestTimed:
     def test_kwargs_forwarded(self):
         result, _ = timed(sorted, [3, 1, 2], reverse=True)
         assert result == [3, 2, 1]
+
+    def test_exception_carries_elapsed(self):
+        def boom():
+            time.sleep(0.01)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError) as excinfo:
+            timed(boom)
+        assert excinfo.value.elapsed_seconds >= 0.01
 
 
 class TestEffectiveWorkers:
