@@ -9,6 +9,10 @@ Subcommands:
   (fig2 / fig3 / fig4 / fig7 / fig8 / fig9 / fig10);
 * ``trace``    — the online mobility experiment with optional failure
   injection, printing the per-slot delay series as a sparkline;
+* ``resilience`` — completion rate and p99 latency vs request-level
+  fault intensity (instance crashes + link degradation) for SoCL-Online
+  against the RP/JDR baselines, under a configurable
+  retry/hedging/timeout/shedding policy;
 * ``dataset``  — list the curated 20-project microservice registry.
 
 Every subcommand also accepts the observability flags ``--trace
@@ -209,6 +213,80 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.experiments import figures, format_table
+    from repro.experiments.sweeps import aggregate
+    from repro.runtime.resilience import ResiliencePolicy
+
+    policy = (
+        None
+        if args.no_policy
+        else ResiliencePolicy(
+            max_retries=args.retries,
+            hedging=not args.no_hedging,
+            shedding=not args.no_shedding,
+        )
+    )
+    rows = figures.resilience_sweep(
+        intensities=args.intensities,
+        n_users=args.users,
+        n_servers=args.servers,
+        n_slots=args.slots,
+        budget=args.budget,
+        seeds=[args.seed + i for i in range(args.seeds)],
+        policy=policy,
+        n_jobs=args.jobs,
+    )
+    print(
+        format_table(
+            rows,
+            columns=[
+                "algorithm",
+                "intensity",
+                "seed",
+                "completion_rate",
+                "mean_latency",
+                "p99_latency",
+                "retries",
+                "hedges",
+                "shed",
+                "timeouts",
+                "failed",
+            ],
+            percent=("completion_rate",),
+            title=(
+                f"resilience sweep: {args.users} users on {args.servers} servers, "
+                f"{args.slots} slots, policy "
+                f"{'off' if policy is None else 'on'}"
+            ),
+        )
+    )
+    if args.seeds > 1:
+        summary_rows = aggregate(
+            rows,
+            group_by=("intensity", "algorithm"),
+            metrics=("completion_rate", "p99_latency"),
+        )
+        print()
+        print(
+            format_table(
+                summary_rows,
+                columns=[
+                    "intensity",
+                    "algorithm",
+                    "n",
+                    "completion_rate_mean",
+                    "completion_rate_std",
+                    "p99_latency_mean",
+                    "p99_latency_std",
+                ],
+                percent=("completion_rate_mean", "completion_rate_std"),
+                title=f"aggregated over {args.seeds} seeds",
+            )
+        )
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import format_table
     from repro.experiments.scenarios import ScenarioParams
@@ -332,6 +410,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-prob", type=float, default=0.0,
                    help="per-slot node failure probability (failure injection)")
     p.set_defaults(func=cmd_trace)
+
+    p = add_command("resilience", help="fault-injection resilience experiment")
+    p.add_argument("--servers", type=int, default=8)
+    p.add_argument("--users", type=int, default=40)
+    p.add_argument("--budget", type=float, default=6000.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--slots", type=int, default=4)
+    p.add_argument(
+        "--intensities", type=float, nargs="+", default=[0.0, 0.1, 0.2, 0.4],
+        help="fault intensities in [0,1]: crash_prob=i, link_fail_prob=i/2",
+    )
+    p.add_argument("--seeds", type=int, default=1,
+                   help="number of seeds (starting at --seed); >1 adds a mean±std table")
+    p.add_argument("--retries", type=int, default=2,
+                   help="max retries per crashed invocation")
+    p.add_argument("--no-policy", action="store_true",
+                   help="disable the resilience policy (crashes become hard failures)")
+    p.add_argument("--no-hedging", action="store_true",
+                   help="keep retries/timeouts but disable hedged re-routing")
+    p.add_argument("--no-shedding", action="store_true",
+                   help="keep retries/hedging but disable admission-time shedding")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for sweep cells")
+    p.set_defaults(func=cmd_resilience)
 
     p = add_command("dataset", help="list the curated project registry")
     p.set_defaults(func=cmd_dataset)

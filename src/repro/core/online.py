@@ -22,7 +22,12 @@ natural extension:
    back to a full SoCL solve;
 4. optionally **retain** still-useful previous instances that fit the
    leftover budget/storage (hysteresis against churn), guided by a
-   demand :class:`~repro.workload.forecast.Forecaster`.
+   demand :class:`~repro.workload.forecast.Forecaster`;
+5. **route around recent failures**: the simulator reports instances
+   that crashed during replay (:meth:`OnlineSoCL.note_failures`), and
+   the next slot's routing steers affected requests away from those
+   instances via :func:`repro.model.routing.partial_reroute` — only the
+   touched requests re-run the DP.
 
 Every result records the decision mode and the number of redeployments
 so the cold-start economics are measurable (see
@@ -50,7 +55,7 @@ from repro.core.storage import storage_plan
 from repro.model.cost import deployment_cost
 from repro.model.instance import ProblemInstance
 from repro.model.placement import Placement
-from repro.model.routing import greedy_routing, optimal_routing
+from repro.model.routing import greedy_routing, optimal_routing, partial_reroute
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_probability
 from repro.workload.forecast import Forecaster
@@ -102,6 +107,7 @@ class OnlineSoCL:
         self._prev_placement: Optional[Placement] = None
         self._prev_demand: Optional[np.ndarray] = None
         self._prev_shape: Optional[tuple[int, int]] = None
+        self._recent_failures: set[tuple[int, int]] = set()
         self._slot = 0
 
     # ------------------------------------------------------------------
@@ -111,7 +117,22 @@ class OnlineSoCL:
         self._prev_demand = None
         self._prev_shape = None
         self._prev_preference = {}
+        self._recent_failures = set()
         self._slot = 0
+
+    def note_failures(self, pairs) -> None:
+        """Record ``(service, node)`` instances that crashed last slot.
+
+        Called by :class:`repro.runtime.simulator.OnlineSimulator` when
+        fault injection is active.  The next :meth:`solve` steers
+        requests routed through these instances to surviving hosts (see
+        the module docstring, point 5), then forgets them — one slot of
+        avoidance matches the resilience model's restart delay being
+        short relative to a slot.
+        """
+        self._recent_failures.update(
+            (int(svc), int(node)) for svc, node in pairs
+        )
 
     def _should_full_resolve(self, instance: ProblemInstance) -> tuple[bool, float]:
         if self._prev_placement is None or self._prev_demand is None:
@@ -281,6 +302,38 @@ class OnlineSoCL:
         else:
             routing = greedy_routing(instance, placement)
 
+        rerouted = 0
+        if self._recent_failures:
+            avoid = {
+                (svc, node)
+                for svc, node in self._recent_failures
+                if svc < instance.n_services
+                and node < instance.n_servers
+                and placement.has(svc, node)
+                and placement.hosts(svc).size > 1
+            }
+            if avoid:
+                safe = placement.copy()
+                for svc, node in sorted(avoid):
+                    safe.remove(svc, node)
+                rows = [
+                    h
+                    for h, req in enumerate(instance.requests)
+                    if any(
+                        (int(svc), int(routing.assignment[h, j])) in avoid
+                        for j, svc in enumerate(req.chain)
+                    )
+                ]
+                if rows:
+                    routing = partial_reroute(
+                        instance,
+                        safe,
+                        np.asarray(rows, dtype=np.int64),
+                        routing.assignment,
+                    )
+                    rerouted = len(rows)
+            self._recent_failures.clear()
+
         # remember this slot's (service, home) → node choices
         prefs: dict[tuple[int, int], int] = {}
         for h, req in enumerate(instance.requests):
@@ -318,6 +371,7 @@ class OnlineSoCL:
                 "demand_shift": shift,
                 "redeployed_instances": redeployed,
                 "retained_instances": retained,
+                "rerouted_requests": rerouted,
                 **repair_info,
             },
         )

@@ -23,13 +23,14 @@ from repro.baselines import (
     OptimalSolver,
     RandomProvisioning,
 )
-from repro.core import SoCL, SoCLConfig
+from repro.core import OnlineSoCL, SoCL, SoCLConfig
 from repro.experiments.harness import compare_algorithms
 from repro.experiments.scenarios import ScenarioParams, build_scenario
 from repro.microservices.eshop import eshop_application
 from repro.model.instance import ProblemConfig
 from repro.network.generators import stadium_topology
 from repro.obs import Tracer, current_tracer, use_tracer
+from repro.runtime.resilience import FaultConfig, FaultInjector, ResiliencePolicy
 from repro.runtime.simulator import OnlineSimulator
 from repro.utils.parallel import parallel_map
 
@@ -366,6 +367,100 @@ def fig9_cluster(
         )
     ]
     return _run_cells(_fig9_cell, tasks, n_jobs, "fig9")
+
+
+# ----------------------------------------------------------------------
+# Resilience — completion rate and p99 vs fault intensity
+# ----------------------------------------------------------------------
+def _resilience_cell(task: tuple) -> dict:
+    """One (solver, intensity, seed) resilient cluster run; top-level for
+    process pools.
+
+    Mirrors :func:`_fig9_cell`: the scenario rebuilds deterministically
+    inside the worker, and the fault realization is slot-addressable
+    from ``(seed, slot)``, so the cell is reproducible regardless of
+    pool fan-out.
+    """
+    (
+        solver,
+        intensity,
+        n_users,
+        n_servers,
+        n_slots,
+        budget,
+        seed,
+        data_scale,
+        policy,
+    ) = task
+    network = stadium_topology(n_servers, seed=seed)
+    app = eshop_application()
+    sim = OnlineSimulator(
+        network,
+        app,
+        ProblemConfig(weight=0.5, budget=budget),
+        WorkloadSpec(n_users=n_users, data_scale=data_scale),
+        seed=seed,
+    )
+    faults = FaultInjector(FaultConfig.at_intensity(intensity), seed=seed)
+    res = sim.run(solver, n_slots=n_slots, faults=faults, resilience=policy)
+    return {
+        "algorithm": res.solver_name,
+        "intensity": intensity,
+        "seed": seed,
+        "completion_rate": res.completion_rate,
+        "mean_latency": res.mean_delay,
+        "p99_latency": res.p99_delay,
+        "retries": sum(s.n_retries for s in res.slots),
+        "hedges": sum(s.n_hedges for s in res.slots),
+        "shed": sum(s.n_shed for s in res.slots),
+        "timeouts": sum(s.n_timeouts for s in res.slots),
+        "failed": sum(s.n_failed for s in res.slots),
+    }
+
+
+def resilience_sweep(
+    intensities: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
+    n_users: int = 40,
+    n_servers: int = 8,
+    n_slots: int = 4,
+    budget: float = 6000.0,
+    seeds: Sequence[int] = (0,),
+    data_scale: float = 5.0,
+    policy: Optional[ResiliencePolicy] = ResiliencePolicy(),
+    n_jobs: int = 1,
+) -> list[dict]:
+    """Completion rate and p99 latency vs fault intensity, per algorithm.
+
+    RP / JDR / SoCL-Online on the simulated cluster under request-level
+    fault injection (:class:`repro.runtime.resilience.FaultInjector`),
+    all governed by the same ``policy`` so the comparison isolates
+    provisioning quality: SoCL-Online additionally routes the *next*
+    slot around reported crashes (``note_failures``).  Pass
+    ``policy=None`` to measure the unprotected runtime (crashes become
+    hard failures).  One row per (intensity, seed, algorithm);
+    ``n_jobs > 1`` runs cells on a process pool with serial row order.
+    """
+    tasks = [
+        (
+            solver,
+            float(intensity),
+            n_users,
+            n_servers,
+            n_slots,
+            budget,
+            int(seed),
+            data_scale,
+            policy,
+        )
+        for intensity in intensities
+        for seed in seeds
+        for solver in (
+            RandomProvisioning(seed=int(seed)),
+            JointDeploymentRouting(),
+            OnlineSoCL(),
+        )
+    ]
+    return _run_cells(_resilience_cell, tasks, n_jobs, "resilience")
 
 
 # ----------------------------------------------------------------------

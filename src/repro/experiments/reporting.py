@@ -45,14 +45,27 @@ def format_table(
     rows: Iterable,
     columns: Optional[Sequence[str]] = None,
     title: Optional[str] = None,
+    percent: Sequence[str] = (),
 ) -> str:
-    """Render rows as an aligned text table."""
+    """Render rows as an aligned text table.
+
+    Columns named in ``percent`` hold fractions in [0, 1] and render as
+    percentages (``0.9833`` → ``98.3%``) — used for the resilience
+    experiment's completion-rate column.
+    """
     data = _coerce(rows)
     if not data:
         return f"{title or ''}\n(no rows)".strip()
     if columns is None:
         columns = list(data[0].keys())
-    cells = [[_fmt(row.get(col, "")) for col in columns] for row in data]
+    pct = set(percent)
+
+    def render(col: str, value) -> str:
+        if col in pct and isinstance(value, (int, float)) and not isinstance(value, bool):
+            return f"{value * 100.0:.1f}%"
+        return _fmt(value)
+
+    cells = [[render(col, row.get(col, "")) for col in columns] for row in data]
     widths = [
         max(len(col), *(len(row[i]) for row in cells))
         for i, col in enumerate(columns)

@@ -176,25 +176,29 @@ def grid_sweep(
 
 
 def aggregate(
-    cells: Iterable[SweepCell],
+    cells: Iterable,
     group_by: Sequence[str] = ("algorithm",),
     metrics: Sequence[str] = ("objective", "runtime"),
 ) -> list[dict]:
     """Reduce sweep cells to per-group mean/std/min/max rows.
 
-    ``group_by`` names either sweep-axis parameters or the literal
-    ``"algorithm"``/``"seed"`` fields; ``metrics`` are numeric cell
-    fields.  Output rows carry ``<metric>_mean`` etc. and ``n`` (cell
-    count), sorted by the group key for deterministic tables.
+    ``cells`` may be :class:`SweepCell` objects or plain mappings (any
+    dict row with the named fields — e.g. the multi-seed rows of the
+    resilience experiment).  ``group_by`` names either sweep-axis
+    parameters or the literal ``"algorithm"``/``"seed"`` fields;
+    ``metrics`` are numeric cell fields.  Output rows carry
+    ``<metric>_mean`` etc. and ``n`` (cell count), sorted by the group
+    key for deterministic tables.  Rows without a ``feasible`` field
+    count as feasible.
     """
-    groups: dict[tuple, list[SweepCell]] = {}
+    groups: dict[tuple, list[dict]] = {}
     for cell in cells:
-        record = cell.as_dict()
+        record = cell.as_dict() if hasattr(cell, "as_dict") else dict(cell)
         try:
             key = tuple(record[g] for g in group_by)
         except KeyError as exc:
             raise KeyError(f"unknown group field {exc.args[0]!r}") from exc
-        groups.setdefault(key, []).append(cell)
+        groups.setdefault(key, []).append(record)
 
     rows: list[dict] = []
     for key in sorted(groups, key=lambda k: tuple(str(v) for v in k)):
@@ -202,12 +206,15 @@ def aggregate(
         row: dict = dict(zip(group_by, key))
         row["n"] = len(members)
         for metric in metrics:
-            values = np.array([getattr(c, metric) for c in members], dtype=float)
+            try:
+                values = np.array([m[metric] for m in members], dtype=float)
+            except KeyError as exc:
+                raise KeyError(f"unknown metric field {exc.args[0]!r}") from exc
             row[f"{metric}_mean"] = float(values.mean())
             row[f"{metric}_std"] = float(values.std())
             row[f"{metric}_min"] = float(values.min())
             row[f"{metric}_max"] = float(values.max())
-        row["all_feasible"] = all(c.feasible for c in members)
+        row["all_feasible"] = all(m.get("feasible", True) for m in members)
         rows.append(row)
     return rows
 

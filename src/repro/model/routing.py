@@ -102,6 +102,7 @@ def _star_assign(
     comp: np.ndarray,
     a: np.ndarray,
     services: Optional[np.ndarray] = None,
+    rows: Optional[np.ndarray] = None,
 ) -> None:
     """Star-model batch kernel: one masked broadcast, no per-request loop.
 
@@ -110,7 +111,8 @@ def _star_assign(
     ``(positions, Hmax)`` cost matrix; a single masked argmin yields all
     assignments at once.  ``services`` restricts the update to positions
     whose service is in the set (incremental re-routing after a placement
-    change that touched only those services).
+    change that touched only those services); ``rows`` restricts it to a
+    subset of requests (:func:`partial_reroute`).
 
     A pure ``(service, home)`` argmin table would be even smaller, but it
     is exact only when all requests ship identical data volumes: the
@@ -120,6 +122,10 @@ def _star_assign(
     inst = instance
     mask = inst.chain_mask
     chain = inst.chain_matrix
+    if rows is not None:
+        row_mask = np.zeros(mask.shape[0], dtype=bool)
+        row_mask[rows] = True
+        mask = mask & row_mask[:, None]
     if services is not None:
         mask = mask & np.isin(chain, services)
     hs, js = np.nonzero(mask)
@@ -259,6 +265,36 @@ def optimal_routing(
         _star_assign(instance, hosts, instance.compute_ext, a)
     else:
         _chain_assign_batch(instance, hosts, instance.compute_ext, a)
+    return Routing(instance, a)
+
+
+def partial_reroute(
+    instance: ProblemInstance,
+    placement: Placement,
+    rows: np.ndarray,
+    assignment: np.ndarray,
+    model: Optional[str] = None,
+) -> Routing:
+    """Re-route only ``rows`` against ``placement``; other rows keep their
+    existing assignment.
+
+    The workhorse behind resilience-aware warm starts: when a handful of
+    requests were routed through instances that later crashed
+    (:meth:`repro.core.online.OnlineSoCL.note_failures`), only those
+    requests re-run the batched DP — the rest of ``assignment`` is copied
+    through untouched, so the call costs ``O(|rows|)`` layer steps
+    instead of a full-workload solve.  With ``rows`` covering every
+    request this is exactly :func:`optimal_routing`.
+    """
+    model = model or instance.config.latency_model
+    rows = np.asarray(rows, dtype=np.int64)
+    a = np.array(assignment, dtype=np.int64, copy=True)
+    if rows.size:
+        hosts = _host_lists(instance, placement)
+        if model == "star":
+            _star_assign(instance, hosts, instance.compute_ext, a, rows=rows)
+        else:
+            _chain_assign_batch(instance, hosts, instance.compute_ext, a, rows=rows)
     return Routing(instance, a)
 
 

@@ -27,9 +27,11 @@ class MetricsRegistry:
         self.counters[name] = self.counters.get(name, 0) + value
 
     def get(self, name: str, default: Union[int, float] = 0) -> Union[int, float]:
+        """Current value of the named counter (``default`` if never incremented)."""
         return self.counters.get(name, default)
 
     def set_gauge(self, name: str, value: float) -> None:
+        """Record a last-write-wins gauge observation."""
         self.gauges[name] = float(value)
 
     def as_dict(self) -> dict:

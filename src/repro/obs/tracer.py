@@ -56,12 +56,15 @@ class Span:
     children: list["Span"] = field(default_factory=list)
 
     def set_attr(self, **attrs) -> None:
+        """Merge keyword attributes into the span's attrs dict."""
         self.attrs.update(attrs)
 
     def total_child_time(self) -> float:
+        """Sum of the direct children's durations (seconds)."""
         return sum(c.duration for c in self.children)
 
     def as_dict(self) -> dict:
+        """Recursively serialize the span subtree to plain dicts."""
         return {
             "name": self.name,
             "attrs": dict(self.attrs),
@@ -72,6 +75,7 @@ class Span:
 
     @classmethod
     def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span subtree serialized by :meth:`as_dict`."""
         return cls(
             name=data["name"],
             attrs=dict(data.get("attrs", {})),
@@ -110,12 +114,15 @@ class NullTracer:
     enabled = False
 
     def span(self, name: str, **attrs) -> _NullSpan:
+        """No-op span; returns a shared inert context manager."""
         return _NULL_SPAN
 
     def inc(self, name: str, value: Union[int, float] = 1) -> None:
+        """No-op counter increment."""
         pass
 
     def set_gauge(self, name: str, value: float) -> None:
+        """No-op gauge write."""
         pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -156,17 +163,21 @@ class Tracer:
 
     # -- metrics --------------------------------------------------------
     def inc(self, name: str, value: Union[int, float] = 1) -> None:
+        """Add ``value`` (default 1) to the named counter."""
         self.metrics.inc(name, value)
 
     def set_gauge(self, name: str, value: float) -> None:
+        """Record a last-write-wins gauge observation."""
         self.metrics.set_gauge(name, value)
 
     @property
     def counters(self) -> dict[str, float]:
+        """Name → total for every counter incremented so far."""
         return self.metrics.counters
 
     @property
     def gauges(self) -> dict[str, float]:
+        """Name → last value for every gauge written so far."""
         return self.metrics.gauges
 
     # -- cross-process merge -------------------------------------------

@@ -16,7 +16,14 @@ a discrete-event simulation:
   mobility moves users each slot, the provisioning algorithm re-runs,
   and the cluster replays the slot's requests;
 * :mod:`repro.runtime.metrics` — latency aggregation (mean/median/max
-  per slot, percentiles) matching the paper's reporting.
+  per slot, percentiles) matching the paper's reporting;
+* :mod:`repro.runtime.failures` — slot-level node outages degraded out
+  of the solvable state before each provision;
+* :mod:`repro.runtime.resilience` — request-level fault injection
+  (degraded links, instance crashes) and the retry / hedging / timeout /
+  shedding policies that absorb them.
+
+The full runtime model is documented in ``docs/RUNTIME.md``.
 """
 
 from repro.runtime.events import EventQueue, Event
@@ -24,7 +31,14 @@ from repro.runtime.serverless import InstancePool, InstanceState, ServerlessConf
 from repro.runtime.cluster import SimulatedCluster, RequestOutcome
 from repro.runtime.simulator import OnlineSimulator, SlotRecord, OnlineTraceResult
 from repro.runtime.metrics import LatencyRecorder, summarize_latencies
-from repro.runtime.failures import OutageSchedule, degrade_instance
+from repro.runtime.failures import DegradationPolicy, OutageSchedule, degrade_instance
+from repro.runtime.resilience import (
+    FaultConfig,
+    FaultInjector,
+    ResiliencePolicy,
+    SlotFaults,
+    shed_indices,
+)
 
 __all__ = [
     "EventQueue",
@@ -40,5 +54,11 @@ __all__ = [
     "LatencyRecorder",
     "summarize_latencies",
     "OutageSchedule",
+    "DegradationPolicy",
     "degrade_instance",
+    "FaultConfig",
+    "FaultInjector",
+    "SlotFaults",
+    "ResiliencePolicy",
+    "shed_indices",
 ]

@@ -12,8 +12,19 @@ and records the end-to-end completion time.  Cold starts from
 requests whose service has no edge instance detour to the cloud with
 the instance's configured WAN transfer cost.
 
+The optional resilience layer (:mod:`repro.runtime.resilience`) adds
+request-level faults and the policies that absorb them: degraded links
+multiply transfer times, crashed instances reject invocations, and a
+:class:`~repro.runtime.resilience.ResiliencePolicy` turns those hard
+failures into bounded retries with exponential backoff, hedged
+re-routing to the next-best surviving instance (via the incremental
+:class:`repro.model.engine.BatchRouter`), per-request timeouts derived
+from the Eq.-4 deadline, and admission-time shedding.  Without faults
+and policy the cluster is bit-identical to the pre-resilience code
+path.
+
 The cluster is deterministic given its inputs — queueing delays emerge
-purely from request overlap.
+purely from request overlap (and the injected fault realization).
 """
 
 from __future__ import annotations
@@ -23,29 +34,44 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.model.engine import BatchRouter
 from repro.model.instance import ProblemInstance
 from repro.model.placement import Placement, Routing
-from repro.runtime.events import EventQueue
+from repro.runtime.events import Event, EventQueue
+from repro.runtime.resilience import ResiliencePolicy, SlotFaults
 from repro.runtime.serverless import InstancePool, ServerlessConfig
 from repro.utils.validation import check_positive
 
 
 @dataclass
 class RequestOutcome:
-    """Completion record of one dispatched request."""
+    """Completion record of one dispatched request.
+
+    ``status`` is ``"ok"`` for requests that ran (or are still running)
+    normally, ``"timeout"`` when the resilience policy's per-request
+    timeout fired first, ``"shed"`` for requests dropped at admission,
+    and ``"failed"`` for hard failures (a crashed instance with no
+    policy to absorb it).  ``retries``/``hedges`` count the policy
+    actions spent on the request.
+    """
 
     request: int
     start: float
     finish: float = np.nan
     queueing: float = 0.0
     cold_start: float = 0.0
+    retries: int = 0
+    hedges: int = 0
+    status: str = "ok"
 
     @property
     def latency(self) -> float:
+        """End-to-end completion time (NaN while incomplete)."""
         return self.finish - self.start
 
     @property
     def done(self) -> bool:
+        """True once the request completed end to end."""
         return not np.isnan(self.finish)
 
 
@@ -82,11 +108,15 @@ class SimulatedCluster:
         cores_per_node: int = 2,
         serverless: Optional[ServerlessConfig] = None,
         pool: Optional[InstancePool] = None,
+        faults: Optional[SlotFaults] = None,
+        policy: Optional[ResiliencePolicy] = None,
     ):
         check_positive("cores_per_node", cores_per_node)
         self.instance = instance
         self.placement = placement
         self.routing = routing
+        self.faults = faults
+        self.policy = policy
         self.queue = EventQueue()
         self.nodes = [
             _Node(k, float(c), cores_per_node)
@@ -96,6 +126,13 @@ class SimulatedCluster:
             placement, serverless or ServerlessConfig()
         )
         self.outcomes: list[RequestOutcome] = []
+        # hedging state, built lazily on the first crash that exhausts
+        # its retries: a live placement copy that loses crashed
+        # instances, re-routed incrementally by a BatchRouter
+        self._live_placement: Optional[Placement] = None
+        self._router: Optional[BatchRouter] = None
+        self._hedged_routing: Optional[Routing] = None
+        self._timeout_events: dict[int, Event] = {}
 
     # ------------------------------------------------------------------
     def submit(self, h: int, at: float) -> RequestOutcome:
@@ -109,22 +146,60 @@ class SimulatedCluster:
         outcome = RequestOutcome(request=h, start=at)
         self.outcomes.append(outcome)
         self.queue.schedule_at(at, lambda q, h=h, o=outcome: self._begin(h, o))
+        if self.policy is not None:
+            timeout = self.policy.timeout_for(float(self.instance.deadlines[h]))
+            self._timeout_events[id(outcome)] = self.queue.schedule_at(
+                at + timeout, lambda q, o=outcome: self._timeout(o)
+            )
         return outcome
 
+    def shed(self, h: int, at: float = 0.0) -> RequestOutcome:
+        """Record request ``h`` as shed at admission (never dispatched).
+
+        Used by the graceful-degradation policy: the request counts as
+        incomplete with ``status == "shed"`` instead of entering the
+        cluster and timing out under overload.
+        """
+        if not (0 <= h < self.instance.n_requests):
+            raise IndexError(
+                f"request {h} outside instance of size {self.instance.n_requests}"
+            )
+        outcome = RequestOutcome(request=h, start=at, status="shed")
+        self.outcomes.append(outcome)
+        return outcome
+
+    def _timeout(self, outcome: RequestOutcome) -> None:
+        """Per-request timeout guard: abandon the request where it stands."""
+        self._timeout_events.pop(id(outcome), None)
+        if outcome.done or outcome.status != "ok":
+            return
+        outcome.status = "timeout"
+
     def _begin(self, h: int, outcome: RequestOutcome) -> None:
+        if outcome.status != "ok":
+            return
         inst = self.instance
         req = inst.requests[h]
         nodes = self.routing.nodes_for(h)
         inv = inst.inv_rate
         # upload leg
         delay = req.data_in * inv[req.home, nodes[0]]
+        if self.faults is not None:
+            delay = delay * self.faults.link_factor(req.home, int(nodes[0]))
         self.queue.schedule(
             delay, lambda q, pos=0: self._process(h, outcome, nodes, pos)
         )
 
     def _process(
-        self, h: int, outcome: RequestOutcome, nodes: np.ndarray, pos: int
+        self,
+        h: int,
+        outcome: RequestOutcome,
+        nodes: np.ndarray,
+        pos: int,
+        attempt: int = 0,
     ) -> None:
+        if outcome.status != "ok":
+            return
         inst = self.instance
         req = inst.requests[h]
         svc = req.chain[pos]
@@ -137,6 +212,9 @@ class SimulatedCluster:
             wait = 0.0
             penalty = 0.0
         else:
+            if self.faults is not None and self.faults.crashed(svc, node, now):
+                self._on_crash(h, outcome, nodes, pos, attempt, svc, node)
+                return
             penalty = (
                 self.pool.invoke(svc, node, now)
                 if self.placement.has(svc, node)
@@ -151,18 +229,98 @@ class SimulatedCluster:
         delay_done = finish - now
         if pos + 1 < req.length:
             transfer = req.edge_data[pos] * inst.inv_rate[node, int(nodes[pos + 1])]
+            if self.faults is not None:
+                transfer = transfer * self.faults.link_factor(node, int(nodes[pos + 1]))
             self.queue.schedule(
                 delay_done + transfer,
                 lambda q, p=pos + 1: self._process(h, outcome, nodes, p),
             )
         else:
             ret = req.data_out * inst.inv_rate[node, req.home]
+            if self.faults is not None:
+                ret = ret * self.faults.link_factor(node, req.home)
             self.queue.schedule(
                 delay_done + ret, lambda q: self._finish(outcome)
             )
 
+    def _on_crash(
+        self,
+        h: int,
+        outcome: RequestOutcome,
+        nodes: np.ndarray,
+        pos: int,
+        attempt: int,
+        svc: int,
+        node: int,
+    ) -> None:
+        """An invocation hit a crashed instance: retry, hedge, or fail."""
+        self.pool.evict(svc, node)  # the crashed container restarts cold
+        policy = self.policy
+        if policy is None:
+            outcome.status = "failed"
+            return
+        if attempt < policy.max_retries:
+            outcome.retries += 1
+            self.queue.schedule(
+                policy.backoff(attempt),
+                lambda q, a=attempt + 1: self._process(h, outcome, nodes, pos, a),
+            )
+            return
+        if not policy.hedging:
+            outcome.status = "failed"
+            return
+        self._hedge(h, outcome, nodes, pos, svc, node)
+
+    def _hedge(
+        self,
+        h: int,
+        outcome: RequestOutcome,
+        nodes: np.ndarray,
+        pos: int,
+        svc: int,
+        node: int,
+    ) -> None:
+        """Re-route the request's remaining suffix off the crashed instance.
+
+        The crashed ``(svc, node)`` pair is removed from a live placement
+        copy and the :class:`BatchRouter` recomputes the optimal
+        assignment incrementally (only the touched service re-routes);
+        the request resumes at its re-routed hop after paying the
+        transfer from the crashed node to the surviving one.  When the
+        service has no surviving edge instance the router falls back to
+        the cloud, which never crashes.
+        """
+        if self._router is None:
+            self._live_placement = self.placement.copy()
+            self._router = BatchRouter(self.instance)
+        assert self._live_placement is not None
+        if self._live_placement.has(svc, node):
+            self._live_placement.remove(svc, node)
+            self._hedged_routing = self._router.route(self._live_placement)
+        elif self._hedged_routing is None:
+            self._hedged_routing = self._router.route(self._live_placement)
+        outcome.hedges += 1
+        req = self.instance.requests[h]
+        new_nodes = nodes.copy()
+        row = self._hedged_routing.assignment[h]
+        new_nodes[pos:] = row[pos : len(new_nodes)]
+        target = int(new_nodes[pos])
+        w_in = req.data_in if pos == 0 else req.edge_data[pos - 1]
+        transfer = w_in * self.instance.inv_rate[node, target]
+        if self.faults is not None:
+            transfer = transfer * self.faults.link_factor(node, target)
+        self.queue.schedule(
+            transfer,
+            lambda q, n=new_nodes: self._process(h, outcome, n, pos, 0),
+        )
+
     def _finish(self, outcome: RequestOutcome) -> None:
+        if outcome.status != "ok":
+            return
         outcome.finish = self.queue.now
+        evt = self._timeout_events.pop(id(outcome), None)
+        if evt is not None:
+            self.queue.cancel(evt)
 
     # ------------------------------------------------------------------
     def run(

@@ -26,6 +26,7 @@ class Event:
     cancelled: bool = field(default=False, compare=False)
 
     def cancel(self) -> None:
+        """Mark the event cancelled; the queue skips it on pop."""
         self.cancelled = True
 
 
@@ -37,6 +38,7 @@ class EventQueue:
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -71,11 +73,30 @@ class EventQueue:
         heapq.heappush(self._heap, event)
         return event
 
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event``, compacting the heap when cancellations pile up.
+
+        Equivalent to ``event.cancel()`` plus bookkeeping: when more than
+        half of a non-trivial heap is dead weight (e.g. per-request
+        timeout guards that were cancelled on completion), the heap is
+        rebuilt without the cancelled entries so long simulations don't
+        accumulate garbage.
+        """
+        if event.cancelled:
+            return
+        event.cancel()
+        self._cancelled += 1
+        if self._cancelled > 64 and self._cancelled * 2 > len(self._heap):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled = max(0, self._cancelled - 1)
                 continue
             self._now = event.time
             event.callback(self)
@@ -91,6 +112,7 @@ class EventQueue:
             nxt = self._heap[0]
             if nxt.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled = max(0, self._cancelled - 1)
                 continue
             if until is not None and nxt.time > until:
                 self._now = until

@@ -7,11 +7,17 @@ usable state.  This module makes that testable:
 
 * :class:`OutageSchedule` — per-slot down-node sets from independent
   two-state Markov (up/down) processes per node, seeded;
+* :class:`DegradationPolicy` — the documented, overridable ε values a
+  down node's storage and compute are degraded to;
 * :func:`degrade_instance` — rewrite a :class:`ProblemInstance` so down
   nodes cannot host instances (storage → ε below any footprint) or do
   useful work (compute → ε), while their radios keep relaying (links
   survive, so the network stays connected and latency finite); users
   homed at a down station re-attach to the nearest live one.
+
+Request-level faults *within* a slot (link degradation, instance
+crashes) live in :mod:`repro.runtime.resilience`, layered on top of
+this module's slot-level outages.
 
 The online simulator accepts an ``OutageSchedule`` and applies the
 degradation before each slot's solve, so any solver's resilience —
@@ -32,12 +38,27 @@ from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive, check_probability
 from repro.workload.requests import UserRequest
 
-#: Storage assigned to a failed node: strictly below any real service
-#: footprint so the capacity constraint (Eq. 6) forbids placement.
-_DOWN_STORAGE = 1e-6
-#: Compute assigned to a failed node: any processing there is absurdly
-#: slow, so routing never selects a surviving stale instance.
-_DOWN_COMPUTE = 1e-3
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """How a down node is degraded out of the solvable state.
+
+    ``down_storage`` — storage assigned to a failed node: strictly below
+    any real service footprint so the capacity constraint (Eq. 6)
+    forbids placement there.  ``down_compute`` — compute assigned to a
+    failed node: any processing there is absurdly slow, so routing never
+    selects a surviving stale instance.  Both must be positive (zero
+    would divide by zero in the latency model) and small enough that the
+    semantics above hold for the scenario's service footprints; the
+    defaults match every paper scenario in this repository.
+    """
+
+    down_storage: float = 1e-6
+    down_compute: float = 1e-3
+
+    def __post_init__(self) -> None:
+        check_positive("down_storage", self.down_storage)
+        check_positive("down_compute", self.down_compute)
 
 
 class OutageSchedule:
@@ -50,6 +71,7 @@ class OutageSchedule:
         repair_prob: float = 0.5,
         seed: SeedLike = None,
         protect: Sequence[int] = (),
+        degradation: DegradationPolicy = DegradationPolicy(),
     ):
         check_positive("n_nodes", n_nodes)
         check_probability("fail_prob", fail_prob)
@@ -58,11 +80,13 @@ class OutageSchedule:
         self.fail_prob = float(fail_prob)
         self.repair_prob = float(repair_prob)
         self.protect = frozenset(int(p) for p in protect)
+        self.degradation = degradation
         self._rng = as_generator(seed)
         self._down = np.zeros(self.n_nodes, dtype=bool)
 
     @property
     def down_nodes(self) -> frozenset[int]:
+        """Indices of nodes currently down, as a frozenset."""
         return frozenset(int(v) for v in np.nonzero(self._down)[0])
 
     def step(self) -> frozenset[int]:
@@ -90,13 +114,16 @@ class OutageSchedule:
 
 
 def degrade_instance(
-    instance: ProblemInstance, down_nodes: frozenset[int] | set[int]
+    instance: ProblemInstance,
+    down_nodes: frozenset[int] | set[int],
+    policy: DegradationPolicy = DegradationPolicy(),
 ) -> ProblemInstance:
     """Clone ``instance`` with ``down_nodes`` unable to host or compute.
 
     Links survive (radios keep relaying) so the topology stays connected;
     requests homed at a down node re-attach to the nearest live node by
-    virtual-link transfer time.
+    virtual-link transfer time.  ``policy`` sets the degraded storage and
+    compute values (see :class:`DegradationPolicy`).
     """
     down = {int(v) for v in down_nodes}
     for v in down:
@@ -111,8 +138,8 @@ def degrade_instance(
     servers = [
         EdgeServer(
             index=s.index,
-            compute=_DOWN_COMPUTE if s.index in down else s.compute,
-            storage=_DOWN_STORAGE if s.index in down else s.storage,
+            compute=policy.down_compute if s.index in down else s.compute,
+            storage=policy.down_storage if s.index in down else s.storage,
             position=s.position,
             name=s.name,
         )

@@ -15,15 +15,23 @@ import numpy as np
 
 
 def summarize_latencies(latencies: Sequence[float]) -> dict[str, float]:
-    """Mean / median / p95 / max summary of a latency sample."""
+    """Mean / median / p95 / p99 / max summary of a latency sample."""
     arr = np.asarray(latencies, dtype=np.float64)
     if arr.size == 0:
-        return {"count": 0.0, "mean": 0.0, "median": 0.0, "p95": 0.0, "max": 0.0}
+        return {
+            "count": 0.0,
+            "mean": 0.0,
+            "median": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
     return {
         "count": float(arr.size),
         "mean": float(arr.mean()),
         "median": float(np.median(arr)),
         "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
         "max": float(arr.max()),
     }
 
@@ -35,10 +43,12 @@ class LatencyRecorder:
     slots: list[np.ndarray] = field(default_factory=list)
 
     def record_slot(self, latencies: Sequence[float]) -> None:
+        """Append one slot's per-request latencies (seconds)."""
         self.slots.append(np.asarray(latencies, dtype=np.float64))
 
     @property
     def n_slots(self) -> int:
+        """Number of slots recorded so far."""
         return len(self.slots)
 
     def slot_means(self) -> np.ndarray:
@@ -48,9 +58,11 @@ class LatencyRecorder:
         )
 
     def slot_maxima(self) -> np.ndarray:
+        """Worst per-request delay in each slot (0.0 for empty slots)."""
         return np.array([s.max() if s.size else 0.0 for s in self.slots])
 
     def all_latencies(self) -> np.ndarray:
+        """Every recorded latency, concatenated across slots."""
         if not self.slots:
             return np.empty(0)
         return np.concatenate(self.slots)

@@ -14,7 +14,10 @@ substitution credible:
 * :func:`pollaczek_khinchine_wait` — general M/G/1;
 * :func:`erlang_c` / :func:`mmc_mean_wait` — M/M/c delay probability and
   mean wait;
-* :func:`utilization` — offered load ``ρ = λ/(c·μ)``.
+* :func:`utilization` — offered load ``ρ = λ/(c·μ)``;
+* :func:`expected_attempts` / :func:`markov_availability` — closed forms
+  for the resilience layer: retry load amplification under bounded
+  retry, and the stationary availability of the outage Markov chain.
 
 All waits are *queueing* delays (time in buffer, excluding service).
 """
@@ -96,3 +99,36 @@ def mdc_mean_wait_approx(
     load, which is all the validation tests need.
     """
     return 0.5 * mmc_mean_wait(arrival_rate, service_rate, servers)
+
+
+def expected_attempts(fail_prob: float, max_retries: int) -> float:
+    """Expected invocation attempts per hop under bounded retry.
+
+    With per-attempt failure probability ``p`` and at most ``r``
+    retries, the attempt count is truncated-geometric:
+    ``E[A] = Σ_{k=0}^{r} p^k = (1 − p^{r+1}) / (1 − p)`` — the load
+    amplification the retry policy injects into the cluster, used to
+    sanity-check the resilience experiment's retry counters.
+    """
+    if not 0.0 <= fail_prob <= 1.0:
+        raise ValueError(f"fail_prob must be in [0, 1], got {fail_prob}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+    if fail_prob == 1.0:
+        return float(max_retries + 1)
+    return (1.0 - fail_prob ** (max_retries + 1)) / (1.0 - fail_prob)
+
+
+def markov_availability(fail_prob: float, repair_prob: float) -> float:
+    """Steady-state up-probability of the two-state outage Markov chain.
+
+    The :class:`repro.runtime.failures.OutageSchedule` node process has
+    per-slot fail probability ``λ`` (up → down) and repair probability
+    ``μ`` (down → up); its stationary availability is ``μ / (λ + μ)``.
+    ``OutageSchedule.availability`` converges to this closed form.
+    """
+    if not 0.0 <= fail_prob <= 1.0:
+        raise ValueError(f"fail_prob must be in [0, 1], got {fail_prob}")
+    if not 0.0 < repair_prob <= 1.0:
+        raise ValueError(f"repair_prob must be in (0, 1], got {repair_prob}")
+    return repair_prob / (fail_prob + repair_prob)

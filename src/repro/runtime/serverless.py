@@ -58,6 +58,7 @@ class InstancePool:
         self._last_used: dict[tuple[int, int], float] = {}
         self.cold_starts = 0
         self.warm_hits = 0
+        self.evictions = 0
 
     def update_placement(self, placement: Placement) -> None:
         """Apply a new placement: removed instances are evicted, new ones
@@ -69,6 +70,7 @@ class InstancePool:
         self._provisioned = new
 
     def state(self, service: int, node: int, now: float) -> InstanceState:
+        """Lifecycle state of (service, node) at time ``now`` — ABSENT, COLD, or WARM depending on provisioning and keep-alive."""
         key = (service, node)
         if key not in self._provisioned:
             return InstanceState.ABSENT
@@ -95,8 +97,19 @@ class InstancePool:
         self.warm_hits += 1
         return 0.0
 
+    def evict(self, service: int, node: int) -> None:
+        """Forget an instance's warmth (container crash or forced restart).
+
+        The instance stays provisioned — the placement did not change —
+        but its next invocation pays a fresh cold start.  No-op for
+        pairs that were never warm; counted in :attr:`evictions`.
+        """
+        if self._last_used.pop((service, node), None) is not None:
+            self.evictions += 1
+
     @property
     def n_provisioned(self) -> int:
+        """Number of provisioned (service, node) instances."""
         return len(self._provisioned)
 
     def warm_count(self, now: float) -> int:

@@ -8,6 +8,17 @@ knowledge of future arrivals.  Each slot's requests are then replayed
 through the :class:`repro.runtime.cluster.SimulatedCluster`; the warm
 instance pool carries across slots, so re-provisioning churn shows up as
 cold starts exactly as it would on Kubernetes.
+
+Two optional failure layers compose here: slot-level node outages
+(:mod:`repro.runtime.failures`, the ``outages`` argument) degrade nodes
+out of the solvable state before each provision, while request-level
+faults (:mod:`repro.runtime.resilience`, the ``faults`` argument)
+degrade links and crash instances *within* a slot, after the solver has
+committed.  A :class:`~repro.runtime.resilience.ResiliencePolicy`
+(``resilience`` argument) governs how the replayed cluster absorbs
+those faults — retries, hedged re-routing, timeouts, and admission-time
+shedding.  With both arguments left at ``None`` the simulation is
+bit-identical to the fault-free code path.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from repro.network.topology import EdgeNetwork
 from repro.obs import current_tracer
 from repro.runtime.cluster import SimulatedCluster
 from repro.runtime.metrics import LatencyRecorder
+from repro.runtime.resilience import FaultInjector, ResiliencePolicy, shed_indices
 from repro.runtime.serverless import InstancePool, ServerlessConfig
 from repro.utils.rng import SeedLike, as_generator, spawn
 from repro.utils.timing import Stopwatch
@@ -48,6 +60,11 @@ class SlotRecord:
     solver_runtime: float
     churn: float
     n_down_nodes: int = 0
+    n_retries: int = 0
+    n_hedges: int = 0
+    n_shed: int = 0
+    n_timeouts: int = 0
+    n_failed: int = 0
 
 
 @dataclass
@@ -65,9 +82,27 @@ class OnlineTraceResult:
 
     @property
     def max_delay(self) -> float:
+        """Worst per-request delay observed across the trace."""
         return float(self.recorder.overall()["max"])
 
+    @property
+    def p99_delay(self) -> float:
+        """99th-percentile per-request delay (resilience experiment metric)."""
+        return float(self.recorder.overall()["p99"])
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of submitted requests that completed end to end.
+
+        Requests lost to crashes, timeouts, or shedding count against
+        this; without faults it is 1.0 by construction.
+        """
+        total = sum(r.n_requests for r in self.slots)
+        done = sum(int(s.size) for s in self.recorder.slots)
+        return done / total if total else 1.0
+
     def slot_means(self) -> np.ndarray:
+        """Average delay per slot (Fig. 10's trace series)."""
         return self.recorder.slot_means()
 
 
@@ -107,6 +142,8 @@ class OnlineSimulator:
         n_slots: int,
         volumes: Optional[Sequence[int]] = None,
         outages=None,
+        faults: Optional[FaultInjector] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> OnlineTraceResult:
         """Simulate ``n_slots`` slots with ``solver`` re-provisioning.
 
@@ -116,9 +153,25 @@ class OnlineSimulator:
         :class:`repro.runtime.failures.OutageSchedule`: each slot its
         down nodes are degraded out of the solvable state before the
         solver runs (failure-injection experiments).
+
+        ``faults`` is an optional
+        :class:`repro.runtime.resilience.FaultInjector`: after the
+        solver commits a placement, per-slot link degradations and
+        instance crashes are drawn (slot-addressable, independent of
+        the workload RNG streams) and applied during cluster replay.
+        Solvers exposing ``note_failures`` (e.g.
+        :class:`repro.core.online.OnlineSoCL`) are told which instances
+        crashed so the next slot's warm start can route around them.
+        ``resilience`` is an optional
+        :class:`repro.runtime.resilience.ResiliencePolicy` governing
+        retries, hedging, timeouts, and admission-time shedding; without
+        it, a crashed invocation is a hard failure.  Both default to
+        ``None``, which leaves every placement, routing, and objective
+        bit-identical to the fault-free simulation.
         """
         check_positive("n_slots", n_slots)
         tracer = current_tracer()
+        resilient = faults is not None or resilience is not None
         recorder = LatencyRecorder()
         records: list[SlotRecord] = []
         pool: Optional[InstancePool] = None
@@ -179,22 +232,61 @@ class OnlineSimulator:
                     pool.update_placement(result.placement)
                 cold_before = pool.cold_starts
 
+                slot_faults = None
+                if faults is not None:
+                    slot_faults = faults.for_slot(
+                        slot, result.placement, self.slot_seconds
+                    )
+                    if slot_faults.crashes:
+                        note = getattr(solver, "note_failures", None)
+                        if note is not None:
+                            note(sorted(slot_faults.crashes))
+
                 cluster = SimulatedCluster(
-                    instance, result.placement, result.routing, pool=pool
+                    instance,
+                    result.placement,
+                    result.routing,
+                    pool=pool,
+                    faults=slot_faults,
+                    policy=resilience,
                 )
                 # arrivals spread uniformly across the slot
                 offsets = self._arrival_rng.uniform(
                     0.0, self.slot_seconds, size=instance.n_requests
                 )
+                shed_set: frozenset[int] = frozenset()
+                if resilience is not None and resilience.shedding:
+                    capacity = (
+                        sum(nd.compute * nd.cores for nd in cluster.nodes)
+                        * self.slot_seconds
+                    )
+                    shed_set = frozenset(
+                        int(i)
+                        for i in shed_indices(instance, resilience, capacity)
+                    )
+                    for h in sorted(shed_set):
+                        cluster.shed(h, float(offsets[h]))
                 with tracer.span("replay"):
                     outcomes = cluster.run(
                         arrivals=[
                             (h, float(offsets[h]))
                             for h in range(instance.n_requests)
+                            if h not in shed_set
                         ]
                     )
                 latencies = np.array([o.latency for o in outcomes if o.done])
                 recorder.record_slot(latencies)
+                n_retries = n_hedges = n_shed = n_timeouts = n_failed = 0
+                if resilient:
+                    for o in outcomes:
+                        n_retries += o.retries
+                        n_hedges += o.hedges
+                        if o.status == "shed":
+                            n_shed += 1
+                        elif o.status == "timeout":
+                            n_timeouts += 1
+                        elif o.status == "failed":
+                            n_failed += 1
                 record = SlotRecord(
                     slot=slot,
                     n_requests=instance.n_requests,
@@ -206,6 +298,11 @@ class OnlineSimulator:
                     solver_runtime=sw.elapsed,
                     churn=churn,
                     n_down_nodes=len(down),
+                    n_retries=n_retries,
+                    n_hedges=n_hedges,
+                    n_shed=n_shed,
+                    n_timeouts=n_timeouts,
+                    n_failed=n_failed,
                 )
                 records.append(record)
                 if tracer.enabled:
@@ -225,6 +322,27 @@ class OnlineSimulator:
                     )
                     tracer.inc("runtime.cold_starts", record.cold_starts)
                     tracer.inc("runtime.node_down_slots", int(bool(down)))
+                    if resilient:
+                        slot_span.set_attr(
+                            retries=n_retries,
+                            hedges=n_hedges,
+                            shed=n_shed,
+                            timeouts=n_timeouts,
+                        )
+                        tracer.inc("runtime.retries", n_retries)
+                        tracer.inc("runtime.hedges", n_hedges)
+                        tracer.inc("runtime.shed", n_shed)
+                        tracer.inc("runtime.timeouts", n_timeouts)
+                        tracer.inc("runtime.failed", n_failed)
+                        if slot_faults is not None:
+                            tracer.inc(
+                                "runtime.instance_crashes",
+                                slot_faults.n_crashes,
+                            )
+                            tracer.inc(
+                                "runtime.degraded_links",
+                                slot_faults.n_degraded_links,
+                            )
                 logger.debug(
                     "slot %d: %d requests, mean latency %.3fs, %d cold starts",
                     slot,

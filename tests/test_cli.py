@@ -146,3 +146,59 @@ class TestSweepCommand:
     def test_report_unknown_figure(self, capsys):
         rc = main(["report", "--only", "fig99"])
         assert rc == 2
+
+
+class TestResilienceCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["resilience"])
+        assert args.intensities == [0.0, 0.1, 0.2, 0.4]
+        assert args.retries == 2
+        assert not args.no_policy
+
+    def test_resilience_runs(self, capsys):
+        rc = main(
+            [
+                "resilience",
+                "--servers", "6",
+                "--users", "10",
+                "--slots", "2",
+                "--intensities", "0.0", "0.3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "completion_rate" in out
+        assert "SoCL-Online" in out
+        assert "RP" in out and "JDR" in out
+        # one row per (intensity, algorithm)
+        assert out.count("SoCL-Online") >= 2
+
+    def test_no_policy_flag(self, capsys):
+        rc = main(
+            [
+                "resilience",
+                "--servers", "6",
+                "--users", "10",
+                "--slots", "2",
+                "--intensities", "0.3",
+                "--no-policy",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "policy off" in out
+
+    def test_multi_seed_aggregates(self, capsys):
+        rc = main(
+            [
+                "resilience",
+                "--servers", "6",
+                "--users", "8",
+                "--slots", "2",
+                "--intensities", "0.2",
+                "--seeds", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mean" in out  # aggregated table present

@@ -247,3 +247,85 @@ class TestRetention:
         assert solver._prev_preference
         solver.reset()
         assert solver._prev_preference == {}
+
+
+class TestFailureAvoidance:
+    """OnlineSoCL.note_failures: one-slot memory of crashed instances
+    that the next solve routes around (when a surviving replica exists).
+
+    Replicas arise from warm-instance retention, so the fixture warms a
+    retaining solver for a few slots first.
+    """
+
+    def _warmed(self, components):
+        rng = np.random.default_rng(0)
+        solver = OnlineSoCL(shift_threshold=10.0, retention=True)
+        res = None
+        for _ in range(3):
+            res = solver.solve(make_instance(components, rng=rng))
+        return solver, res, rng
+
+    def _used_multi_host_pair(self, res):
+        """A routed (service, node) pair with >1 surviving host."""
+        inst = res.routing.instance
+        for h, req in enumerate(inst.requests):
+            nodes = res.routing.nodes_for(h)
+            for j, svc in enumerate(req.chain):
+                node = int(nodes[j])
+                if node < inst.n_servers and res.placement.hosts(svc).size > 1:
+                    return int(svc), node
+        raise AssertionError("warmed scenario produced no replicated pair")
+
+    def test_note_failures_reroutes_around_pair(self, components):
+        solver, warmed, rng = self._warmed(components)
+        pair = self._used_multi_host_pair(warmed)
+        solver.note_failures([pair])
+        res = solver.solve(make_instance(components, rng=rng))
+        assert res.extra["rerouted_requests"] >= 1
+        inst = res.routing.instance
+        for h, req in enumerate(inst.requests):
+            nodes = res.routing.nodes_for(h)
+            for j, svc in enumerate(req.chain):
+                assert (int(svc), int(nodes[j])) != pair
+
+    def test_failures_cleared_after_one_slot(self, components):
+        solver, warmed, rng = self._warmed(components)
+        solver.note_failures([self._used_multi_host_pair(warmed)])
+        solver.solve(make_instance(components, rng=rng))
+        res = solver.solve(make_instance(components, rng=rng))
+        assert res.extra["rerouted_requests"] == 0
+
+    def test_single_host_service_never_stranded(self, components):
+        # report every placed pair as failed: avoidance only removes
+        # pairs with a surviving replica, so single-host services keep
+        # their instance and the routing stays feasible
+        from repro.model import check_assignment
+
+        solver, warmed, rng = self._warmed(components)
+        solver.note_failures(warmed.placement.pairs())
+        res = solver.solve(make_instance(components, rng=rng))
+        assert res.feasibility.budget_ok
+        assert check_assignment(res.routing.instance, res.placement, res.routing)
+        # avoidance reroutes; it never mutates the placement itself
+        for svc in range(res.placement.n_services):
+            hosts = res.placement.hosts(svc)
+            for h, req in enumerate(res.routing.instance.requests):
+                nodes = res.routing.nodes_for(h)
+                for j, s in enumerate(req.chain):
+                    if int(s) == svc and int(nodes[j]) < res.placement.n_servers:
+                        assert int(nodes[j]) in hosts
+
+    def test_reset_clears_failure_memory(self, components):
+        solver, warmed, rng = self._warmed(components)
+        solver.note_failures([self._used_multi_host_pair(warmed)])
+        solver.reset()
+        res = solver.solve(make_instance(components, rng=rng))
+        assert res.extra["rerouted_requests"] == 0
+
+    def test_routing_stays_feasible_after_avoidance(self, components):
+        from repro.model import check_assignment
+
+        solver, warmed, rng = self._warmed(components)
+        solver.note_failures([self._used_multi_host_pair(warmed)])
+        res = solver.solve(make_instance(components, rng=rng))
+        assert check_assignment(res.routing.instance, res.placement, res.routing)

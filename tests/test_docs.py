@@ -1,10 +1,13 @@
 """Documentation integrity checks.
 
 Keeps the prose honest: the files exist, the experiment index covers
-every figure, and the module paths named in DESIGN.md / ALGORITHMS.md
-actually import.
+every figure, the module paths named in DESIGN.md / ALGORITHMS.md
+actually import, every ``repro <subcommand> --flag`` shown in a fenced
+shell block parses against the real CLI, and every relative
+markdown link resolves.
 """
 
+import argparse
 import importlib
 import re
 from pathlib import Path
@@ -12,6 +15,43 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "CONTRIBUTING.md",
+    "docs/README.md",
+    "docs/ALGORITHMS.md",
+    "docs/OBSERVABILITY.md",
+    "docs/RUNTIME.md",
+]
+
+
+def _fenced_shell_blocks(text: str) -> list[str]:
+    """Contents of ```bash / ```sh / ```console fenced blocks."""
+    return re.findall(
+        r"```(?:bash|sh|shell|console)\n(.*?)```", text, flags=re.DOTALL
+    )
+
+
+def _repro_invocations(block: str) -> list[tuple[str, list[str]]]:
+    """(subcommand, flags) pairs for every ``python -m repro`` call."""
+    # join backslash line continuations, strip console prompts
+    joined = re.sub(r"\\\n\s*", " ", block)
+    calls = []
+    for line in joined.splitlines():
+        line = line.strip().lstrip("$ ").strip()
+        m = re.search(r"python -m repro\s+(.*)", line)
+        if not m:
+            continue
+        tokens = m.group(1).split()
+        if not tokens or tokens[0].startswith("-"):
+            continue
+        sub = tokens[0]
+        flags = [t for t in tokens[1:] if t.startswith("--")]
+        calls.append((sub, [f.split("=")[0] for f in flags]))
+    return calls
 
 
 @pytest.fixture(scope="module")
@@ -33,8 +73,10 @@ class TestDocFilesExist:
             "EXPERIMENTS.md",
             "CONTRIBUTING.md",
             "LICENSE",
+            "docs/README.md",
             "docs/ALGORITHMS.md",
             "docs/OBSERVABILITY.md",
+            "docs/RUNTIME.md",
         ],
     )
     def test_exists_and_nonempty(self, name):
@@ -82,6 +124,67 @@ class TestExperimentsCoverage:
 
     def test_every_figure_marked_reproducing(self, experiments_text):
         assert experiments_text.count("Shape: reproduces") >= 7
+
+
+class TestCliExamplesParse:
+    """Every ``python -m repro`` call shown in a fenced shell block uses
+    a subcommand and flags that exist in the real argument parser."""
+
+    @pytest.fixture(scope="class")
+    def subparsers(self) -> dict:
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                return dict(action.choices)
+        raise AssertionError("CLI parser has no subcommands")
+
+    @pytest.fixture(scope="class")
+    def documented_calls(self) -> list[tuple[str, str, list[str]]]:
+        calls = []
+        for name in DOC_FILES:
+            text = (ROOT / name).read_text(encoding="utf-8")
+            for block in _fenced_shell_blocks(text):
+                for sub, flags in _repro_invocations(block):
+                    calls.append((name, sub, flags))
+        return calls
+
+    def test_docs_show_cli_examples(self, documented_calls):
+        assert len(documented_calls) >= 5
+
+    def test_subcommands_exist(self, documented_calls, subparsers):
+        for doc, sub, _ in documented_calls:
+            assert sub in subparsers, f"{doc}: unknown subcommand {sub!r}"
+
+    def test_flags_exist(self, documented_calls, subparsers):
+        for doc, sub, flags in documented_calls:
+            known = subparsers[sub]._option_string_actions
+            for flag in flags:
+                assert flag in known, (
+                    f"{doc}: `repro {sub}` has no flag {flag!r}"
+                )
+
+    def test_resilience_documented(self, documented_calls):
+        assert any(sub == "resilience" for _, sub, _ in documented_calls)
+
+
+class TestDocLinksResolve:
+    """Relative markdown links point at files that exist."""
+
+    LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+    @pytest.mark.parametrize("name", DOC_FILES)
+    def test_relative_links(self, name):
+        doc = ROOT / name
+        broken = []
+        for target in self.LINK.findall(doc.read_text(encoding="utf-8")):
+            if re.match(r"[a-z]+://|mailto:", target) or target.startswith("#"):
+                continue
+            path = target.split("#")[0]
+            if path and not (doc.parent / path).exists():
+                broken.append(target)
+        assert not broken, f"{name}: broken relative links {broken}"
 
 
 class TestBenchCoverage:

@@ -113,3 +113,81 @@ class TestGreedyRouting:
         p = Placement.full(medium_instance)
         r = greedy_routing(medium_instance, p)
         assert check_assignment(medium_instance, p, r)
+
+
+class TestPartialReroute:
+    def test_full_rows_equals_optimal(self, tiny_instance):
+        from repro.model.routing import partial_reroute
+
+        placement = Placement.full(tiny_instance)
+        base = optimal_routing(tiny_instance, placement)
+        stale = np.zeros_like(base.assignment) - 1
+        rows = np.arange(tiny_instance.n_requests)
+        rerouted = partial_reroute(tiny_instance, placement, rows, stale)
+        assert np.array_equal(rerouted.assignment, base.assignment)
+
+    def test_untouched_rows_copied_through(self, tiny_instance):
+        from repro.model.routing import partial_reroute
+
+        placement = Placement.full(tiny_instance)
+        base = optimal_routing(tiny_instance, placement)
+        sentinel = base.assignment.copy()
+        # force row 1 through the cloud: suboptimal, must survive verbatim
+        sentinel[1, : tiny_instance.requests[1].length] = tiny_instance.cloud
+        rerouted = partial_reroute(
+            tiny_instance, placement, np.array([0, 2]), sentinel
+        )
+        assert np.array_equal(rerouted.assignment[1], sentinel[1])
+        assert np.array_equal(rerouted.assignment[0], base.assignment[0])
+        assert np.array_equal(rerouted.assignment[2], base.assignment[2])
+
+    def test_empty_rows_is_identity(self, tiny_instance):
+        from repro.model.routing import partial_reroute
+
+        placement = Placement.full(tiny_instance)
+        base = optimal_routing(tiny_instance, placement)
+        out = partial_reroute(
+            tiny_instance, placement, np.empty(0, dtype=np.int64), base.assignment
+        )
+        assert np.array_equal(out.assignment, base.assignment)
+
+    def test_reroute_avoids_shrunk_placement(self, tiny_instance):
+        from repro.model.routing import partial_reroute
+
+        full = Placement.full(tiny_instance)
+        base = optimal_routing(tiny_instance, full)
+        # remove request 0's first-hop host from the placement and
+        # re-route only that request: the new route avoids the pair
+        req = tiny_instance.requests[0]
+        dead = (int(req.chain[0]), int(base.nodes_for(0)[0]))
+        shrunk = full.copy()
+        shrunk.remove(*dead)
+        out = partial_reroute(
+            tiny_instance, shrunk, np.array([0]), base.assignment
+        )
+        assert int(out.nodes_for(0)[0]) != dead[1]
+
+    def test_does_not_mutate_input_assignment(self, tiny_instance):
+        from repro.model.routing import partial_reroute
+
+        placement = Placement.full(tiny_instance)
+        base = optimal_routing(tiny_instance, placement)
+        snapshot = base.assignment.copy()
+        stale = base.assignment.copy()
+        stale[0] = -1
+        partial_reroute(tiny_instance, placement, np.array([0]), stale)
+        assert np.array_equal(base.assignment, snapshot)
+        assert (stale[0] == -1).all()
+
+    @pytest.mark.parametrize("model", ["chain", "star"])
+    def test_both_latency_models(self, tiny_instance, model):
+        from repro.model.routing import partial_reroute
+
+        placement = Placement.full(tiny_instance)
+        base = optimal_routing(tiny_instance, placement, model=model)
+        rows = np.arange(tiny_instance.n_requests)
+        stale = np.zeros_like(base.assignment) - 1
+        out = partial_reroute(
+            tiny_instance, placement, rows, stale, model=model
+        )
+        assert np.array_equal(out.assignment, base.assignment)

@@ -115,3 +115,65 @@ class TestDesMatchesTheory:
         w_low = _simulate_node_wait(0.3, 1.0, cores=1, n_jobs=10_000)
         w_high = _simulate_node_wait(0.8, 1.0, cores=1, n_jobs=10_000)
         assert w_high > w_low
+
+
+class TestResilienceFormulas:
+    """Closed forms backing the resilience layer's sanity checks."""
+
+    def test_expected_attempts_no_failures(self):
+        from repro.runtime.queueing import expected_attempts
+
+        assert expected_attempts(0.0, 5) == 1.0
+
+    def test_expected_attempts_truncated_geometric(self):
+        from repro.runtime.queueing import expected_attempts
+
+        # p=0.5, r=2 → 1 + 0.5 + 0.25 = 1.75
+        assert expected_attempts(0.5, 2) == pytest.approx(1.75)
+        # r=0 → always exactly one attempt
+        assert expected_attempts(0.9, 0) == 1.0
+
+    def test_expected_attempts_monotone_in_retries(self):
+        from repro.runtime.queueing import expected_attempts
+
+        vals = [expected_attempts(0.3, r) for r in range(5)]
+        assert vals == sorted(vals)
+        # unbounded limit is 1/(1−p)
+        assert expected_attempts(0.3, 200) == pytest.approx(1.0 / 0.7)
+
+    def test_expected_attempts_validation(self):
+        from repro.runtime.queueing import expected_attempts
+
+        with pytest.raises(ValueError):
+            expected_attempts(1.5, 2)
+        with pytest.raises(ValueError):
+            expected_attempts(0.5, -1)
+
+    def test_markov_availability_closed_form(self):
+        from repro.runtime.queueing import markov_availability
+
+        assert markov_availability(0.0, 1.0) == 1.0
+        assert markov_availability(0.1, 0.3) == pytest.approx(0.75)
+
+    def test_markov_availability_matches_outage_schedule(self):
+        from repro.runtime.failures import OutageSchedule
+        from repro.runtime.queueing import markov_availability
+
+        sched = OutageSchedule(
+            n_nodes=50, fail_prob=0.1, repair_prob=0.3, seed=0
+        )
+        up = 0
+        slots = 3000
+        for _ in range(slots):
+            sched.step()
+            up += 50 - len(sched.down_nodes)
+        measured = up / (50 * slots)
+        assert measured == pytest.approx(markov_availability(0.1, 0.3), rel=0.05)
+
+    def test_markov_availability_validation(self):
+        from repro.runtime.queueing import markov_availability
+
+        with pytest.raises(ValueError):
+            markov_availability(0.5, 0.0)
+        with pytest.raises(ValueError):
+            markov_availability(-0.1, 0.5)
