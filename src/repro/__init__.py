@@ -53,7 +53,7 @@ from repro.model import (
     optimal_routing,
 )
 from repro.network import EdgeNetwork, EdgeServer, Link, stadium_topology
-from repro.workload import UserRequest, WorkloadSpec, generate_requests
+from repro.workload import RequestBatch, UserRequest, WorkloadSpec, generate_requests
 
 __version__ = "1.0.0"
 
@@ -90,5 +90,6 @@ __all__ = [
     "UserRequest",
     "WorkloadSpec",
     "generate_requests",
+    "RequestBatch",
     "__version__",
 ]

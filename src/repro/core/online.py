@@ -247,27 +247,44 @@ class OnlineSoCL:
 
     def _sticky_routing(self, instance: ProblemInstance, placement: Placement):
         """Prefer last slot's node per (service, home); fall back to the
-        highest-channel-speed host for new or invalidated pairs."""
+        highest-channel-speed host for new or invalidated pairs.
+
+        The preference dict is scattered into a dense ``(S, N)`` table
+        once per solve and every chain position is resolved with array
+        lookups, so the per-request cost is NumPy indexing rather than
+        dict probes and ``placement.hosts`` calls per position.
+        """
         inv = instance.inv_rate
         comp = instance.compute_ext
-        H, L = instance.n_requests, instance.max_chain
-        a = np.full((H, L), -1, dtype=np.int64)
-        host_cache: dict[int, np.ndarray] = {}
-        for h, req in enumerate(instance.requests):
-            for j, svc in enumerate(req.chain):
-                prev = self._prev_preference.get((svc, req.home))
-                if prev is not None and placement.has(svc, prev):
-                    a[h, j] = prev
-                    continue
-                hosts = host_cache.get(svc)
-                if hosts is None:
-                    hosts = placement.hosts(svc)
-                    host_cache[svc] = hosts
-                if hosts.size == 0:
-                    a[h, j] = instance.cloud
-                else:
-                    key = inv[req.home, hosts] - 1e-12 * comp[hosts]
-                    a[h, j] = hosts[int(np.argmin(key))]
+        S, N = instance.n_services, instance.n_servers
+        cloud = instance.cloud
+        cm = instance.chain_matrix
+        valid = cm >= 0
+        svc = np.where(valid, cm, 0)
+        homes = instance.homes[:, None]
+
+        pref = np.full((S, N), -1, dtype=np.int64)
+        for (s, home), node in self._prev_preference.items():
+            if 0 <= s < S and 0 <= home < N and 0 <= node < N:
+                pref[s, home] = node
+        mat = placement.matrix
+        prev = pref[svc, homes]
+        prev_ok = (prev >= 0) & mat[svc, np.where(prev >= 0, prev, 0)]
+
+        # Fallback host per (service, home): ``hosts`` from a placement
+        # are ascending and ``np.argmin`` keeps the first minimum, so a
+        # masked argmin over all nodes selects the same host as
+        # ``hosts[argmin(inv[home, hosts] - 1e-12 * comp[hosts])]``.
+        key = inv[:N, :N] - 1e-12 * comp[None, :N]
+        masked = np.where(mat[:, None, :], key[None, :, :], np.inf)
+        best = masked.argmin(axis=2)
+        any_host = mat.any(axis=1)
+
+        fallback = np.where(
+            any_host[svc], best[svc, homes], np.int64(cloud)
+        )
+        a = np.where(prev_ok, prev, fallback)
+        a[~valid] = -1
         from repro.model.placement import Routing
 
         return Routing(instance, a)
@@ -316,32 +333,46 @@ class OnlineSoCL:
                 safe = placement.copy()
                 for svc, node in sorted(avoid):
                     safe.remove(svc, node)
-                rows = [
-                    h
-                    for h, req in enumerate(instance.requests)
-                    if any(
-                        (int(svc), int(routing.assignment[h, j])) in avoid
-                        for j, svc in enumerate(req.chain)
-                    )
+                cm = instance.chain_matrix
+                valid = cm >= 0
+                av = np.zeros(
+                    (instance.n_services, instance.cloud + 1), dtype=bool
+                )
+                for svc, node in avoid:
+                    av[svc, node] = True
+                hit = valid & av[
+                    np.where(valid, cm, 0),
+                    np.where(valid, routing.assignment, 0),
                 ]
-                if rows:
+                rows = np.nonzero(hit.any(axis=1))[0]
+                if rows.size:
                     routing = partial_reroute(
                         instance,
                         safe,
-                        np.asarray(rows, dtype=np.int64),
+                        rows.astype(np.int64),
                         routing.assignment,
                     )
-                    rerouted = len(rows)
+                    rerouted = int(rows.size)
             self._recent_failures.clear()
 
-        # remember this slot's (service, home) → node choices
-        prefs: dict[tuple[int, int], int] = {}
-        for h, req in enumerate(instance.requests):
-            nodes = routing.nodes_for(h)
-            for j, svc in enumerate(req.chain):
-                if nodes[j] < instance.cloud:
-                    prefs[(svc, req.home)] = int(nodes[j])
-        self._prev_preference = prefs
+        # remember this slot's (service, home) → node choices; fancy
+        # assignment over row-major flattened positions keeps the
+        # loop's last-write-wins semantics per (service, home) pair
+        cm = instance.chain_matrix
+        assigned = routing.assignment
+        keep = (cm >= 0) & (assigned >= 0) & (assigned < instance.cloud)
+        table = np.full(
+            (instance.n_services, instance.n_servers), -1, dtype=np.int64
+        )
+        table[
+            cm[keep],
+            np.broadcast_to(instance.homes[:, None], cm.shape)[keep],
+        ] = assigned[keep]
+        s_idx, home_idx = np.nonzero(table >= 0)
+        self._prev_preference = {
+            (int(s), int(hm)): int(table[s, hm])
+            for s, hm in zip(s_idx, home_idx)
+        }
 
         # redeployment accounting: instances present now but not before
         if self._prev_placement is not None and self._prev_shape == (

@@ -316,7 +316,16 @@ def _fig9_cell(task: tuple) -> dict:
     the seed (all deterministic), so only the solver object and scalars
     cross the pickle boundary.
     """
-    solver, n_users, n_servers, n_slots, budget, seed, data_scale = task
+    (
+        solver,
+        n_users,
+        n_servers,
+        n_slots,
+        budget,
+        seed,
+        data_scale,
+        fast_replay,
+    ) = task
     network = stadium_topology(n_servers, seed=seed)
     app = eshop_application()
     sim = OnlineSimulator(
@@ -325,6 +334,7 @@ def _fig9_cell(task: tuple) -> dict:
         ProblemConfig(weight=0.5, budget=budget),
         WorkloadSpec(n_users=n_users, data_scale=data_scale),
         seed=seed,
+        fast_replay=fast_replay,
     )
     res = sim.run(solver, n_slots=n_slots)
     lats = res.recorder.all_latencies()
@@ -347,6 +357,7 @@ def fig9_cluster(
     seed: int = 0,
     data_scale: float = 5.0,
     n_jobs: int = 1,
+    fast_replay: bool = True,
 ) -> list[dict]:
     """RP / JDR / SoCL on the simulated cluster: cost, latency, objective.
 
@@ -358,7 +369,7 @@ def fig9_cluster(
     with serial row order.
     """
     tasks = [
-        (solver, n_users, n_servers, n_slots, budget, seed, data_scale)
+        (solver, n_users, n_servers, n_slots, budget, seed, data_scale, fast_replay)
         for n_users in user_counts
         for solver in (
             RandomProvisioning(seed=seed),
@@ -391,6 +402,7 @@ def _resilience_cell(task: tuple) -> dict:
         seed,
         data_scale,
         policy,
+        fast_replay,
     ) = task
     network = stadium_topology(n_servers, seed=seed)
     app = eshop_application()
@@ -400,6 +412,7 @@ def _resilience_cell(task: tuple) -> dict:
         ProblemConfig(weight=0.5, budget=budget),
         WorkloadSpec(n_users=n_users, data_scale=data_scale),
         seed=seed,
+        fast_replay=fast_replay,
     )
     faults = FaultInjector(FaultConfig.at_intensity(intensity), seed=seed)
     res = sim.run(solver, n_slots=n_slots, faults=faults, resilience=policy)
@@ -428,6 +441,7 @@ def resilience_sweep(
     data_scale: float = 5.0,
     policy: Optional[ResiliencePolicy] = ResiliencePolicy(),
     n_jobs: int = 1,
+    fast_replay: bool = True,
 ) -> list[dict]:
     """Completion rate and p99 latency vs fault intensity, per algorithm.
 
@@ -451,6 +465,7 @@ def resilience_sweep(
             int(seed),
             data_scale,
             policy,
+            fast_replay,
         )
         for intensity in intensities
         for seed in seeds
@@ -473,6 +488,7 @@ def fig10_trace(
     budget: float = 6000.0,
     seed: int = 0,
     data_scale: float = 5.0,
+    fast_replay: bool = True,
 ) -> dict:
     """Average delay trace for RP / JDR / SoCL with mobile users.
 
@@ -490,6 +506,7 @@ def fig10_trace(
             ProblemConfig(weight=0.5, budget=budget),
             WorkloadSpec(n_users=n_users, data_scale=data_scale),
             seed=seed,
+            fast_replay=fast_replay,
         )
         res = sim.run(solver, n_slots=n_slots)
         series[res.solver_name] = {

@@ -13,9 +13,10 @@ offers the full 20-project registry (synthesized per DESIGN.md §2).
 
 from repro.microservices.application import Microservice, Application
 from repro.microservices.chains import (
+    chain_catalog,
+    chain_statistics,
     enumerate_chains,
     sample_chain,
-    chain_statistics,
 )
 from repro.microservices.eshop import eshop_application, ESHOP_SERVICES
 from repro.microservices.dataset import (
@@ -31,6 +32,7 @@ __all__ = [
     "enumerate_chains",
     "sample_chain",
     "chain_statistics",
+    "chain_catalog",
     "eshop_application",
     "ESHOP_SERVICES",
     "CuratedProject",

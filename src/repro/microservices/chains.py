@@ -89,6 +89,68 @@ def sample_chain(
     return tuple(path)
 
 
+def chain_catalog(
+    app: Application,
+    length_bias: float = 0.7,
+    min_length: int = 1,
+    max_length: Optional[int] = None,
+) -> tuple[list[tuple[int, ...]], np.ndarray]:
+    """Exact chain distribution of :func:`sample_chain`.
+
+    Walks the decision tree of the biased random walk once, accumulating
+    the probability of every reachable chain: entrypoints are uniform,
+    each continuation happens with probability ``length_bias`` (forced
+    below ``min_length``, impossible at ``max_length`` or at a dead
+    end) and picks a uniformly random unvisited successor.  Returns the
+    chains in sorted order with their probabilities (normalized), so
+    batched generators can draw whole workloads with a single
+    ``Generator.choice`` call instead of one walk per user.
+    """
+    if not (0.0 <= length_bias <= 1.0):
+        raise ValueError(f"length_bias must be in [0, 1], got {length_bias}")
+    if min_length < 1:
+        raise ValueError(f"min_length must be >= 1, got {min_length}")
+    limit = max_length if max_length is not None else app.n_services
+    if limit < min_length:
+        raise ValueError(
+            f"max_length {limit} smaller than min_length {min_length}"
+        )
+    probs: dict[tuple[int, ...], float] = {}
+
+    def walk(path: list[int], p: float) -> None:
+        key = tuple(path)
+        if len(path) >= limit:
+            probs[key] = probs.get(key, 0.0) + p
+            return
+        succs = [s for s in app.successors(path[-1]) if s not in path]
+        if not succs:
+            probs[key] = probs.get(key, 0.0) + p
+            return
+        if len(path) >= min_length:
+            stop = p * (1.0 - length_bias)
+            if stop > 0.0:
+                probs[key] = probs.get(key, 0.0) + stop
+            p = p * length_bias
+            if p == 0.0:
+                return
+        each = p / len(succs)
+        for s in succs:
+            path.append(int(s))
+            walk(path, each)
+            path.pop()
+
+    entries = [int(e) for e in app.entrypoints]
+    if not entries:
+        raise ValueError("application has no entrypoints to sample chains from")
+    p0 = 1.0 / len(entries)
+    for e in entries:
+        walk([e], p0)
+    chains = sorted(probs)
+    weights = np.array([probs[c] for c in chains], dtype=np.float64)
+    weights /= weights.sum()
+    return chains, weights
+
+
 def chain_statistics(chains: Sequence[tuple[int, ...]]) -> dict[str, float]:
     """Summary statistics used by tests and the dataset registry."""
     if not chains:

@@ -31,6 +31,7 @@ from repro.microservices.application import Application
 from repro.network.topology import EdgeNetwork
 from repro.utils.validation import check_positive, check_probability
 from repro.workload.requests import (
+    RequestBatch,
     UserRequest,
     data_demand_matrix,
     demand_matrix,
@@ -99,11 +100,20 @@ class ProblemInstance:
         config: ProblemConfig = ProblemConfig(),
         deadlines: Optional[Sequence[float]] = None,
     ):
-        if not requests:
+        if not len(requests):
             raise ValueError("instance must contain at least one request")
         self.network = network
         self.app = app
-        self.requests: tuple[UserRequest, ...] = tuple(requests)
+        #: The workload: either a columnar
+        #: :class:`~repro.workload.requests.RequestBatch` (kept as-is for
+        #: vectorized precomputation) or a tuple of
+        #: :class:`UserRequest` objects.  Both are immutable sequences of
+        #: per-request views, so consumers index/iterate identically.
+        self.requests: Union[tuple[UserRequest, ...], RequestBatch]
+        if isinstance(requests, RequestBatch):
+            self.requests = requests
+        else:
+            self.requests = tuple(requests)
         self.config = config
         if deadlines is not None:
             arr = np.asarray(deadlines, dtype=np.float64)
@@ -120,16 +130,47 @@ class ProblemInstance:
             self._deadlines = None
 
         n = network.n
-        for req in self.requests:
-            if not (0 <= req.home < n):
-                raise IndexError(
-                    f"request {req.index} home {req.home} outside network of size {n}"
-                )
-            for svc in req.chain:
-                if not (0 <= svc < app.n_services):
+        if isinstance(self.requests, RequestBatch):
+            self._validate_batch(self.requests, n, app.n_services)
+        else:
+            for req in self.requests:
+                if not (0 <= req.home < n):
                     raise IndexError(
-                        f"request {req.index} references unknown service {svc}"
+                        f"request {req.index} home {req.home} outside network of size {n}"
                     )
+                for svc in req.chain:
+                    if not (0 <= svc < app.n_services):
+                        raise IndexError(
+                            f"request {req.index} references unknown service {svc}"
+                        )
+
+    @staticmethod
+    def _validate_batch(batch: RequestBatch, n: int, n_services: int) -> None:
+        """Vectorized home/service range checks; errors match the loop."""
+        bad_home = (batch.homes < 0) | (batch.homes >= n)
+        bad_svc = (batch.chains < 0) | (batch.chains >= n_services)
+        if not (bad_home.any() or bad_svc.any()):
+            return
+        first_home = (
+            int(np.argmax(bad_home)) if bad_home.any() else len(batch)
+        )
+        if bad_svc.any():
+            flat = int(np.argmax(bad_svc))
+            svc_req = int(
+                np.searchsorted(batch.chain_offsets, flat, side="right") - 1
+            )
+        else:
+            flat = -1
+            svc_req = len(batch)
+        if first_home <= svc_req:
+            raise IndexError(
+                f"request {int(batch.index[first_home])} home "
+                f"{int(batch.homes[first_home])} outside network of size {n}"
+            )
+        raise IndexError(
+            f"request {int(batch.index[svc_req])} references unknown "
+            f"service {int(batch.chains[flat])}"
+        )
 
     # ------------------------------------------------------------------
     # sizes
@@ -201,10 +242,14 @@ class ProblemInstance:
     @cached_property
     def homes(self) -> np.ndarray:
         """``f(u_h)`` home-server vector, shape ``(H,)``."""
+        if isinstance(self.requests, RequestBatch):
+            return self.requests.homes.copy()
         return np.array([r.home for r in self.requests], dtype=np.int64)
 
     @cached_property
     def chain_lengths(self) -> np.ndarray:
+        if isinstance(self.requests, RequestBatch):
+            return self.requests.lengths.copy()
         return np.array([r.length for r in self.requests], dtype=np.int64)
 
     @cached_property
@@ -214,6 +259,10 @@ class ProblemInstance:
     @cached_property
     def chain_matrix(self) -> np.ndarray:
         """``(H, Lmax)`` padded service-index matrix; −1 = past chain end."""
+        if isinstance(self.requests, RequestBatch):
+            mat = self.requests.padded_chain_matrix()
+            mat.flags.writeable = False
+            return mat
         H, L = self.n_requests, self.max_chain
         mat = np.full((H, L), -1, dtype=np.int64)
         for h, req in enumerate(self.requests):
@@ -231,6 +280,10 @@ class ProblemInstance:
     @cached_property
     def edge_data_matrix(self) -> np.ndarray:
         """``(H, Lmax−1)`` per-edge data flows (0 past chain end)."""
+        if isinstance(self.requests, RequestBatch):
+            mat = self.requests.padded_edge_matrix()
+            mat.flags.writeable = False
+            return mat
         H, L = self.n_requests, self.max_chain
         mat = np.zeros((H, max(L - 1, 1)), dtype=np.float64)
         for h, req in enumerate(self.requests):
@@ -241,16 +294,30 @@ class ProblemInstance:
 
     @cached_property
     def data_in(self) -> np.ndarray:
+        if isinstance(self.requests, RequestBatch):
+            return self.requests.data_in.copy()
         return np.array([r.data_in for r in self.requests], dtype=np.float64)
 
     @cached_property
     def data_out(self) -> np.ndarray:
+        if isinstance(self.requests, RequestBatch):
+            return self.requests.data_out.copy()
         return np.array([r.data_out for r in self.requests], dtype=np.float64)
 
     @cached_property
     def inflow_matrix(self) -> np.ndarray:
         """``(H, Lmax)`` data entering each chain position (star model's r)."""
         H, L = self.n_requests, self.max_chain
+        if isinstance(self.requests, RequestBatch):
+            batch = self.requests
+            mat = np.zeros((H, L), dtype=np.float64)
+            rows = np.repeat(np.arange(H), batch.lengths)
+            cols = np.arange(batch.chains.size) - np.repeat(
+                batch.chain_offsets[:-1], batch.lengths
+            )
+            mat[rows, cols] = batch.inflow_flat()
+            mat.flags.writeable = False
+            return mat
         mat = np.zeros((H, L), dtype=np.float64)
         for h, req in enumerate(self.requests):
             mat[h, 0] = req.data_in

@@ -10,7 +10,11 @@ link rates along the path, ``B(l'_{k,q}) = 1 / Σ 1/b(l)`` (paper §IV.A).
 """
 
 from repro.network.topology import EdgeServer, Link, EdgeNetwork
-from repro.network.paths import PathTable, communication_intensity
+from repro.network.paths import (
+    PathTable,
+    communication_intensity,
+    invert_inverse_rates,
+)
 from repro.network.analysis import (
     TopologySummary,
     topology_summary,
@@ -34,6 +38,7 @@ __all__ = [
     "EdgeNetwork",
     "PathTable",
     "communication_intensity",
+    "invert_inverse_rates",
     "TopologySummary",
     "topology_summary",
     "link_utilization",

@@ -121,10 +121,7 @@ class PathTable:
         it.  The cached array is marked read-only so shared access stays
         as safe as the rebuilt-per-call version was.
         """
-        with np.errstate(divide="ignore"):
-            vr = 1.0 / self.inv_rate
-        vr[~np.isfinite(self.inv_rate)] = 0.0
-        return _readonly(vr)
+        return _readonly(invert_inverse_rates(self.inv_rate))
 
     def path(self, src: int, dst: int) -> list[int]:
         """Reconstruct the chosen route ``π*(src, dst)`` as a node list.
@@ -152,9 +149,27 @@ class PathTable:
 
     def transfer_time(self, src: int, dst: int, data: float) -> float:
         """Seconds to move ``data`` GB from ``src`` to ``dst``."""
+        check_index("src", src, self.n)
+        check_index("dst", dst, self.n)
         if data < 0:
             raise ValueError(f"data must be non-negative, got {data}")
         return float(data * self.inv_rate[src, dst])
+
+
+def invert_inverse_rates(inv_rate: np.ndarray) -> np.ndarray:
+    """Elementwise channel speed ``B(l') = 1 / inv_rate``.
+
+    Shared inversion kernel of :attr:`PathTable.virtual_rate_matrix`
+    and :func:`communication_intensity`: zero inverse rates (local
+    transfers) invert to ``inf``, non-finite inverse rates (unreachable
+    pairs) map to ``0``.  Callers wanting the local-as-zero convention
+    additionally zero the remaining infinities.
+    """
+    inv_rate = np.asarray(inv_rate, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        vr = 1.0 / inv_rate
+    vr[~np.isfinite(inv_rate)] = 0.0
+    return vr
 
 
 def communication_intensity(inv_rate: np.ndarray) -> np.ndarray:
@@ -164,10 +179,8 @@ def communication_intensity(inv_rate: np.ndarray) -> np.ndarray:
     with *lower* intensity are checked first since they are more likely
     to satisfy ``Δ^η < 0``.  Unreachable pairs contribute zero.
     """
-    inv_rate = np.asarray(inv_rate, dtype=np.float64)
-    with np.errstate(divide="ignore"):
-        vr = 1.0 / inv_rate
-    vr[~np.isfinite(vr)] = 0.0  # diagonal (inv=0) and unreachable (inv=inf)
+    vr = invert_inverse_rates(inv_rate)
+    vr[~np.isfinite(vr)] = 0.0  # local pairs (inv=0) contribute zero
     np.fill_diagonal(vr, 0.0)
     return vr.sum(axis=1)
 

@@ -9,6 +9,8 @@ a discrete-event simulation:
 * :mod:`repro.runtime.serverless` — cold/warm instance lifecycle with
   keep-alive expiry (the "warm instances in the nearby area" the paper's
   storage planning enables);
+* :mod:`repro.runtime.replay` — vectorized fault-free slot replay,
+  bit-identical to the event loop (the online trace hot path);
 * :mod:`repro.runtime.cluster` — edge nodes with FIFO compute queues,
   network transfers over the substrate topology, a master that dispatches
   requests along their routed chains and records latency;
@@ -29,6 +31,7 @@ The full runtime model is documented in ``docs/RUNTIME.md``.
 from repro.runtime.events import EventQueue, Event
 from repro.runtime.serverless import InstancePool, InstanceState, ServerlessConfig
 from repro.runtime.cluster import SimulatedCluster, RequestOutcome
+from repro.runtime.replay import ReplayResult, replay_slot
 from repro.runtime.simulator import OnlineSimulator, SlotRecord, OnlineTraceResult
 from repro.runtime.metrics import LatencyRecorder, summarize_latencies
 from repro.runtime.failures import DegradationPolicy, OutageSchedule, degrade_instance
@@ -48,6 +51,8 @@ __all__ = [
     "ServerlessConfig",
     "SimulatedCluster",
     "RequestOutcome",
+    "ReplayResult",
+    "replay_slot",
     "OnlineSimulator",
     "SlotRecord",
     "OnlineTraceResult",

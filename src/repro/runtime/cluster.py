@@ -38,6 +38,7 @@ from repro.model.engine import BatchRouter
 from repro.model.instance import ProblemInstance
 from repro.model.placement import Placement, Routing
 from repro.runtime.events import Event, EventQueue
+from repro.runtime.replay import ReplayResult, replay_slot
 from repro.runtime.resilience import ResiliencePolicy, SlotFaults
 from repro.runtime.serverless import InstancePool, ServerlessConfig
 from repro.utils.validation import check_positive
@@ -110,6 +111,7 @@ class SimulatedCluster:
         pool: Optional[InstancePool] = None,
         faults: Optional[SlotFaults] = None,
         policy: Optional[ResiliencePolicy] = None,
+        fast_replay: bool = True,
     ):
         check_positive("cores_per_node", cores_per_node)
         self.instance = instance
@@ -117,6 +119,11 @@ class SimulatedCluster:
         self.routing = routing
         self.faults = faults
         self.policy = policy
+        #: Allow the vectorized fault-free fast path (see
+        #: :mod:`repro.runtime.replay`).  Cleared automatically after a
+        #: declined replay so the event loop is not re-attempted against
+        #: the same slot.
+        self.fast_replay = fast_replay
         self.queue = EventQueue()
         self.nodes = [
             _Node(k, float(c), cores_per_node)
@@ -323,15 +330,137 @@ class SimulatedCluster:
             self.queue.cancel(evt)
 
     # ------------------------------------------------------------------
+    def _replay_eligible(self) -> bool:
+        """Whether the vectorized fault-free fast path may run."""
+        return (
+            self.fast_replay
+            and self.faults is None
+            and self.policy is None
+            and not self.outcomes
+            and self.queue.processed == 0
+            and self.queue.pending == 0
+        )
+
+    def replay(
+        self,
+        at: Sequence[float],
+        requests: Optional[Sequence[int]] = None,
+    ) -> Optional[ReplayResult]:
+        """Replay arrivals in batch through the vectorized fast path.
+
+        ``at`` gives arrival times; ``requests`` the matching request
+        indices (defaults to ``0..len(at)-1``, i.e. one arrival per
+        instance request in order).  Returns a columnar
+        :class:`~repro.runtime.replay.ReplayResult` whose values are
+        bit-identical to the event loop's outcomes, or ``None`` when the
+        fast path declines — a fault injector or resilience policy is
+        active, the cluster already ran, or the slot needs event-driven
+        tie-breaking — in which case no state was touched and
+        :meth:`run` must be used.  A declined replay clears
+        :attr:`fast_replay` so subsequent :meth:`run` calls go straight
+        to the event loop.  Inputs are validated up front with the same
+        errors as :meth:`submit`.
+        """
+        if not self._replay_eligible():
+            return None
+        at_arr = np.asarray(at, dtype=np.float64)
+        if requests is None:
+            req_arr = np.arange(at_arr.size, dtype=np.int64)
+        else:
+            req_arr = np.asarray(requests, dtype=np.int64)
+        if req_arr.shape != at_arr.shape or at_arr.ndim != 1:
+            raise ValueError(
+                f"requests/at must be equal-length 1-D, got shapes "
+                f"{req_arr.shape} and {at_arr.shape}"
+            )
+        n = self.instance.n_requests
+        bad = (req_arr < 0) | (req_arr >= n)
+        if bad.any():
+            h = int(req_arr[int(np.argmax(bad))])
+            raise IndexError(f"request {h} outside instance of size {n}")
+        neg = at_arr < 0
+        if neg.any():
+            raise ValueError(
+                "arrival time must be non-negative, got "
+                f"{at_arr[int(np.argmax(neg))]}"
+            )
+        result = replay_slot(
+            self.instance,
+            self.placement,
+            self.routing,
+            self.pool,
+            self.nodes,
+            req_arr,
+            at_arr,
+        )
+        if result is None:
+            self.fast_replay = False
+        return result
+
+    def _materialize(self, result: ReplayResult) -> None:
+        """Expand a columnar replay result into ``RequestOutcome`` objects."""
+        req = result.request.tolist()
+        start = result.start.tolist()
+        finish = result.finish
+        queueing = result.queueing
+        cold = result.cold_start
+        append = self.outcomes.append
+        for i in range(len(req)):
+            append(
+                RequestOutcome(
+                    request=req[i],
+                    start=start[i],
+                    finish=finish[i],
+                    queueing=queueing[i],
+                    cold_start=cold[i],
+                )
+            )
+
     def run(
         self,
         arrivals: Optional[Sequence[tuple[int, float]]] = None,
         until: Optional[float] = None,
     ) -> list[RequestOutcome]:
         """Dispatch ``arrivals`` ((request, time) pairs; defaults to all
-        requests at t=0) and run to completion."""
+        requests at t=0) and run to completion.
+
+        Fault-free runs take the vectorized fast path of
+        :mod:`repro.runtime.replay` when possible (bit-identical
+        outcomes, no event heap); everything else — faults, resilience
+        policies, ``until`` horizons, incremental use — replays through
+        the discrete-event loop.
+        """
         if arrivals is None:
             arrivals = [(h, 0.0) for h in range(self.instance.n_requests)]
+        else:
+            arrivals = list(arrivals)
+        if until is None and arrivals and self._replay_eligible():
+            try:
+                arr = np.asarray(arrivals, dtype=np.float64)
+            except (TypeError, ValueError):
+                arr = None
+            if arr is not None and arr.ndim == 2 and arr.shape[1] == 2:
+                req_f = arr[:, 0]
+                at_f = arr[:, 1]
+                if (
+                    np.all(req_f == np.floor(req_f))
+                    and np.all(req_f >= 0)
+                    and np.all(req_f < self.instance.n_requests)
+                    and np.all(at_f >= 0)
+                ):
+                    result = replay_slot(
+                        self.instance,
+                        self.placement,
+                        self.routing,
+                        self.pool,
+                        self.nodes,
+                        req_f.astype(np.int64),
+                        at_f,
+                    )
+                    if result is not None:
+                        self._materialize(result)
+                        return self.outcomes
+                    self.fast_replay = False
         for h, at in arrivals:
             self.submit(h, at)
         self.queue.run(until=until, max_events=10_000_000)

@@ -97,6 +97,33 @@ class InstancePool:
         self.warm_hits += 1
         return 0.0
 
+    def is_provisioned(self, service: int, node: int) -> bool:
+        """Whether ``(service, node)`` is provisioned by the placement."""
+        return (service, node) in self._provisioned
+
+    def last_used(self, service: int, node: int) -> Optional[float]:
+        """Last invocation time of ``(service, node)``, or ``None`` if never."""
+        return self._last_used.get((service, node))
+
+    def commit_batch(
+        self,
+        last_used: dict[tuple[int, int], float],
+        n_cold: int,
+        n_warm: int,
+    ) -> None:
+        """Apply the aggregate effect of a batch of invocations.
+
+        Used by the vectorized replay (:mod:`repro.runtime.replay`),
+        which resolves each invocation's warm/cold state in bulk:
+        ``last_used`` maps each touched ``(service, node)`` pair to its
+        final invocation time, and ``n_cold`` / ``n_warm`` increment the
+        counters exactly as the equivalent :meth:`invoke` sequence
+        would.  The caller must only include provisioned pairs.
+        """
+        self._last_used.update(last_used)
+        self.cold_starts += n_cold
+        self.warm_hits += n_warm
+
     def evict(self, service: int, node: int) -> None:
         """Forget an instance's warmth (container crash or forced restart).
 

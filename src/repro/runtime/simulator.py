@@ -119,6 +119,7 @@ class OnlineSimulator:
         move_prob: float = 0.3,
         serverless: ServerlessConfig = ServerlessConfig(),
         seed: SeedLike = None,
+        fast_replay: bool = True,
     ):
         check_positive("slot_seconds", slot_seconds)
         self.network = network
@@ -127,6 +128,12 @@ class OnlineSimulator:
         self.workload = workload
         self.slot_seconds = float(slot_seconds)
         self.serverless = serverless
+        #: Use the vectorized fault-free replay
+        #: (:mod:`repro.runtime.replay`) for slots without faults or a
+        #: resilience policy; results are bit-identical to the event
+        #: loop, so this only changes wall-clock.  Set ``False`` to
+        #: force the event loop everywhere (benchmark baseline).
+        self.fast_replay = fast_replay
         rng = as_generator(seed)
         self._mobility_rng, self._workload_rng, self._arrival_rng = spawn(rng, 3)
         self.mobility = RandomWaypointMobility(
@@ -249,6 +256,7 @@ class OnlineSimulator:
                     pool=pool,
                     faults=slot_faults,
                     policy=resilience,
+                    fast_replay=self.fast_replay,
                 )
                 # arrivals spread uniformly across the slot
                 offsets = self._arrival_rng.uniform(
@@ -266,15 +274,27 @@ class OnlineSimulator:
                     )
                     for h in sorted(shed_set):
                         cluster.shed(h, float(offsets[h]))
+                replay_cols = None
+                outcomes: list = []
                 with tracer.span("replay"):
-                    outcomes = cluster.run(
-                        arrivals=[
-                            (h, float(offsets[h]))
-                            for h in range(instance.n_requests)
-                            if h not in shed_set
-                        ]
-                    )
-                latencies = np.array([o.latency for o in outcomes if o.done])
+                    if not shed_set:
+                        # Columnar fast path: declines (None) under
+                        # faults/resilience or event-order ties, in
+                        # which case the event loop below replays the
+                        # identical slot.
+                        replay_cols = cluster.replay(offsets)
+                    if replay_cols is None:
+                        outcomes = cluster.run(
+                            arrivals=[
+                                (h, float(offsets[h]))
+                                for h in range(instance.n_requests)
+                                if h not in shed_set
+                            ]
+                        )
+                if replay_cols is not None:
+                    latencies = replay_cols.latency
+                else:
+                    latencies = np.array([o.latency for o in outcomes if o.done])
                 recorder.record_slot(latencies)
                 n_retries = n_hedges = n_shed = n_timeouts = n_failed = 0
                 if resilient:
@@ -322,6 +342,11 @@ class OnlineSimulator:
                     )
                     tracer.inc("runtime.cold_starts", record.cold_starts)
                     tracer.inc("runtime.node_down_slots", int(bool(down)))
+                    if replay_cols is not None:
+                        tracer.inc("runtime.replay_fast_slots")
+                        tracer.inc("runtime.replay_rounds", replay_cols.rounds)
+                    elif not resilient:
+                        tracer.inc("runtime.replay_fallback_slots")
                     if resilient:
                         slot_span.set_attr(
                             retries=n_retries,

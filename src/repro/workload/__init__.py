@@ -9,8 +9,18 @@ an Alibaba-cluster-style call-graph synthesizer with the similarity
 analysis of Fig. 3.
 """
 
-from repro.workload.requests import UserRequest, requests_by_server, services_in_requests
-from repro.workload.users import generate_requests, place_users, WorkloadSpec
+from repro.workload.requests import (
+    RequestBatch,
+    UserRequest,
+    requests_by_server,
+    services_in_requests,
+)
+from repro.workload.users import (
+    WorkloadSpec,
+    generate_request_batch,
+    generate_requests,
+    place_users,
+)
 from repro.workload.trace import TemporalTrace, diurnal_rate, generate_arrivals
 from repro.workload.mobility import RandomWaypointMobility
 from repro.workload.alibaba import (
@@ -34,10 +44,12 @@ from repro.workload.behavior import (
 )
 
 __all__ = [
+    "RequestBatch",
     "UserRequest",
     "requests_by_server",
     "services_in_requests",
     "generate_requests",
+    "generate_request_batch",
     "place_users",
     "WorkloadSpec",
     "TemporalTrace",

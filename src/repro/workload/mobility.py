@@ -69,6 +69,11 @@ class RandomWaypointMobility:
         self._rng = as_generator(seed)
 
         self._homes = self._rng.integers(0, network.n, size=self.n_users)
+        # Per-node neighbor arrays, resolved lazily: discrete steps draw
+        # one choice per moving user, and the topology is static, so
+        # caching avoids an adjacency scan per user per slot without
+        # touching the RNG stream.
+        self._neighbor_cache: dict[int, np.ndarray] = {}
         if mode == "planar":
             positions = network.positions
             lo = positions.min(axis=0)
@@ -93,8 +98,13 @@ class RandomWaypointMobility:
         """Advance one time slot; returns the new home vector."""
         if self.mode == "discrete":
             moving = self._rng.random(self.n_users) < self.move_prob
+            cache = self._neighbor_cache
             for u in np.nonzero(moving)[0]:
-                neighbors = self.network.neighbors(int(self._homes[u]))
+                home = int(self._homes[u])
+                neighbors = cache.get(home)
+                if neighbors is None:
+                    neighbors = self.network.neighbors(home)
+                    cache[home] = neighbors
                 if neighbors.size:
                     self._homes[u] = int(self._rng.choice(neighbors))
         else:

@@ -12,12 +12,19 @@ A :class:`UserRequest` ``u_h`` is a directed chain of microservices with:
 
 from __future__ import annotations
 
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
 from repro.utils.validation import check_non_negative
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    """Freeze ``arr`` in place and return it."""
+    arr.flags.writeable = False
+    return arr
 
 
 @dataclass(frozen=True)
@@ -77,6 +84,244 @@ class UserRequest:
         return self.edge_data[pos - 1]
 
 
+class RequestBatch(SequenceABC):
+    """Columnar (struct-of-arrays) collection of user requests.
+
+    Stores the whole workload in six flat NumPy arrays instead of
+    ``n_users`` Python objects, so slot-scale request generation and the
+    vectorized solver/replay paths never materialize per-request
+    objects.  Chains use CSR layout: request ``h``'s services are
+    ``chains[chain_offsets[h]:chain_offsets[h+1]]`` and its per-edge
+    data flows are the matching slice of ``edge_data`` at offset
+    ``chain_offsets[h] - h`` (each request has ``length - 1`` edges).
+
+    The batch is an immutable :class:`collections.abc.Sequence` of
+    :class:`UserRequest` **views**, created lazily and memoized, so all
+    existing per-request consumers (the event-loop cluster, tests,
+    serialization) keep working unchanged while columnar consumers read
+    the arrays directly.
+    """
+
+    __slots__ = (
+        "index",
+        "homes",
+        "chains",
+        "chain_offsets",
+        "data_in",
+        "data_out",
+        "edge_data",
+        "_lengths",
+        "_views",
+    )
+
+    def __init__(
+        self,
+        index: np.ndarray,
+        homes: np.ndarray,
+        chains: np.ndarray,
+        chain_offsets: np.ndarray,
+        data_in: np.ndarray,
+        data_out: np.ndarray,
+        edge_data: np.ndarray,
+        validate: bool = True,
+    ):
+        self.index = _readonly(np.asarray(index, dtype=np.int64))
+        self.homes = _readonly(np.asarray(homes, dtype=np.int64))
+        self.chains = _readonly(np.asarray(chains, dtype=np.int64))
+        self.chain_offsets = _readonly(
+            np.asarray(chain_offsets, dtype=np.int64)
+        )
+        self.data_in = _readonly(np.asarray(data_in, dtype=np.float64))
+        self.data_out = _readonly(np.asarray(data_out, dtype=np.float64))
+        self.edge_data = _readonly(np.asarray(edge_data, dtype=np.float64))
+        self._lengths = _readonly(np.diff(self.chain_offsets))
+        self._views: dict[int, UserRequest] = {}
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        n = self.n_requests
+        if self.chain_offsets.shape != (n + 1,) or (
+            n and self.chain_offsets[0] != 0
+        ):
+            raise ValueError(
+                f"chain_offsets must be ({n + 1},) starting at 0, got "
+                f"shape {self.chain_offsets.shape}"
+            )
+        for name, arr in (
+            ("index", self.index),
+            ("data_in", self.data_in),
+            ("data_out", self.data_out),
+        ):
+            if arr.shape != (n,):
+                raise ValueError(f"{name} must have shape ({n},), got {arr.shape}")
+        if n == 0:
+            return
+        if self.chains.shape != (int(self.chain_offsets[-1]),):
+            raise ValueError(
+                f"chains length {self.chains.size} does not match "
+                f"chain_offsets end {int(self.chain_offsets[-1])}"
+            )
+        if (self._lengths < 1).any():
+            raise ValueError("request chain must contain at least one microservice")
+        if self.edge_data.shape != (self.chains.size - n,):
+            raise ValueError(
+                f"edge_data length {self.edge_data.size} != chain edges "
+                f"{self.chains.size - n}"
+            )
+        rows = np.repeat(np.arange(n), self._lengths)
+        order = np.lexsort((self.chains, rows))
+        same_row = rows[order][1:] == rows[order][:-1]
+        dup = same_row & (self.chains[order][1:] == self.chains[order][:-1])
+        if dup.any():
+            h = int(rows[order][1:][np.argmax(dup)])
+            lo, hi = int(self.chain_offsets[h]), int(self.chain_offsets[h + 1])
+            chain = tuple(self.chains[lo:hi].tolist())
+            raise ValueError(f"request chain has repeated services: {chain}")
+        if self.data_in.size:
+            check_non_negative("data_in", float(self.data_in.min()))
+            check_non_negative("data_out", float(self.data_out.min()))
+        if self.edge_data.size:
+            check_non_negative("edge_data entry", float(self.edge_data.min()))
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_requests(
+        cls, requests: Iterable[UserRequest]
+    ) -> "RequestBatch":
+        """Build a columnar batch from per-request objects."""
+        reqs = list(requests)
+        n = len(reqs)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        for h, r in enumerate(reqs):
+            offsets[h + 1] = offsets[h] + r.length
+        chains = np.empty(int(offsets[-1]), dtype=np.int64)
+        edge = np.empty(int(offsets[-1]) - n, dtype=np.float64)
+        pos = 0
+        for h, r in enumerate(reqs):
+            chains[offsets[h] : offsets[h + 1]] = r.chain
+            if r.edge_data:
+                edge[pos : pos + len(r.edge_data)] = r.edge_data
+            pos += len(r.edge_data)
+        return cls(
+            index=np.array([r.index for r in reqs], dtype=np.int64),
+            homes=np.array([r.home for r in reqs], dtype=np.int64),
+            chains=chains,
+            chain_offsets=offsets,
+            data_in=np.array([r.data_in for r in reqs], dtype=np.float64),
+            data_out=np.array([r.data_out for r in reqs], dtype=np.float64),
+            edge_data=edge,
+        )
+
+    # -- sizes ----------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        """Number of requests in the batch."""
+        return int(self.homes.size)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-request chain lengths ``|M_h|`` (read-only)."""
+        return self._lengths
+
+    @property
+    def edge_offsets(self) -> np.ndarray:
+        """CSR offsets into :attr:`edge_data` (request ``h`` owns
+        ``edge_data[edge_offsets[h]:edge_offsets[h+1]]``)."""
+        return self.chain_offsets - np.arange(self.n_requests + 1)
+
+    # -- sequence protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return self.n_requests
+
+    def __getitem__(
+        self, item: Union[int, slice]
+    ) -> Union[UserRequest, list[UserRequest]]:
+        if isinstance(item, slice):
+            return [self[i] for i in range(*item.indices(self.n_requests))]
+        h = int(item)
+        if h < 0:
+            h += self.n_requests
+        if not (0 <= h < self.n_requests):
+            raise IndexError(f"request index {item} out of range")
+        view = self._views.get(h)
+        if view is None:
+            lo = int(self.chain_offsets[h])
+            hi = int(self.chain_offsets[h + 1])
+            view = UserRequest(
+                index=int(self.index[h]),
+                home=int(self.homes[h]),
+                chain=tuple(self.chains[lo:hi].tolist()),
+                data_in=float(self.data_in[h]),
+                data_out=float(self.data_out[h]),
+                edge_data=tuple(
+                    self.edge_data[lo - h : hi - h - 1].tolist()
+                ),
+            )
+            self._views[h] = view
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RequestBatch(requests={self.n_requests}, "
+            f"invocations={self.chains.size})"
+        )
+
+    # -- columnar builders (bit-identical to the per-request loops) -----
+    def padded_chain_matrix(self) -> np.ndarray:
+        """``(H, Lmax)`` service-index matrix, −1 past each chain end."""
+        n = self.n_requests
+        width = int(self._lengths.max()) if n else 1
+        mat = np.full((n, width), -1, dtype=np.int64)
+        rows = np.repeat(np.arange(n), self._lengths)
+        cols = np.arange(self.chains.size) - np.repeat(
+            self.chain_offsets[:-1], self._lengths
+        )
+        mat[rows, cols] = self.chains
+        return mat
+
+    def padded_edge_matrix(self) -> np.ndarray:
+        """``(H, max(Lmax−1, 1))`` per-edge data flows, 0 past chain end."""
+        n = self.n_requests
+        width = int(self._lengths.max()) if n else 1
+        mat = np.zeros((n, max(width - 1, 1)), dtype=np.float64)
+        e_len = self._lengths - 1
+        rows = np.repeat(np.arange(n), e_len)
+        cols = np.arange(self.edge_data.size) - np.repeat(
+            self.edge_offsets[:-1], e_len
+        )
+        mat[rows, cols] = self.edge_data
+        return mat
+
+    def inflow_flat(self) -> np.ndarray:
+        """Data entering each chain position, CSR-flat (upload first)."""
+        flat = np.empty(self.chains.size, dtype=np.float64)
+        firsts = np.zeros(self.chains.size, dtype=bool)
+        firsts[self.chain_offsets[:-1]] = True
+        flat[self.chain_offsets[:-1]] = self.data_in
+        flat[~firsts] = self.edge_data
+        return flat
+
+    def demand_counts(self, n_services: int, n_servers: int) -> np.ndarray:
+        """``(S, N)`` request counts per (service, home) pair."""
+        counts = np.zeros((n_services, n_servers), dtype=np.int64)
+        homes_rep = np.repeat(self.homes, self._lengths)
+        np.add.at(counts, (self.chains, homes_rep), 1)
+        return counts
+
+    def demand_data(self, n_services: int, n_servers: int) -> np.ndarray:
+        """``(S, N)`` inbound data volume per (service, home) pair.
+
+        ``np.add.at`` applies the unbuffered adds in flat request-major
+        order — the same accumulation order as the per-request loop, so
+        the floating-point result is bit-identical.
+        """
+        data = np.zeros((n_services, n_servers), dtype=np.float64)
+        homes_rep = np.repeat(self.homes, self._lengths)
+        np.add.at(data, (self.chains, homes_rep), self.inflow_flat())
+        return data
+
+
 def requests_by_server(
     requests: Sequence[UserRequest], n_servers: int
 ) -> list[list[UserRequest]]:
@@ -104,6 +349,8 @@ def demand_matrix(
     Entry ``(i, k)`` is the number of requests homed at ``v_k`` whose
     chain contains ``m_i`` — the quantity Alg. 2 computes in lines 1-3.
     """
+    if isinstance(requests, RequestBatch):
+        return requests.demand_counts(n_services, n_servers)
     counts = np.zeros((n_services, n_servers), dtype=np.int64)
     for req in requests:
         for svc in req.chain:
@@ -120,6 +367,8 @@ def data_demand_matrix(
     entering ``m_i`` in each chain — the ``r_i`` weights used by the
     proactive factor (Def. 5) and instance contribution (Def. 7).
     """
+    if isinstance(requests, RequestBatch):
+        return requests.demand_data(n_services, n_servers)
     data = np.zeros((n_services, n_servers), dtype=np.float64)
     for req in requests:
         for svc in req.chain:

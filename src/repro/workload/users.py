@@ -21,11 +21,11 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.microservices.application import Application
-from repro.microservices.chains import sample_chain
+from repro.microservices.chains import chain_catalog, sample_chain
 from repro.network.topology import EdgeNetwork
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive, check_probability
-from repro.workload.requests import UserRequest
+from repro.workload.requests import RequestBatch, UserRequest
 
 
 @dataclass(frozen=True)
@@ -111,12 +111,19 @@ def generate_requests(
     spec: WorkloadSpec,
     rng: SeedLike = None,
     homes: Optional[Sequence[int]] = None,
-) -> list[UserRequest]:
+) -> RequestBatch:
     """Generate ``spec.n_users`` user requests on ``network`` over ``app``.
 
     ``homes`` overrides the spatial placement (used by the mobility-driven
     online simulator, which moves users between slots but keeps their
     service chains).
+
+    Returns a columnar :class:`~repro.workload.requests.RequestBatch`
+    (a sequence of :class:`UserRequest` views, so per-request consumers
+    are unaffected).  The RNG draw order is unchanged from the original
+    per-object generator, keeping every seeded workload bit-identical;
+    :func:`generate_request_batch` is the fully vectorized alternative
+    with a different (batched) stream for trace-scale workloads.
     """
     gen = as_generator(rng)
     if homes is None:
@@ -133,8 +140,15 @@ def generate_requests(
             f"homes must have shape ({spec.n_users},), got {homes.shape}"
         )
 
-    requests: list[UserRequest] = []
-    for h in range(spec.n_users):
+    douts = [app.service(i).data_out for i in range(app.n_services)]
+    n = spec.n_users
+    chains_flat: list[int] = []
+    edge_flat: list[float] = []
+    offsets = np.empty(n + 1, dtype=np.int64)
+    offsets[0] = 0
+    data_in = np.empty(n, dtype=np.float64)
+    data_out = np.empty(n, dtype=np.float64)
+    for h in range(n):
         chain = sample_chain(
             app,
             gen,
@@ -142,25 +156,111 @@ def generate_requests(
             min_length=spec.min_chain,
             max_length=spec.max_chain,
         )
-        edge_data = tuple(
-            float(
-                spec.data_scale
-                * app.service(a).data_out
-                * (1.0 + gen.uniform(-spec.edge_noise, spec.edge_noise))
+        # Draw order matches the original per-object generator exactly:
+        # per-edge noise first, then data_in, then data_out.
+        for a in chain[:-1]:
+            edge_flat.append(
+                float(
+                    spec.data_scale
+                    * douts[a]
+                    * (1.0 + gen.uniform(-spec.edge_noise, spec.edge_noise))
+                )
             )
-            for a in chain[:-1]
+        chains_flat.extend(chain)
+        offsets[h + 1] = len(chains_flat)
+        data_in[h] = float(spec.data_scale * gen.uniform(*spec.data_in_range))
+        data_out[h] = float(spec.data_scale * gen.uniform(*spec.data_out_range))
+    return RequestBatch(
+        index=np.arange(n, dtype=np.int64),
+        homes=homes,
+        chains=np.array(chains_flat, dtype=np.int64),
+        chain_offsets=offsets,
+        data_in=data_in,
+        data_out=data_out,
+        edge_data=np.array(edge_flat, dtype=np.float64),
+        validate=False,
+    )
+
+
+def generate_request_batch(
+    network: EdgeNetwork,
+    app: Application,
+    spec: WorkloadSpec,
+    rng: SeedLike = None,
+    homes: Optional[Sequence[int]] = None,
+) -> RequestBatch:
+    """Fully vectorized trace-scale request generation (O(1) RNG calls).
+
+    Samples every user's chain from the exact chain distribution of
+    :func:`repro.microservices.chains.sample_chain` (computed once via
+    :func:`repro.microservices.chains.chain_catalog`) and draws all data
+    volumes in batch.  The marginal distribution of each request matches
+    :func:`generate_requests`, but the RNG *stream* differs — seeded
+    workloads are not bit-compatible between the two generators.  Use
+    this for 100k+-user benchmark traces where the sequential sampler's
+    per-user Python cost dominates.
+    """
+    gen = as_generator(rng)
+    if homes is None:
+        homes = place_users(
+            network,
+            spec.n_users,
+            gen,
+            hotspot_fraction=spec.hotspot_fraction,
+            hotspot_weight=spec.hotspot_weight,
         )
-        requests.append(
-            UserRequest(
-                index=h,
-                home=int(homes[h]),
-                chain=chain,
-                data_in=float(spec.data_scale * gen.uniform(*spec.data_in_range)),
-                data_out=float(spec.data_scale * gen.uniform(*spec.data_out_range)),
-                edge_data=edge_data,
-            )
+    homes = np.asarray(homes, dtype=np.int64)
+    if homes.shape != (spec.n_users,):
+        raise ValueError(
+            f"homes must have shape ({spec.n_users},), got {homes.shape}"
         )
-    return requests
+
+    catalog, probs = chain_catalog(
+        app,
+        length_bias=spec.length_bias,
+        min_length=spec.min_chain,
+        max_length=spec.max_chain,
+    )
+    n = spec.n_users
+    pick = gen.choice(len(catalog), size=n, p=probs)
+    cat_lengths = np.array([len(c) for c in catalog], dtype=np.int64)
+    cat_width = int(cat_lengths.max())
+    cat_mat = np.full((len(catalog), cat_width), -1, dtype=np.int64)
+    for c, chain in enumerate(catalog):
+        cat_mat[c, : len(chain)] = chain
+    lengths = cat_lengths[pick]
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    picked = cat_mat[pick]
+    chains_flat = picked[picked >= 0]
+
+    douts = np.array(
+        [app.service(i).data_out for i in range(app.n_services)],
+        dtype=np.float64,
+    )
+    is_last = np.zeros(chains_flat.size, dtype=bool)
+    is_last[offsets[1:] - 1] = True
+    edge_services = chains_flat[~is_last]
+    noise = gen.uniform(
+        -spec.edge_noise, spec.edge_noise, size=edge_services.size
+    )
+    edge_data = spec.data_scale * douts[edge_services] * (1.0 + noise)
+    data_in = spec.data_scale * gen.uniform(
+        *spec.data_in_range, size=n
+    )
+    data_out = spec.data_scale * gen.uniform(
+        *spec.data_out_range, size=n
+    )
+    return RequestBatch(
+        index=np.arange(n, dtype=np.int64),
+        homes=homes,
+        chains=chains_flat,
+        chain_offsets=offsets,
+        data_in=data_in,
+        data_out=data_out,
+        edge_data=edge_data,
+        validate=False,
+    )
 
 
 def reindex_requests(requests: Sequence[UserRequest]) -> list[UserRequest]:

@@ -10,7 +10,7 @@ from repro.microservices import (
     enumerate_chains,
     sample_chain,
 )
-from repro.microservices.chains import iter_chain_edges
+from repro.microservices.chains import chain_catalog, iter_chain_edges
 
 
 @pytest.fixture
@@ -122,3 +122,63 @@ class TestChainStatistics:
     def test_iter_chain_edges(self):
         assert list(iter_chain_edges((3, 1, 4))) == [(3, 1), (1, 4)]
         assert list(iter_chain_edges((5,))) == []
+
+
+class TestChainCatalog:
+    def test_probabilities_normalized(self, branching_app):
+        chains, probs = chain_catalog(branching_app, length_bias=0.6)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs > 0).all()
+        assert len(chains) == len(probs)
+
+    def test_support_subset_of_enumerated(self, branching_app):
+        chains, _ = chain_catalog(branching_app, max_length=3)
+        valid = set(enumerate_chains(branching_app, max_length=3))
+        assert set(chains) <= valid
+
+    def test_sorted_deterministic(self, branching_app):
+        chains, _ = chain_catalog(branching_app)
+        assert chains == sorted(chains)
+
+    def test_diamond_analytic_probabilities(self, branching_app):
+        """Closed-form check on the diamond DAG: stop prob (1-b) at each
+        decision point, uniform successor choice."""
+        b = 0.7
+        chains, probs = chain_catalog(branching_app, length_bias=b)
+        table = dict(zip(chains, probs))
+        assert table[(0,)] == pytest.approx(1.0 - b)
+        assert table[(0, 1)] == pytest.approx(b / 2 * (1.0 - b))
+        assert table[(0, 2)] == pytest.approx(b / 2 * (1.0 - b))
+        assert table[(0, 1, 3)] == pytest.approx(b / 2 * b)
+        assert table[(0, 2, 3)] == pytest.approx(b / 2 * b)
+
+    def test_matches_sample_chain_empirically(self, branching_app):
+        chains, probs = chain_catalog(branching_app, length_bias=0.5)
+        gen = np.random.default_rng(0)
+        counts = {c: 0 for c in chains}
+        n = 4000
+        for _ in range(n):
+            counts[sample_chain(branching_app, gen, length_bias=0.5)] += 1
+        freqs = np.array([counts[c] / n for c in chains])
+        assert np.abs(freqs - probs).max() < 0.03
+
+    def test_min_length_forces_continuation(self, branching_app):
+        chains, _ = chain_catalog(branching_app, min_length=2)
+        assert all(len(c) >= 2 for c in chains)
+
+    def test_max_length_caps(self, branching_app):
+        chains, _ = chain_catalog(branching_app, max_length=2)
+        assert all(len(c) <= 2 for c in chains)
+
+    def test_zero_bias_stops_at_min_length(self, branching_app):
+        chains, probs = chain_catalog(branching_app, length_bias=0.0)
+        assert all(len(c) == 1 for c in chains)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_invalid_params(self, branching_app):
+        with pytest.raises(ValueError, match="length_bias"):
+            chain_catalog(branching_app, length_bias=1.5)
+        with pytest.raises(ValueError, match="min_length"):
+            chain_catalog(branching_app, min_length=0)
+        with pytest.raises(ValueError, match="smaller than"):
+            chain_catalog(branching_app, min_length=3, max_length=2)

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.network import EdgeNetwork, EdgeServer, Link
-from repro.network.paths import PathTable, communication_intensity
+from repro.network.paths import (
+    PathTable,
+    communication_intensity,
+    invert_inverse_rates,
+)
 
 
 class TestPathTable:
@@ -141,3 +145,103 @@ class TestVirtualRateMatrixCache:
         pt.virtual_rate_matrix  # populate the cache
         with pytest.raises(Exception):
             pt.hops = np.zeros((3, 3))
+
+
+class TestTransferTimeValidation:
+    def test_src_out_of_range(self, line3_network):
+        with pytest.raises(IndexError, match="src"):
+            line3_network.paths.transfer_time(3, 0, 1.0)
+
+    def test_dst_out_of_range(self, line3_network):
+        with pytest.raises(IndexError, match="dst"):
+            line3_network.paths.transfer_time(0, 17, 1.0)
+
+    def test_negative_src(self, line3_network):
+        # negative indices would silently wrap around the matrix; the
+        # accessor must reject them like virtual_rate does
+        with pytest.raises(IndexError, match="src"):
+            line3_network.paths.transfer_time(-1, 0, 1.0)
+
+    def test_matches_virtual_rate_validation(self, line3_network):
+        pt = line3_network.paths
+        with pytest.raises(IndexError):
+            pt.virtual_rate(3, 0)
+        with pytest.raises(IndexError):
+            pt.transfer_time(3, 0, 1.0)
+
+
+class TestPathTieBreaking:
+    def _diamond(self, fast: float, slow: float) -> PathTable:
+        # 0-1-3 and 0-2-3 are both 2 hops; per-arm bandwidths differ
+        rate = np.zeros((4, 4))
+        rate[0, 1] = rate[1, 0] = fast
+        rate[1, 3] = rate[3, 1] = fast
+        rate[0, 2] = rate[2, 0] = slow
+        rate[2, 3] = rate[3, 2] = slow
+        return PathTable.from_rate_matrix(rate)
+
+    def test_equal_hops_prefers_faster_route(self):
+        pt = self._diamond(fast=10.0, slow=2.0)
+        assert pt.hops[0, 3] == 2
+        assert pt.path(0, 3) == [0, 1, 3]
+        assert pt.inv_rate[0, 3] == pytest.approx(2.0 / 10.0)
+
+    def test_equal_hops_prefers_faster_route_reversed(self):
+        # swap arm speeds: the chosen route must follow the bandwidth,
+        # not the node numbering
+        rate = np.zeros((4, 4))
+        rate[0, 1] = rate[1, 0] = 2.0
+        rate[1, 3] = rate[3, 1] = 2.0
+        rate[0, 2] = rate[2, 0] = 10.0
+        rate[2, 3] = rate[3, 2] = 10.0
+        pt = PathTable.from_rate_matrix(rate)
+        assert pt.path(0, 3) == [0, 2, 3]
+        assert pt.inv_rate[0, 3] == pytest.approx(2.0 / 10.0)
+
+    def test_fewer_hops_beats_faster_long_route(self):
+        # a direct (1-hop) slow link must win over a 2-hop fast route:
+        # the order is lexicographic in (hops, transfer time)
+        rate = np.zeros((3, 3))
+        rate[0, 2] = rate[2, 0] = 0.5  # direct but slow
+        rate[0, 1] = rate[1, 0] = 100.0
+        rate[1, 2] = rate[2, 1] = 100.0
+        pt = PathTable.from_rate_matrix(rate)
+        assert pt.hops[0, 2] == 1
+        assert pt.path(0, 2) == [0, 2]
+        assert pt.inv_rate[0, 2] == pytest.approx(2.0)
+
+    def test_disconnected_pair_error_message(self):
+        servers = [EdgeServer(k, compute=1.0, storage=1.0) for k in range(4)]
+        net = EdgeNetwork(servers, [Link(0, 1, bandwidth=10.0), Link(2, 3, bandwidth=10.0)])
+        pt = net.paths
+        with pytest.raises(ValueError, match=r"no path from 1 to 2"):
+            pt.path(1, 2)
+        with pytest.raises(ValueError, match=r"no path from 3 to 0"):
+            pt.path(3, 0)
+
+
+class TestInvertInverseRates:
+    def test_reciprocal_and_special_values(self):
+        inv = np.array([[0.0, 0.25, np.inf], [0.25, 0.0, np.nan], [np.inf, np.nan, 0.0]])
+        vr = invert_inverse_rates(inv)
+        assert vr[0, 1] == 4.0
+        assert vr[0, 0] == np.inf  # local transfer: infinitely fast
+        assert vr[0, 2] == 0.0  # unreachable: zero speed
+        assert vr[1, 2] == 0.0  # non-finite input mapped to zero
+
+    def test_matches_virtual_rate_matrix(self, diamond_network):
+        pt = diamond_network.paths
+        assert np.array_equal(invert_inverse_rates(pt.inv_rate), pt.virtual_rate_matrix)
+
+    def test_communication_intensity_consistency(self, line3_network):
+        inv = line3_network.paths.inv_rate
+        vr = invert_inverse_rates(inv)
+        vr[~np.isfinite(vr)] = 0.0
+        np.fill_diagonal(vr, 0.0)
+        assert np.array_equal(vr.sum(axis=1), communication_intensity(inv))
+
+    def test_input_not_mutated(self):
+        inv = np.array([[0.0, 2.0], [2.0, 0.0]])
+        before = inv.copy()
+        invert_inverse_rates(inv)
+        assert np.array_equal(inv, before)

@@ -1,0 +1,228 @@
+"""Tests for the columnar RequestBatch and the batched generators."""
+
+import numpy as np
+import pytest
+
+from repro.microservices.chains import chain_catalog, enumerate_chains
+from repro.microservices.eshop import eshop_application
+from repro.network import grid_topology
+from repro.workload import (
+    RequestBatch,
+    WorkloadSpec,
+    generate_request_batch,
+    generate_requests,
+)
+from repro.workload.requests import (
+    UserRequest,
+    data_demand_matrix,
+    demand_matrix,
+)
+
+
+@pytest.fixture
+def net():
+    return grid_topology(3, 3, seed=1)
+
+
+@pytest.fixture
+def app():
+    return eshop_application()
+
+
+def _manual_batch() -> RequestBatch:
+    reqs = [
+        UserRequest(0, 2, (0, 1, 3), 1.5, 0.5, (0.3, 0.4)),
+        UserRequest(1, 0, (2,), 2.0, 1.0, ()),
+        UserRequest(2, 1, (1, 4), 0.5, 0.25, (0.1,)),
+    ]
+    return RequestBatch.from_requests(reqs)
+
+
+class TestRequestBatchViews:
+    def test_round_trip_from_requests(self):
+        batch = _manual_batch()
+        assert batch.n_requests == 3
+        assert len(batch) == 3
+        assert batch[0].chain == (0, 1, 3)
+        assert batch[0].edge_data == (0.3, 0.4)
+        assert batch[1].chain == (2,)
+        assert batch[1].edge_data == ()
+        assert batch[2].home == 1
+        assert batch[2].data_in == 0.5
+
+    def test_views_are_memoized(self):
+        batch = _manual_batch()
+        assert batch[1] is batch[1]
+
+    def test_negative_index(self):
+        batch = _manual_batch()
+        assert batch[-1] is batch[2]
+
+    def test_slice_returns_views(self):
+        batch = _manual_batch()
+        tail = batch[1:]
+        assert isinstance(tail, list)
+        assert [r.index for r in tail] == [1, 2]
+
+    def test_iteration_and_sequence_protocol(self):
+        batch = _manual_batch()
+        assert [r.index for r in batch] == [0, 1, 2]
+        assert batch[0] in batch
+
+    def test_lengths_and_offsets(self):
+        batch = _manual_batch()
+        assert np.array_equal(batch.lengths, [3, 1, 2])
+        assert np.array_equal(batch.chain_offsets, [0, 3, 4, 6])
+        assert np.array_equal(batch.edge_offsets, [0, 2, 2, 3])
+
+    def test_arrays_read_only(self):
+        batch = _manual_batch()
+        with pytest.raises(ValueError):
+            batch.chains[0] = 5
+        with pytest.raises(ValueError):
+            batch.data_in[0] = 5.0
+
+
+class TestRequestBatchValidation:
+    def test_repeated_service_rejected(self):
+        with pytest.raises(ValueError, match="repeated services"):
+            RequestBatch(
+                index=np.array([0]),
+                homes=np.array([0]),
+                chains=np.array([1, 2, 1]),
+                chain_offsets=np.array([0, 3]),
+                data_in=np.array([1.0]),
+                data_out=np.array([1.0]),
+                edge_data=np.array([0.1, 0.1]),
+            )
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError, match="at least one microservice"):
+            RequestBatch(
+                index=np.array([0]),
+                homes=np.array([0]),
+                chains=np.array([], dtype=np.int64),
+                chain_offsets=np.array([0, 0]),
+                data_in=np.array([1.0]),
+                data_out=np.array([1.0]),
+                edge_data=np.array([], dtype=np.float64),
+            )
+
+    def test_edge_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="edge_data"):
+            RequestBatch(
+                index=np.array([0]),
+                homes=np.array([0]),
+                chains=np.array([1, 2]),
+                chain_offsets=np.array([0, 2]),
+                data_in=np.array([1.0]),
+                data_out=np.array([1.0]),
+                edge_data=np.array([], dtype=np.float64),
+            )
+
+    def test_negative_data_rejected(self):
+        with pytest.raises(ValueError):
+            RequestBatch(
+                index=np.array([0]),
+                homes=np.array([0]),
+                chains=np.array([1]),
+                chain_offsets=np.array([0, 1]),
+                data_in=np.array([-1.0]),
+                data_out=np.array([1.0]),
+                edge_data=np.array([], dtype=np.float64),
+            )
+
+
+class TestRequestBatchDemand:
+    def test_demand_matrices_match_per_request_loop(self, net, app):
+        batch = generate_requests(net, app, WorkloadSpec(n_users=40), rng=7)
+        views = list(batch)  # plain list → module-level loop fallback
+        S, N = app.n_services, net.n
+        assert np.array_equal(
+            demand_matrix(batch, S, N), demand_matrix(views, S, N)
+        )
+        assert np.array_equal(
+            data_demand_matrix(batch, S, N), data_demand_matrix(views, S, N)
+        )
+
+    def test_padded_matrices_match_views(self, net, app):
+        batch = generate_requests(net, app, WorkloadSpec(n_users=20), rng=3)
+        cm = batch.padded_chain_matrix()
+        em = batch.padded_edge_matrix()
+        width = int(batch.lengths.max())
+        assert cm.shape == (len(batch), width)
+        for h, req in enumerate(batch):
+            assert tuple(cm[h, : req.length]) == req.chain
+            assert (cm[h, req.length :] == -1).all()
+            assert tuple(em[h, : req.length - 1]) == req.edge_data
+
+
+class TestGenerateRequests:
+    def test_returns_columnar_batch(self, net, app):
+        reqs = generate_requests(net, app, WorkloadSpec(n_users=15), rng=0)
+        assert isinstance(reqs, RequestBatch)
+        assert len(reqs) == 15
+
+    def test_views_match_columns(self, net, app):
+        reqs = generate_requests(net, app, WorkloadSpec(n_users=15), rng=0)
+        for h, r in enumerate(reqs):
+            assert r.index == h
+            assert r.home == reqs.homes[h]
+            assert r.data_in == reqs.data_in[h]
+            lo, hi = reqs.chain_offsets[h], reqs.chain_offsets[h + 1]
+            assert r.chain == tuple(reqs.chains[lo:hi].tolist())
+
+    def test_deterministic_by_seed(self, net, app):
+        a = generate_requests(net, app, WorkloadSpec(n_users=10), rng=42)
+        b = generate_requests(net, app, WorkloadSpec(n_users=10), rng=42)
+        assert np.array_equal(a.chains, b.chains)
+        assert np.array_equal(a.edge_data, b.edge_data)
+        assert np.array_equal(a.data_in, b.data_in)
+
+
+class TestGenerateRequestBatch:
+    def test_basic_shape_and_bounds(self, net, app):
+        spec = WorkloadSpec(n_users=200, min_chain=2, max_chain=5)
+        batch = generate_request_batch(net, app, spec, rng=0)
+        assert isinstance(batch, RequestBatch)
+        assert len(batch) == 200
+        assert batch.lengths.min() >= 2
+        assert batch.lengths.max() <= 5
+        assert batch.homes.min() >= 0 and batch.homes.max() < net.n
+        assert (batch.data_in > 0).all()
+        assert (batch.edge_data >= 0).all()
+
+    def test_chains_are_valid(self, net, app):
+        spec = WorkloadSpec(n_users=100, min_chain=1, max_chain=4)
+        batch = generate_request_batch(net, app, spec, rng=1)
+        valid = set(enumerate_chains(app, max_length=4))
+        for r in batch:
+            assert r.chain in valid
+
+    def test_deterministic_by_seed(self, net, app):
+        spec = WorkloadSpec(n_users=50)
+        a = generate_request_batch(net, app, spec, rng=9)
+        b = generate_request_batch(net, app, spec, rng=9)
+        assert np.array_equal(a.chains, b.chains)
+        assert np.array_equal(a.edge_data, b.edge_data)
+
+    def test_homes_override(self, net, app):
+        homes = np.zeros(30, dtype=np.int64)
+        batch = generate_request_batch(
+            net, app, WorkloadSpec(n_users=30), rng=2, homes=homes
+        )
+        assert (batch.homes == 0).all()
+
+    def test_marginal_chain_distribution_matches_catalog(self, net, app):
+        """The batched generator draws chains from the exact sample_chain
+        distribution computed by chain_catalog."""
+        spec = WorkloadSpec(n_users=4000, min_chain=1, max_chain=3)
+        catalog, probs = chain_catalog(
+            app, length_bias=spec.length_bias, min_length=1, max_length=3
+        )
+        batch = generate_request_batch(net, app, spec, rng=5)
+        counts = {c: 0 for c in catalog}
+        for r in batch:
+            counts[r.chain] += 1
+        freqs = np.array([counts[c] / len(batch) for c in catalog])
+        assert np.abs(freqs - probs).max() < 0.03
