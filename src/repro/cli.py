@@ -196,6 +196,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         ProblemConfig(weight=args.weight, budget=args.budget),
         WorkloadSpec(n_users=args.users, data_scale=5.0),
         seed=args.seed,
+        shards=args.shards,
     )
     outages = (
         OutageSchedule(args.servers, fail_prob=args.fail_prob, seed=args.seed)
@@ -407,6 +408,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(servers=16, users=30)
     p.add_argument("--solver", choices=SOLVER_CHOICES, default="socl")
     p.add_argument("--slots", type=int, default=12)
+    p.add_argument("--shards", type=int, default=1,
+                   help="region shards for slot replay (>1 enables the "
+                        "sharded engine; results are bit-identical)")
     p.add_argument("--fail-prob", type=float, default=0.0,
                    help="per-slot node failure probability (failure injection)")
     p.set_defaults(func=cmd_trace)

@@ -325,6 +325,7 @@ def _fig9_cell(task: tuple) -> dict:
         seed,
         data_scale,
         fast_replay,
+        shards,
     ) = task
     network = stadium_topology(n_servers, seed=seed)
     app = eshop_application()
@@ -335,6 +336,7 @@ def _fig9_cell(task: tuple) -> dict:
         WorkloadSpec(n_users=n_users, data_scale=data_scale),
         seed=seed,
         fast_replay=fast_replay,
+        shards=shards,
     )
     res = sim.run(solver, n_slots=n_slots)
     lats = res.recorder.all_latencies()
@@ -358,6 +360,7 @@ def fig9_cluster(
     data_scale: float = 5.0,
     n_jobs: int = 1,
     fast_replay: bool = True,
+    shards: int = 1,
 ) -> list[dict]:
     """RP / JDR / SoCL on the simulated cluster: cost, latency, objective.
 
@@ -366,10 +369,12 @@ def fig9_cluster(
     median per-request latency (the paper's 2.795/3.989/2.796 pattern —
     SoCL serves most requests as well as RP with fewer instances).
     ``n_jobs > 1`` runs the (solver, user count) cells on a process pool
-    with serial row order.
+    with serial row order.  ``shards > 1`` replays each slot through the
+    region-sharded engine (bit-identical results; scaling study only).
     """
     tasks = [
-        (solver, n_users, n_servers, n_slots, budget, seed, data_scale, fast_replay)
+        (solver, n_users, n_servers, n_slots, budget, seed, data_scale,
+         fast_replay, shards)
         for n_users in user_counts
         for solver in (
             RandomProvisioning(seed=seed),
@@ -489,12 +494,14 @@ def fig10_trace(
     seed: int = 0,
     data_scale: float = 5.0,
     fast_replay: bool = True,
+    shards: int = 1,
 ) -> dict:
     """Average delay trace for RP / JDR / SoCL with mobile users.
 
     Paper: 4 hours of 5-minute slots (48 slots), 50 users moving among
     16 edge nodes.  SoCL achieves the lowest average delay and the
-    lowest maximum delay (stability).
+    lowest maximum delay (stability).  ``shards > 1`` switches slot
+    replay to the region-sharded engine (bit-identical results).
     """
     network = stadium_topology(n_servers, seed=seed)
     app = eshop_application()
@@ -507,6 +514,7 @@ def fig10_trace(
             WorkloadSpec(n_users=n_users, data_scale=data_scale),
             seed=seed,
             fast_replay=fast_replay,
+            shards=shards,
         )
         res = sim.run(solver, n_slots=n_slots)
         series[res.solver_name] = {

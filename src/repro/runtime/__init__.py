@@ -11,6 +11,10 @@ a discrete-event simulation:
   storage planning enables);
 * :mod:`repro.runtime.replay` — vectorized fault-free slot replay,
   bit-identical to the event loop (the online trace hot path);
+* :mod:`repro.runtime.shard` — region-sharded replay at 1M-user scale:
+  per-region state isolated into ``RegionShard`` objects, cross-region
+  chain hops reconciled with bounded exchange rounds, bit-identical to
+  the flat replay;
 * :mod:`repro.runtime.cluster` — edge nodes with FIFO compute queues,
   network transfers over the substrate topology, a master that dispatches
   requests along their routed chains and records latency;
@@ -32,6 +36,13 @@ from repro.runtime.events import EventQueue, Event
 from repro.runtime.serverless import InstancePool, InstanceState, ServerlessConfig
 from repro.runtime.cluster import SimulatedCluster, RequestOutcome
 from repro.runtime.replay import ReplayResult, replay_slot
+from repro.runtime.shard import (
+    RegionMap,
+    RegionShard,
+    ShardStats,
+    ShardedReplayResult,
+    replay_slot_sharded,
+)
 from repro.runtime.simulator import OnlineSimulator, SlotRecord, OnlineTraceResult
 from repro.runtime.metrics import LatencyRecorder, summarize_latencies
 from repro.runtime.failures import DegradationPolicy, OutageSchedule, degrade_instance
@@ -53,6 +64,11 @@ __all__ = [
     "RequestOutcome",
     "ReplayResult",
     "replay_slot",
+    "RegionMap",
+    "RegionShard",
+    "ShardStats",
+    "ShardedReplayResult",
+    "replay_slot_sharded",
     "OnlineSimulator",
     "SlotRecord",
     "OnlineTraceResult",

@@ -112,6 +112,8 @@ class SimulatedCluster:
         faults: Optional[SlotFaults] = None,
         policy: Optional[ResiliencePolicy] = None,
         fast_replay: bool = True,
+        region_map=None,
+        shard_executor: str = "serial",
     ):
         check_positive("cores_per_node", cores_per_node)
         self.instance = instance
@@ -132,6 +134,18 @@ class SimulatedCluster:
         self.pool = pool if pool is not None else InstancePool(
             placement, serverless or ServerlessConfig()
         )
+        #: Optional region partition (:class:`repro.runtime.shard.RegionMap`).
+        #: When set, :meth:`replay` runs the region-sharded engine —
+        #: bit-identical to the flat replay — and per-region runtime
+        #: state is exposed through :attr:`shards`.
+        self.region_map = region_map
+        self.shard_executor = shard_executor
+        self.shards = []
+        self.last_shard_stats = None
+        if region_map is not None:
+            from repro.runtime.shard import partition_cluster
+
+            self.shards = partition_cluster(self.nodes, region_map)
         self.outcomes: list[RequestOutcome] = []
         # hedging state, built lazily on the first crash that exhausts
         # its retries: a live placement copy that loses crashed
@@ -384,6 +398,25 @@ class SimulatedCluster:
                 "arrival time must be non-negative, got "
                 f"{at_arr[int(np.argmax(neg))]}"
             )
+        if self.region_map is not None:
+            from repro.runtime.shard import replay_slot_sharded
+
+            sharded = replay_slot_sharded(
+                self.instance,
+                self.placement,
+                self.routing,
+                self.pool,
+                self.nodes,
+                req_arr,
+                at_arr,
+                self.region_map,
+                executor=self.shard_executor,
+            )
+            if sharded is None:
+                self.fast_replay = False
+                return None
+            self.last_shard_stats = sharded.stats
+            return sharded.result
         result = replay_slot(
             self.instance,
             self.placement,

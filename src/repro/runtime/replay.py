@@ -37,8 +37,13 @@ caller falls back to the event loop; no state is mutated in that case.
 Per round, everything is NumPy except the core-claiming scan, a tight
 Python loop over the ``(node, r)``-sorted invocations that also
 accumulates per-node busy time in the event loop's exact summation
-order.  The equivalence contract is documented in ``docs/RUNTIME.md``
-and enforced by a Hypothesis property test.
+order.  :func:`replay_slot` is the *reference* engine: simple,
+single-process, obviously aligned with the event loop.  The slot-static
+arrays it builds are factored into :class:`ReplayPlan` so the
+region-sharded engine (:mod:`repro.runtime.shard`) can run the same
+fixpoint over partitioned state without re-deriving any arithmetic.
+The equivalence contract is documented in ``docs/RUNTIME.md`` and
+enforced by a Hypothesis property test.
 """
 
 from __future__ import annotations
@@ -88,7 +93,126 @@ class ReplayResult:
         return int(self.request.size)
 
 
-def replay_slot(
+def empty_result(req: np.ndarray) -> ReplayResult:
+    """The (trivially committed) result of a slot with no arrivals."""
+    empty = np.empty(0, dtype=np.float64)
+    return ReplayResult(req.copy(), empty, empty.copy(), empty.copy(),
+                        empty.copy(), 0)
+
+
+@dataclass
+class ReplayPlan:
+    """Slot-static arrays shared by the replay engines.
+
+    Everything here is a pure function of the instance, placement,
+    routing, pool warmth and the slot's arrivals — no per-round state.
+    ``e_rows``/``e_cols`` enumerate the *edge* invocations (non-cloud
+    chain positions) in row-major (request, position) order; that flat
+    rank is the deterministic tie-break order every engine must share.
+    """
+
+    req: np.ndarray
+    at: np.ndarray
+    n_req: int
+    width: int
+    cores: int
+    n_nodes: int
+    lengths: np.ndarray
+    first_ready: np.ndarray
+    transfer: np.ndarray
+    ret: np.ndarray
+    service: np.ndarray
+    cloud_mask: np.ndarray
+    e_rows: np.ndarray
+    e_cols: np.ndarray
+    v_edge: np.ndarray
+    s_edge: np.ndarray
+    svc_edge: np.ndarray
+    pooled: np.ndarray
+    groups: np.ndarray
+    carried: np.ndarray
+    keep_alive: float
+    cold_penalty: float
+    M: np.int64
+
+    @property
+    def n_edge(self) -> int:
+        """Number of edge-node invocations (rows of the CSR stage table)."""
+        return int(self.e_rows.size)
+
+    @property
+    def row_idx(self) -> np.ndarray:
+        """``arange(n_req)`` — one row index per replayed request."""
+        return np.arange(self.n_req)
+
+    @property
+    def last_col(self) -> np.ndarray:
+        """Per-request index of its final chain stage (``lengths - 1``)."""
+        return self.lengths - 1
+
+    # -- fixpoint arithmetic (the exact event-loop float ops) ----------
+    def congestion_free_ready(self) -> np.ndarray:
+        """Lower-bound initialization: no queueing, no penalties."""
+        n_req, width = self.n_req, self.width
+        ready = np.zeros((n_req, width), dtype=np.float64)
+        ready[:, 0] = self.first_ready
+        for j in range(width - 1):
+            free_finish = ready[:, j] + self.service[:, j]
+            ready[:, j + 1] = np.where(
+                self.lengths > j + 1,
+                ready[:, j] + ((free_finish - ready[:, j]) + self.transfer[:, j]),
+                0.0,
+            )
+        return ready
+
+    def propagate(self, finish_matrix: np.ndarray) -> np.ndarray:
+        """Downstream ready times from a finish matrix (exact float ops)."""
+        ready = np.zeros((self.n_req, self.width), dtype=np.float64)
+        ready[:, 0] = self.first_ready
+        for j in range(self.width - 1):
+            nxt = ready[:, j] + (
+                (finish_matrix[:, j] - ready[:, j]) + self.transfer[:, j]
+            )
+            ready[:, j + 1] = np.where(self.lengths > j + 1, nxt, 0.0)
+        return ready
+
+    def finish_matrix(
+        self, ready: np.ndarray, start_edge: np.ndarray
+    ) -> np.ndarray:
+        """Per-stage finish times from edge starts plus cloud stages."""
+        finish = np.zeros((self.n_req, self.width))
+        if self.n_edge:
+            finish[self.e_rows, self.e_cols] = start_edge + self.s_edge
+        return np.where(self.cloud_mask, ready + self.service, finish)
+
+    def commit_columns(
+        self,
+        ready: np.ndarray,
+        finish_mat: np.ndarray,
+        r_edge: np.ndarray,
+        start_edge: np.ndarray,
+        penalty: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Final (finish, queueing, cold) columns from converged state."""
+        n_req, width = self.n_req, self.width
+        wait_full = np.zeros((n_req, width))
+        pen_full = np.zeros((n_req, width))
+        if self.n_edge:
+            wait_full[self.e_rows, self.e_cols] = start_edge - (r_edge + penalty)
+            pen_full[self.e_rows, self.e_cols] = penalty
+        queueing = np.zeros(n_req)
+        cold = np.zeros(n_req)
+        for j in range(width):  # chain order: the event loop's order
+            queueing = queueing + wait_full[:, j]
+            cold = cold + pen_full[:, j]
+        row_idx, last_col = self.row_idx, self.last_col
+        last_ready = ready[row_idx, last_col]
+        last_finish = finish_mat[row_idx, last_col]
+        finish = last_ready + ((last_finish - last_ready) + self.ret)
+        return finish, queueing, cold
+
+
+def build_replay_plan(
     instance: ProblemInstance,
     placement: Placement,
     routing: Routing,
@@ -96,27 +220,18 @@ def replay_slot(
     nodes: Sequence,
     req: np.ndarray,
     at: np.ndarray,
-    max_rounds: int = DEFAULT_MAX_ROUNDS,
-) -> Optional[ReplayResult]:
-    """Replay arrivals ``(req[i], at[i])`` in batch; ``None`` declines.
+) -> Optional[ReplayPlan]:
+    """Derive the slot-static :class:`ReplayPlan`; ``None`` declines.
 
-    ``nodes`` is the cluster's list of fresh ``_Node`` objects (all cores
-    idle at time 0, zero accumulated busy time); on success their
-    ``core_free`` / ``busy_time`` are advanced exactly as the event loop
-    would have and the ``pool``'s warmth, cold-start and warm-hit
-    counters are updated in bulk.  On ``None`` nothing is mutated and the
-    caller must run the event loop instead.  The caller is responsible
-    for input validation and for ensuring no fault injector or
-    resilience policy is active.
+    Declines mirror :func:`replay_slot`'s eligibility checks: a routing
+    matrix too narrow for the slot, heterogeneous core counts, invalid
+    assignments, non-finite transfer terms or a pool missing a placed
+    group all return ``None`` so the caller can fall back to the event
+    loop.
     """
     req = np.asarray(req, dtype=np.int64)
     at = np.asarray(at, dtype=np.float64)
     n_req = int(req.size)
-    if n_req == 0:
-        empty = np.empty(0, dtype=np.float64)
-        return ReplayResult(req.copy(), empty, empty.copy(), empty.copy(),
-                            empty.copy(), 0)
-
     inst = instance
     lengths = inst.chain_lengths[req]
     width = int(lengths.max())
@@ -181,14 +296,13 @@ def replay_slot(
         pooled = placement.matrix[svc_edge, v_edge]
     else:
         pooled = np.zeros(0, dtype=bool)
+    M = np.int64(max(n_nodes, 1))
     pool_idx = np.nonzero(pooled)[0]
-    group_key = svc_edge[pool_idx] * np.int64(max(n_nodes, 1)) + v_edge[pool_idx]
+    group_key = svc_edge[pool_idx] * M + v_edge[pool_idx]
     groups = np.unique(group_key)
-    keep_alive = pool.config.keep_alive
-    cold_penalty = pool.config.cold_start
     carried = np.full(groups.size, np.nan)
     for g, key in enumerate(groups.tolist()):
-        svc_g, node_g = divmod(key, max(n_nodes, 1))
+        svc_g, node_g = divmod(key, int(M))
         if not pool.is_provisioned(svc_g, node_g):
             # The event loop would raise mid-replay; let it.
             return None
@@ -196,14 +310,115 @@ def replay_slot(
         if last is not None:
             carried[g] = last
 
-    s_flat = service  # alias used by the cloud-stage finish update
+    return ReplayPlan(
+        req=req,
+        at=at,
+        n_req=n_req,
+        width=width,
+        cores=cores,
+        n_nodes=n_nodes,
+        lengths=lengths,
+        first_ready=first_ready,
+        transfer=transfer,
+        ret=ret,
+        service=service,
+        cloud_mask=cloud_mask,
+        e_rows=e_rows,
+        e_cols=e_cols,
+        v_edge=v_edge,
+        s_edge=s_edge,
+        svc_edge=svc_edge,
+        pooled=pooled,
+        groups=groups,
+        carried=carried,
+        keep_alive=pool.config.keep_alive,
+        cold_penalty=pool.config.cold_start,
+        M=M,
+    )
+
+
+def pool_penalties(
+    plan: ReplayPlan,
+    p_idx: np.ndarray,
+    r_edge: np.ndarray,
+    penalty: np.ndarray,
+    group_last_arr: np.ndarray,
+) -> tuple[int, int]:
+    """Warm/cold resolution for one node's pooled invocations.
+
+    ``p_idx`` must be in ascending flat-rank order; ``penalty`` and
+    ``group_last_arr`` are written in place.  Returns ``(n_cold,
+    n_warm)``.  This is the exact warmth rule of
+    :meth:`repro.runtime.serverless.InstancePool.invoke` applied in
+    ready order within each (service, node) group.
+    """
+    if not p_idx.size:
+        return 0, 0
+    r_p = r_edge[p_idx]
+    key_p = plan.svc_edge[p_idx] * plan.M + plan.v_edge[p_idx]
+    order_p = np.lexsort((r_p, key_p))
+    keys_s = key_p[order_p]
+    times_s = r_p[order_p]
+    is_first = np.empty(keys_s.size, dtype=bool)
+    is_first[0] = True
+    np.not_equal(keys_s[1:], keys_s[:-1], out=is_first[1:])
+    prev = np.empty_like(times_s)
+    prev[0] = 0.0
+    prev[1:] = times_s[:-1]
+    g_of = np.searchsorted(plan.groups, keys_s)
+    warm = np.where(
+        is_first,
+        (times_s - plan.carried[g_of]) <= plan.keep_alive,
+        (times_s - prev) <= plan.keep_alive,
+    )
+    penalty[p_idx[order_p]] = np.where(warm, 0.0, plan.cold_penalty)
+    last_pos = np.nonzero(np.append(is_first[1:], True))[0]
+    group_last_arr[g_of[last_pos]] = times_s[last_pos]
+    n_cold = int(np.count_nonzero(~warm))
+    return n_cold, int(warm.size - n_cold)
+
+
+def replay_slot(
+    instance: ProblemInstance,
+    placement: Placement,
+    routing: Routing,
+    pool: InstancePool,
+    nodes: Sequence,
+    req: np.ndarray,
+    at: np.ndarray,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> Optional[ReplayResult]:
+    """Replay arrivals ``(req[i], at[i])`` in batch; ``None`` declines.
+
+    ``nodes`` is the cluster's list of fresh ``_Node`` objects (all cores
+    idle at time 0, zero accumulated busy time); on success their
+    ``core_free`` / ``busy_time`` are advanced exactly as the event loop
+    would have and the ``pool``'s warmth, cold-start and warm-hit
+    counters are updated in bulk.  On ``None`` nothing is mutated and the
+    caller must run the event loop instead.  The caller is responsible
+    for input validation and for ensuring no fault injector or
+    resilience policy is active.
+    """
+    req = np.asarray(req, dtype=np.int64)
+    at = np.asarray(at, dtype=np.float64)
+    if req.size == 0:
+        return empty_result(req)
+    plan = build_replay_plan(instance, placement, routing, pool, nodes, req, at)
+    if plan is None:
+        return None
+
+    n_req, width, cores = plan.n_req, plan.width, plan.cores
+    n_nodes, n_edge = plan.n_nodes, plan.n_edge
+    e_rows, e_cols = plan.e_rows, plan.e_cols
+    v_edge, s_edge = plan.v_edge, plan.s_edge
+    groups, M = plan.groups, plan.M
 
     # Per-node static index structures.  A node's queue/pool outcome
     # depends only on its own invocations' ready times, so each round
     # re-simulates just the nodes whose inputs changed since the
     # previous round (incremental Jacobi sweep); untouched nodes keep
     # their cached schedule, penalties, busy sums and core states.
-    M = np.int64(max(n_nodes, 1))
+    pool_idx = np.nonzero(plan.pooled)[0]
     node_inv = [np.nonzero(v_edge == v)[0] for v in range(n_nodes)]
     if pool_idx.size:
         pool_node = v_edge[pool_idx]
@@ -221,47 +436,14 @@ def replay_slot(
     n_warm_arr = [0] * n_nodes
     tied_arr = [False] * n_nodes
 
-    def _propagate(finish_matrix: np.ndarray) -> np.ndarray:
-        """Downstream ready times from a finish matrix (exact float ops)."""
-        ready = np.zeros((n_req, width), dtype=np.float64)
-        ready[:, 0] = first_ready
-        for j in range(width - 1):
-            nxt = ready[:, j] + (
-                (finish_matrix[:, j] - ready[:, j]) + transfer[:, j]
-            )
-            ready[:, j + 1] = np.where(lengths > j + 1, nxt, 0.0)
-        return ready
-
     def _sim_node(v: int, r_edge: np.ndarray) -> None:
         """Re-simulate node ``v``'s pool warmth and FIFO core queue."""
         idx = node_inv[v]
         if idx.size == 0:
             return
-        p_idx = node_pool[v]
-        n_cold = n_warm = 0
-        if p_idx.size:
-            r_p = r_edge[p_idx]
-            key_p = svc_edge[p_idx] * M + v
-            order_p = np.lexsort((r_p, key_p))
-            keys_s = key_p[order_p]
-            times_s = r_p[order_p]
-            is_first = np.empty(keys_s.size, dtype=bool)
-            is_first[0] = True
-            np.not_equal(keys_s[1:], keys_s[:-1], out=is_first[1:])
-            prev = np.empty_like(times_s)
-            prev[0] = 0.0
-            prev[1:] = times_s[:-1]
-            g_of = np.searchsorted(groups, keys_s)
-            warm = np.where(
-                is_first,
-                (times_s - carried[g_of]) <= keep_alive,
-                (times_s - prev) <= keep_alive,
-            )
-            penalty[p_idx[order_p]] = np.where(warm, 0.0, cold_penalty)
-            last_pos = np.nonzero(np.append(is_first[1:], True))[0]
-            group_last_arr[g_of[last_pos]] = times_s[last_pos]
-            n_cold = int(np.count_nonzero(~warm))
-            n_warm = int(warm.size - n_cold)
+        n_cold, n_warm = pool_penalties(
+            plan, node_pool[v], r_edge, penalty, group_last_arr
+        )
         n_cold_arr[v] = n_cold
         n_warm_arr[v] = n_warm
 
@@ -323,15 +505,7 @@ def replay_slot(
         start_edge[sel] = starts
 
     # Congestion-free initialization: no queueing, no penalties.
-    ready = np.zeros((n_req, width), dtype=np.float64)
-    ready[:, 0] = first_ready
-    for j in range(width - 1):
-        free_finish = ready[:, j] + service[:, j]
-        ready[:, j + 1] = np.where(
-            lengths > j + 1,
-            ready[:, j] + ((free_finish - ready[:, j]) + transfer[:, j]),
-            0.0,
-        )
+    ready = plan.congestion_free_ready()
 
     prev_r_edge: Optional[np.ndarray] = None
     r_edge = np.zeros(n_edge)
@@ -349,11 +523,8 @@ def replay_slot(
             _sim_node(v, r_edge)
         prev_r_edge = r_edge
 
-        finish_matrix = np.zeros((n_req, width))
-        if n_edge:
-            finish_matrix[e_rows, e_cols] = start_edge + s_edge
-        finish_matrix = np.where(cloud_mask, ready + s_flat, finish_matrix)
-        new_ready = _propagate(finish_matrix)
+        finish_matrix = plan.finish_matrix(ready, start_edge)
+        new_ready = plan.propagate(finish_matrix)
         if np.array_equal(new_ready, ready):
             converged = True
             break
@@ -366,20 +537,9 @@ def replay_slot(
         return None
 
     # ---- commit: build the columnar result ---------------------------
-    wait_full = np.zeros((n_req, width))
-    pen_full = np.zeros((n_req, width))
-    if n_edge:
-        wait_full[e_rows, e_cols] = start_edge - (r_edge + penalty)
-        pen_full[e_rows, e_cols] = penalty
-    queueing = np.zeros(n_req)
-    cold = np.zeros(n_req)
-    for j in range(width):  # chain order: the event loop's accumulation order
-        queueing = queueing + wait_full[:, j]
-        cold = cold + pen_full[:, j]
-
-    last_ready = ready[row_idx, last_col]
-    last_finish = finish_matrix[row_idx, last_col]
-    finish = last_ready + ((last_finish - last_ready) + ret)
+    finish, queueing, cold = plan.commit_columns(
+        ready, finish_matrix, r_edge, start_edge, penalty
+    )
 
     # ---- commit: advance pool and node state -------------------------
     if pool_idx.size:

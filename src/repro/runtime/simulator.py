@@ -120,6 +120,8 @@ class OnlineSimulator:
         serverless: ServerlessConfig = ServerlessConfig(),
         seed: SeedLike = None,
         fast_replay: bool = True,
+        shards: int = 1,
+        shard_executor: str = "serial",
     ):
         check_positive("slot_seconds", slot_seconds)
         self.network = network
@@ -128,6 +130,22 @@ class OnlineSimulator:
         self.workload = workload
         self.slot_seconds = float(slot_seconds)
         self.serverless = serverless
+        check_positive("shards", shards)
+        #: With ``shards > 1`` every fault-free slot replays through the
+        #: region-sharded engine (:mod:`repro.runtime.shard`), nodes
+        #: partitioned geographically by k-means over their positions.
+        #: Results stay bit-identical to the flat replay; only the
+        #: memory/scaling profile changes.  ``shard_executor`` picks
+        #: ``"serial"`` (in-process) or ``"process"`` shard workers.
+        self.shards = int(shards)
+        self.shard_executor = shard_executor
+        self.region_map = None
+        if self.shards > 1:
+            from repro.runtime.shard import RegionMap
+
+            self.region_map = RegionMap.from_positions(
+                network.positions, self.shards
+            )
         #: Use the vectorized fault-free replay
         #: (:mod:`repro.runtime.replay`) for slots without faults or a
         #: resilience policy; results are bit-identical to the event
@@ -257,6 +275,8 @@ class OnlineSimulator:
                     faults=slot_faults,
                     policy=resilience,
                     fast_replay=self.fast_replay,
+                    region_map=self.region_map,
+                    shard_executor=self.shard_executor,
                 )
                 # arrivals spread uniformly across the slot
                 offsets = self._arrival_rng.uniform(
@@ -345,6 +365,32 @@ class OnlineSimulator:
                     if replay_cols is not None:
                         tracer.inc("runtime.replay_fast_slots")
                         tracer.inc("runtime.replay_rounds", replay_cols.rounds)
+                        shard_stats = cluster.last_shard_stats
+                        if shard_stats is not None:
+                            tracer.inc("runtime.shard.slots")
+                            tracer.inc(
+                                "runtime.shard.rounds", shard_stats.rounds
+                            )
+                            tracer.inc(
+                                "runtime.shard.exchange_rounds",
+                                shard_stats.exchange_rounds,
+                            )
+                            tracer.inc(
+                                "runtime.shard.boundary_invocations",
+                                shard_stats.boundary_invocations,
+                            )
+                            tracer.inc(
+                                "runtime.shard.local_invocations",
+                                shard_stats.local_invocations,
+                            )
+                            tracer.inc(
+                                "runtime.shard.ready_values_exchanged",
+                                shard_stats.ready_values_exchanged,
+                            )
+                            tracer.inc(
+                                "runtime.shard.start_values_exchanged",
+                                shard_stats.start_values_exchanged,
+                            )
                     elif not resilient:
                         tracer.inc("runtime.replay_fallback_slots")
                     if resilient:

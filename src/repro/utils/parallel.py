@@ -111,3 +111,134 @@ def parallel_map(
 def serial_map(fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
     """Plain list-comprehension map, provided for symmetry in ablations."""
     return [fn(item) for item in items]
+
+
+def _pipe_worker(conn, factory, ctor_args) -> None:
+    """Worker loop: construct one object, dispatch method calls on it.
+
+    Replies are ``("ok", result)`` or ``("err", message)``; the
+    ``"__stop__"`` sentinel ends the loop.  Runs until stopped so the
+    object's state persists across calls — the point of the pool.
+    """
+    import traceback
+
+    try:
+        obj = factory(*ctor_args)
+    except Exception:
+        conn.send(("err", traceback.format_exc()))
+        conn.close()
+        return
+    conn.send(("ok", None))
+    while True:
+        try:
+            method, arg = conn.recv()
+        except EOFError:
+            break
+        if method == "__stop__":
+            break
+        try:
+            result = getattr(obj, method)(arg)
+        except Exception:
+            conn.send(("err", traceback.format_exc()))
+        else:
+            conn.send(("ok", result))
+    conn.close()
+
+
+class PipeWorkerPool:
+    """Persistent worker processes, each hosting one stateful object.
+
+    Unlike :func:`parallel_map` (stateless fan-out per call), this pool
+    keeps one process alive per object so expensive per-worker state —
+    e.g. a :class:`repro.runtime.shard.RegionShard`'s slice of a slot —
+    is built once and then driven through many small method calls over
+    a ``multiprocessing.Pipe``.  ``call_all`` dispatches one method to
+    every worker concurrently and gathers replies in worker order.
+
+    Prefers the ``fork`` start method (constructor arguments are
+    inherited copy-on-write rather than pickled); falls back to the
+    platform default where fork is unavailable.
+    """
+
+    def __init__(self, factory: Callable, ctor_args_list: Sequence[tuple]):
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = mp.get_context()
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        try:
+            for args in ctor_args_list:
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_pipe_worker,
+                    args=(child, factory, args),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+            for conn in self._conns:
+                status, detail = conn.recv()
+                if status != "ok":
+                    raise RuntimeError(f"pipe worker failed to start:\n{detail}")
+        except BaseException:
+            self.close()
+            raise
+
+    @classmethod
+    def for_objects(
+        cls, factory: Callable, ctor_args_list: Sequence[tuple]
+    ) -> "PipeWorkerPool":
+        """One worker per constructor-argument tuple."""
+        return cls(factory, ctor_args_list)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._procs)
+
+    def call_all(self, method: str, args: Sequence) -> list:
+        """Invoke ``method(arg)`` on every worker's object concurrently."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if len(args) != len(self._conns):
+            raise ValueError(
+                f"expected {len(self._conns)} args, got {len(args)}"
+            )
+        for conn, arg in zip(self._conns, args):
+            conn.send((method, arg))
+        results = []
+        for conn in self._conns:
+            status, payload = conn.recv()
+            if status != "ok":
+                raise RuntimeError(f"pipe worker call failed:\n{payload}")
+            results.append(payload)
+        return results
+
+    def close(self) -> None:
+        """Stop every worker and reap the processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("__stop__", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+
+    def __enter__(self) -> "PipeWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -18,6 +18,7 @@ from repro.workload.requests import (
 from repro.workload.users import (
     WorkloadSpec,
     generate_request_batch,
+    generate_request_windows,
     generate_requests,
     place_users,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "services_in_requests",
     "generate_requests",
     "generate_request_batch",
+    "generate_request_windows",
     "place_users",
     "WorkloadSpec",
     "TemporalTrace",

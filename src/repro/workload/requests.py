@@ -213,6 +213,102 @@ class RequestBatch(SequenceABC):
             edge_data=edge,
         )
 
+    @classmethod
+    def concat(cls, batches: Sequence["RequestBatch"]) -> "RequestBatch":
+        """Stitch a sequence of batches into one, renumbering ``index``.
+
+        The canonical consumer is streaming generation
+        (:func:`repro.workload.users.generate_request_windows`): windows
+        are produced one at a time with bounded memory and concatenated
+        — or fed to per-shard replay directly — instead of ad-hoc list
+        assembly in workload callers.  Request order is the batch order;
+        ``index`` is renumbered consecutively so the result is a valid
+        standalone workload.  CSR offsets are re-based, all other
+        columns concatenate verbatim, and the merged batch re-validates.
+        """
+        batches = list(batches)
+        if not batches:
+            raise ValueError("concat requires at least one batch")
+        for b in batches:
+            if not isinstance(b, RequestBatch):
+                raise TypeError(
+                    f"concat expects RequestBatch items, got {type(b).__name__}"
+                )
+        sizes = np.array([b.n_requests for b in batches], dtype=np.int64)
+        n = int(sizes.sum())
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        pos = 0
+        base = 0
+        for b in batches:
+            k = b.n_requests
+            offsets[pos + 1 : pos + k + 1] = b.chain_offsets[1:] + base
+            base += int(b.chain_offsets[-1])
+            pos += k
+        return cls(
+            index=np.arange(n, dtype=np.int64),
+            homes=np.concatenate([b.homes for b in batches]),
+            chains=np.concatenate([b.chains for b in batches]),
+            chain_offsets=offsets,
+            data_in=np.concatenate([b.data_in for b in batches]),
+            data_out=np.concatenate([b.data_out for b in batches]),
+            edge_data=np.concatenate([b.edge_data for b in batches]),
+        )
+
+    def take(self, indices: np.ndarray) -> "RequestBatch":
+        """Gather a sub-batch of the given request positions, in order.
+
+        The slice-by-region helper behind sharded replay: callers pass
+        the positions whose ``homes`` fall in one region (e.g.
+        ``np.nonzero(region_of[batch.homes] == r)[0]``) and get a
+        self-contained columnar batch.  ``index`` keeps the original
+        values so provenance survives the slicing; duplicates are
+        allowed (a request may be replayed under several slots).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise ValueError(
+                f"take expects a 1-D index array, got shape {indices.shape}"
+            )
+        n = self.n_requests
+        if indices.size and (
+            int(indices.min()) < 0 or int(indices.max()) >= n
+        ):
+            raise IndexError(
+                f"take indices must lie in [0, {n}), got range "
+                f"[{int(indices.min())}, {int(indices.max())}]"
+            )
+        lens = self._lengths[indices]
+        offsets = np.zeros(indices.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        total = int(offsets[-1])
+        flat = (
+            np.arange(total)
+            + np.repeat(self.chain_offsets[indices] - offsets[:-1], lens)
+            if total
+            else np.empty(0, dtype=np.int64)
+        )
+        e_off = self.edge_offsets
+        e_lens = lens - 1
+        e_total = int(e_lens.sum())
+        e_cum = np.zeros(indices.size + 1, dtype=np.int64)
+        np.cumsum(e_lens, out=e_cum[1:])
+        e_flat = (
+            np.arange(e_total)
+            + np.repeat(e_off[indices] - e_cum[:-1], e_lens)
+            if e_total
+            else np.empty(0, dtype=np.int64)
+        )
+        return RequestBatch(
+            index=self.index[indices],
+            homes=self.homes[indices],
+            chains=self.chains[flat],
+            chain_offsets=offsets,
+            data_in=self.data_in[indices],
+            data_out=self.data_out[indices],
+            edge_data=self.edge_data[e_flat],
+            validate=False,
+        )
+
     # -- sizes ----------------------------------------------------------
     @property
     def n_requests(self) -> int:

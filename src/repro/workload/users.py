@@ -15,7 +15,7 @@ noise, spanning the paper's [1, 80] GB range once scaled by request rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 import numpy as np
@@ -261,6 +261,62 @@ def generate_request_batch(
         edge_data=edge_data,
         validate=False,
     )
+
+
+def generate_request_windows(
+    network: EdgeNetwork,
+    app: Application,
+    spec: WorkloadSpec,
+    rng: SeedLike = None,
+    window_size: int = 100_000,
+    homes: Optional[Sequence[int]] = None,
+):
+    """Stream ``spec.n_users`` requests as bounded columnar windows.
+
+    Yields :class:`~repro.workload.requests.RequestBatch` windows of at
+    most ``window_size`` requests each (the last may be shorter), so a
+    consumer that processes windows one at a time — per-shard replay,
+    chunked demand aggregation — holds only ``O(window_size)`` request
+    state at once regardless of ``spec.n_users``.
+
+    Home placement happens **once** up front with the parent generator
+    (hotspot cells must be consistent across the whole workload — an
+    ``(n_users,)`` int array, 8 bytes/user, is the only full-size
+    allocation); chain and data sampling then runs per window through
+    :func:`generate_request_batch` on independent spawned child
+    generators, so windows can be regenerated or distributed without
+    replaying predecessors.  The union of the windows is a valid
+    workload; reassemble with
+    :meth:`~repro.workload.requests.RequestBatch.concat`, which
+    renumbers ``index`` to the global request order.  Like
+    :func:`generate_request_batch`, the stream is seed-stable but not
+    bit-compatible with the sequential generator; changing
+    ``window_size`` changes the drawn workload.
+    """
+    check_positive("window_size", window_size)
+    gen = as_generator(rng)
+    if homes is None:
+        homes = place_users(
+            network,
+            spec.n_users,
+            gen,
+            hotspot_fraction=spec.hotspot_fraction,
+            hotspot_weight=spec.hotspot_weight,
+        )
+    homes = np.asarray(homes, dtype=np.int64)
+    if homes.shape != (spec.n_users,):
+        raise ValueError(
+            f"homes must have shape ({spec.n_users},), got {homes.shape}"
+        )
+    n_windows = -(-spec.n_users // window_size)
+    children = gen.spawn(n_windows)
+    for w, child in enumerate(children):
+        lo = w * window_size
+        hi = min(lo + window_size, spec.n_users)
+        sub = replace(spec, n_users=hi - lo)
+        yield generate_request_batch(
+            network, app, sub, rng=child, homes=homes[lo:hi]
+        )
 
 
 def reindex_requests(requests: Sequence[UserRequest]) -> list[UserRequest]:

@@ -1,0 +1,79 @@
+"""Schema check for the committed BENCH_shard.json artifact.
+
+The benchmark itself is too heavy for CI; this validates that the
+published document is well-formed, internally consistent, and that its
+acceptance criteria hold, so a stale or hand-edited artifact fails fast.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+DOC_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+ENGINE_KEYS = {"wall_s_median", "wall_s_runs", "peak_rss_mb", "rounds", "digest"}
+
+
+@pytest.fixture(scope="module")
+def doc():
+    if not DOC_PATH.exists():
+        pytest.skip("BENCH_shard.json not present")
+    with open(DOC_PATH) as fh:
+        return json.load(fh)
+
+
+def test_schema_header(doc):
+    assert doc["schema"] == "bench-shard/1"
+    assert isinstance(doc["description"], str) and doc["description"]
+    assert doc["command"].startswith("PYTHONPATH=src python benchmarks/")
+    cfg = doc["config"]
+    assert cfg["shards"] >= 2
+    assert cfg["repeats"] >= 1
+    assert cfg["window_size"] > 0
+    assert cfg["executor"] in ("serial", "process")
+
+
+def test_scales_rows(doc):
+    scales = doc["scales"]
+    assert len(scales) >= 2
+    sizes = [row["n_users"] for row in scales]
+    assert sizes == sorted(sizes)
+    for row in scales:
+        for engine in ("ref", "sharded"):
+            m = row[engine]
+            assert ENGINE_KEYS <= set(m)
+            assert m["wall_s_median"] > 0
+            assert len(m["wall_s_runs"]) == doc["config"]["repeats"]
+            assert len(m["digest"]) == 64
+        assert row["sharded"]["shards"] == doc["config"]["shards"]
+        assert row["sharded"]["boundary_invocations"] >= 0
+        assert row["sharded"]["exchange_rounds"] >= 0
+        gen = row["generation"]
+        assert gen["peak_rss_mb"] > 0
+        assert gen["window_size"] == doc["config"]["window_size"]
+
+
+def test_bit_identity_claimed_and_consistent(doc):
+    for row in doc["scales"]:
+        assert row["identical"] is True
+        assert row["ref"]["digest"] == row["sharded"]["digest"]
+        assert row["ref"]["rounds"] == row["sharded"]["rounds"]
+
+
+def test_acceptance_criteria(doc):
+    crit = doc["criteria"]
+    largest = doc["scales"][-1]
+    assert crit["speedup_ge_3x"] is True
+    assert crit["speedup_at_largest_scale"] == largest["speedup"]
+    assert largest["speedup"] >= 3.0
+    assert crit["all_identical"] is True
+    assert crit["gen_rss_within_2x"] is True
+    assert (
+        crit["gen_rss_largest_mb"]
+        <= 2.0 * max(crit["gen_rss_smallest_mb"], 1.0)
+    )
+
+
+def test_million_user_scale_present(doc):
+    assert doc["scales"][-1]["n_users"] >= 1_000_000
