@@ -6,6 +6,20 @@ Run as a script (not under pytest-benchmark — every measurement needs a
     PYTHONPATH=src python benchmarks/bench_shard.py \
         --scales 100000 300000 1000000 --shards 4 --out BENCH_shard.json
 
+``--executor`` selects which sharded engines to measure alongside the
+flat reference: ``serial`` (in-process shards), ``shm`` (persistent
+slot-pinned workers over a shared-memory arena), or ``all`` (both,
+default; shm is skipped with a note when the host lacks shared memory).
+The shm rows record ``os.cpu_count()`` — on hosts with fewer than 4
+cores the multi-core speedup criterion is *gated* (recorded but not
+enforced), because worker processes cannot run in parallel there.
+
+A separate paired warm-start run (``--warm-slots`` consecutive slots,
+same streamed workload, fresh arrival draws per slot) replays the
+sequence cold and warm-seeded in fresh subprocesses and publishes a
+per-slot rounds table plus digest equality — the warm seed must never
+change committed bits, only round counts.
+
 For each scale the parent builds the fig-10-shaped slot once — workload
 streamed through :func:`repro.workload.users.generate_request_windows`
 and reassembled with :meth:`RequestBatch.concat`, full placement,
@@ -48,7 +62,7 @@ import sys
 import tempfile
 import time
 
-SCHEMA = "bench-shard/1"
+SCHEMA = "bench-shard/2"
 RATE = 5.0  # arrivals per second: utilization ~0.05 at every scale
 WINDOW = 100_000
 
@@ -117,7 +131,11 @@ def worker_replay(args) -> None:
     from repro.runtime.cluster import SimulatedCluster
     from repro.runtime.replay import replay_slot
     from repro.runtime.serverless import InstancePool
-    from repro.runtime.shard import RegionMap, replay_slot_sharded
+    from repro.runtime.shard import (
+        RegionMap,
+        ShmReplayContext,
+        replay_slot_sharded,
+    )
 
     net, inst, placement, at = _build_slot(args.n_users)
     routing = np.load(args.routing, allow_pickle=True).item()
@@ -127,8 +145,8 @@ def worker_replay(args) -> None:
     cluster = SimulatedCluster(inst, placement, routing, pool=pool)
     req = np.arange(args.n_users)
     out = {"engine": args.engine, "n_users": args.n_users}
-    t0 = time.perf_counter()
     if args.engine == "ref":
+        t0 = time.perf_counter()
         result = replay_slot(
             inst, placement, routing, pool, cluster.nodes, req, at
         )
@@ -137,19 +155,115 @@ def worker_replay(args) -> None:
         out["rounds"] = result.rounds
     else:
         rmap = RegionMap.from_positions(net.positions, args.shards)
-        sharded = replay_slot_sharded(
-            inst, placement, routing, pool, cluster.nodes, req, at, rmap
-        )
-        out["wall_s"] = time.perf_counter() - t0
+        executor = "shm" if args.engine == "shm" else "serial"
+        ctx = None
+        if executor == "shm":
+            # the persistent context is part of the engine: workers and
+            # the arena are reused across slots in production, so spawn
+            # them inside the measured region (one slot pays it all —
+            # the honest worst case for a single-slot measurement).
+            ctx = ShmReplayContext()
+        try:
+            t0 = time.perf_counter()
+            sharded = replay_slot_sharded(
+                inst, placement, routing, pool, cluster.nodes, req, at,
+                rmap, executor=executor, shard_context=ctx,
+            )
+            out["wall_s"] = time.perf_counter() - t0
+        finally:
+            if ctx is not None:
+                ctx.close()
         assert sharded is not None, "sharded replay declined"
         result = sharded.result
         out["rounds"] = sharded.stats.rounds
         out["shards"] = sharded.stats.n_shards
         out["boundary_invocations"] = sharded.stats.boundary_invocations
         out["exchange_rounds"] = sharded.stats.exchange_rounds
+        if executor == "shm":
+            out["shm_bytes"] = sharded.stats.shm_bytes
+            out["shm_segments"] = sharded.stats.shm_segments
     out["digest"] = _digest(result, pool, cluster.nodes)
     out["peak_rss_mb"] = _peak_rss_mb()
     print(json.dumps(out))
+
+
+def worker_warmstart(args) -> None:
+    """Child: replay ``--slots`` consecutive slots (fresh arrival draws
+    per slot, carried pool/node state) cold or warm-seeded; print the
+    per-slot rounds and a digest over every committed column."""
+    import numpy as np
+
+    from repro.runtime import ServerlessConfig
+    from repro.runtime.cluster import SimulatedCluster
+    from repro.runtime.replay import WarmStartCache
+    from repro.runtime.serverless import InstancePool
+    from repro.runtime.shard import RegionMap, replay_slot_sharded
+
+    net, inst, placement, _ = _build_slot(args.n_users)
+    routing = np.load(args.routing, allow_pickle=True).item()
+    pool = InstancePool(
+        placement, ServerlessConfig(cold_start=0.5, keep_alive=60.0)
+    )
+    cluster = SimulatedCluster(inst, placement, routing, pool=pool)
+    rmap = RegionMap.from_positions(net.positions, args.shards)
+    cache = WarmStartCache(len(net.servers)) if args.warm else None
+    req = np.arange(args.n_users)
+    span = args.n_users / RATE
+    h = hashlib.sha256()
+    rounds = []
+    seeded = []
+    t0 = time.perf_counter()
+    for slot in range(args.slots):
+        gen = np.random.default_rng(1000 + slot)
+        at = np.sort(gen.uniform(slot * span, (slot + 1) * span,
+                                 size=args.n_users))
+        sharded = replay_slot_sharded(
+            inst, placement, routing, pool, cluster.nodes, req, at, rmap,
+            warm_start=cache,
+        )
+        assert sharded is not None, f"slot {slot} declined"
+        rounds.append(sharded.stats.rounds)
+        seeded.append(bool(sharded.stats.warm_started))
+        for name in ("finish", "queueing", "cold_start"):
+            h.update(getattr(sharded.result, name).tobytes())
+    wall = time.perf_counter() - t0
+    h.update(repr(sorted(pool._last_used.items())).encode())
+    for nd in cluster.nodes:
+        h.update(repr(list(nd.core_free)).encode())
+    out = {
+        "mode": "warm" if args.warm else "cold",
+        "n_users": args.n_users,
+        "slots": args.slots,
+        "wall_s": wall,
+        "rounds": rounds,
+        "seeded": seeded,
+        "digest": h.hexdigest(),
+    }
+    if cache is not None:
+        out["warm_slots"] = cache.warm_slots
+        out["declined"] = cache.declined
+        out["suppressed"] = cache.suppressed
+    print(json.dumps(out))
+
+
+def worker_prep(args) -> None:
+    """Child: build the slot, save its routing to ``--routing``.
+
+    Routing is precomputed once per scale and shared with every
+    measurement child via a temp ``.npy``.  Building the slot takes
+    gigabytes at the top scale, and on Linux ``ru_maxrss`` survives
+    ``fork+exec`` — so the publisher must never hold the big arrays
+    itself, or every child it spawns would inherit the publisher's
+    peak as a floor on its own RSS reading.
+    """
+    import numpy as np
+
+    from repro.model import optimal_routing
+
+    _, inst, placement, _ = _build_slot(args.n_users)
+    routing = optimal_routing(inst, placement)
+    np.save(args.routing, routing, allow_pickle=True)
+    print(json.dumps({"n_users": args.n_users, "routing": args.routing}))
 
 
 def worker_genrss(args) -> None:
@@ -203,24 +317,31 @@ def _spawn(argv: list[str]) -> dict:
 
 
 def run_publish(args) -> int:
-    import numpy as np
+    from repro.utils.parallel import shared_memory_available
 
-    from repro.model import optimal_routing
-
+    cpu_count = os.cpu_count() or 1
+    shm_ok = shared_memory_available()
+    engines = ["ref", "sharded"]
+    if args.executor in ("shm", "all"):
+        if shm_ok:
+            engines.append("shm")
+        else:
+            print("note: no shared memory on this host; skipping the "
+                  "shm engine", flush=True)
     scales = []
     for n_users in args.scales:
         print(f"=== n_users={n_users} ===", flush=True)
-        net, inst, placement, at = _build_slot(n_users)
-        routing = optimal_routing(inst, placement)
         with tempfile.NamedTemporaryFile(
             suffix=".npy", delete=False
         ) as tmp:
             routing_path = tmp.name
-        np.save(routing_path, routing, allow_pickle=True)
-        del net, inst, placement, at, routing
+        _spawn(
+            ["--worker", "prep", "--n-users", str(n_users),
+             "--routing", routing_path]
+        )
         try:
             row: dict = {"n_users": n_users}
-            for engine in ("ref", "sharded"):
+            for engine in engines:
                 runs = []
                 for rep in range(args.repeats):
                     m = _spawn(
@@ -253,7 +374,7 @@ def run_publish(args) -> int:
                     "rounds": runs[0]["rounds"],
                     "digest": runs[0]["digest"],
                 }
-                if engine == "sharded":
+                if engine != "ref":
                     row[engine]["shards"] = runs[0]["shards"]
                     row[engine]["boundary_invocations"] = runs[0][
                         "boundary_invocations"
@@ -261,13 +382,22 @@ def run_publish(args) -> int:
                     row[engine]["exchange_rounds"] = runs[0][
                         "exchange_rounds"
                     ]
-            row["identical"] = (
-                row["ref"]["digest"] == row["sharded"]["digest"]
+                if engine == "shm":
+                    row[engine]["shm_bytes"] = runs[0]["shm_bytes"]
+                    row[engine]["shm_segments"] = runs[0]["shm_segments"]
+            row["identical"] = all(
+                row[e]["digest"] == row["ref"]["digest"]
+                for e in engines[1:]
             )
             row["speedup"] = (
                 row["ref"]["wall_s_median"]
                 / row["sharded"]["wall_s_median"]
             )
+            if "shm" in row:
+                row["shm_speedup_vs_sharded"] = (
+                    row["sharded"]["wall_s_median"]
+                    / row["shm"]["wall_s_median"]
+                )
             gen = _spawn(
                 ["--worker", "genrss", "--n-users", str(n_users)]
             )
@@ -286,6 +416,48 @@ def run_publish(args) -> int:
             scales.append(row)
         finally:
             os.unlink(routing_path)
+
+    # paired warm-start rounds table: same slot sequence, cold vs warm
+    print(f"=== warm start: {args.warm_slots} slots at "
+          f"n_users={args.warm_users} ===", flush=True)
+    with tempfile.NamedTemporaryFile(suffix=".npy", delete=False) as tmp:
+        routing_path = tmp.name
+    _spawn(
+        ["--worker", "prep", "--n-users", str(args.warm_users),
+         "--routing", routing_path]
+    )
+    try:
+        ws_argv = [
+            "--worker", "warmstart",
+            "--n-users", str(args.warm_users),
+            "--shards", str(args.shards),
+            "--slots", str(args.warm_slots),
+            "--routing", routing_path,
+        ]
+        cold = _spawn(ws_argv)
+        warm = _spawn(ws_argv + ["--warm"])
+    finally:
+        os.unlink(routing_path)
+    warm_start = {
+        "n_users": args.warm_users,
+        "slots": args.warm_slots,
+        "identical": cold["digest"] == warm["digest"],
+        "rounds_cold": cold["rounds"],
+        "rounds_warm": warm["rounds"],
+        "seeded": warm["seeded"],
+        "rounds_saved_total": sum(cold["rounds"]) - sum(warm["rounds"]),
+        "warm_slots": warm["warm_slots"],
+        "declined": warm["declined"],
+        "suppressed": warm["suppressed"],
+        "wall_s_cold": cold["wall_s"],
+        "wall_s_warm": warm["wall_s"],
+    }
+    print(
+        f"  rounds cold={cold['rounds']} warm={warm['rounds']} "
+        f"saved={warm_start['rounds_saved_total']} identical="
+        f"{warm_start['identical']}",
+        flush=True,
+    )
 
     smallest = scales[0]
     largest = scales[-1]
@@ -311,15 +483,24 @@ def run_publish(args) -> int:
             "PYTHONPATH=src python benchmarks/bench_shard.py --scales "
             + " ".join(str(s) for s in args.scales)
             + f" --shards {args.shards} --repeats {args.repeats}"
+            + f" --executor {args.executor}"
         ),
         "config": {
             "shards": args.shards,
             "repeats": args.repeats,
             "arrival_rate": RATE,
             "window_size": WINDOW,
-            "executor": "serial",
+            "executors": [e for e in engines if e != "ref"],
+            "warm_users": args.warm_users,
+            "warm_slots": args.warm_slots,
+        },
+        "host": {
+            "cpu_count": cpu_count,
+            "shared_memory": shm_ok,
+            "platform": sys.platform,
         },
         "scales": scales,
+        "warm_start": warm_start,
         "criteria": {
             "speedup_at_largest_scale": largest["speedup"],
             "speedup_ge_3x": largest["speedup"] >= 3.0,
@@ -329,6 +510,22 @@ def run_publish(args) -> int:
             "gen_rss_within_2x": (
                 largest["generation"]["peak_rss_mb"]
                 <= 2.0 * max(smallest["generation"]["peak_rss_mb"], 1.0)
+            ),
+            "warm_start_identical": warm_start["identical"],
+            # The shm multi-core criterion (>= 2x over serial-sharded at
+            # the largest scale) can only be demonstrated with real
+            # parallelism: it is enforced on hosts with >= 4 cores and
+            # recorded-but-gated below that (workers time-slice one
+            # core, so the measurement shows overhead, not the engine).
+            "shm_speedup_vs_sharded_at_largest": largest.get(
+                "shm_speedup_vs_sharded"
+            ),
+            "shm_parallel_cores": cpu_count,
+            "shm_parallel_gated": cpu_count < 4 or "shm" not in largest,
+            "shm_parallel_ge_2x": (
+                largest["shm_speedup_vs_sharded"] >= 2.0
+                if cpu_count >= 4 and "shm" in largest
+                else None
             ),
         },
     }
@@ -341,6 +538,8 @@ def run_publish(args) -> int:
         crit["speedup_ge_3x"]
         and crit["all_identical"]
         and crit["gen_rss_within_2x"]
+        and crit["warm_start_identical"]
+        and (crit["shm_parallel_gated"] or crit["shm_parallel_ge_2x"])
     )
     print(f"criteria: {json.dumps(crit)}")
     return 0 if ok else 1
@@ -348,8 +547,14 @@ def run_publish(args) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--worker", choices=["replay", "genrss"])
-    parser.add_argument("--engine", choices=["ref", "sharded"])
+    parser.add_argument(
+        "--worker", choices=["prep", "replay", "genrss", "warmstart"]
+    )
+    parser.add_argument("--engine", choices=["ref", "sharded", "shm"])
+    parser.add_argument("--executor", choices=["serial", "shm", "all"],
+                        default="all",
+                        help="which sharded engines to measure alongside "
+                             "the flat reference")
     parser.add_argument("--n-users", type=int, default=100_000)
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--routing", default=None)
@@ -358,13 +563,27 @@ def main(argv=None) -> int:
         default=[100_000, 300_000, 1_000_000],
     )
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--slots", type=int, default=6,
+                        help="(warmstart worker) slots per sequence")
+    parser.add_argument("--warm", action="store_true",
+                        help="(warmstart worker) seed from the cache")
+    parser.add_argument("--warm-users", type=int, default=100_000,
+                        help="scale of the paired warm-start run")
+    parser.add_argument("--warm-slots", type=int, default=6,
+                        help="slots in the paired warm-start run")
     parser.add_argument("--out", default="BENCH_shard.json")
     args = parser.parse_args(argv)
+    if args.worker == "prep":
+        worker_prep(args)
+        return 0
     if args.worker == "replay":
         worker_replay(args)
         return 0
     if args.worker == "genrss":
         worker_genrss(args)
+        return 0
+    if args.worker == "warmstart":
+        worker_warmstart(args)
         return 0
     return run_publish(args)
 

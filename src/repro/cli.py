@@ -197,6 +197,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         WorkloadSpec(n_users=args.users, data_scale=5.0),
         seed=args.seed,
         shards=args.shards,
+        shard_executor=args.executor,
+        warm_start=args.warm_start,
     )
     outages = (
         OutageSchedule(args.servers, fail_prob=args.fail_prob, seed=args.seed)
@@ -204,7 +206,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
         else None
     )
     solver = make_solver(args.solver, seed=args.seed)
-    result = sim.run(solver, n_slots=args.slots, outages=outages)
+    try:
+        result = sim.run(solver, n_slots=args.slots, outages=outages)
+    finally:
+        sim.close()
     print(f"{result.solver_name}: mean delay {result.mean_delay:.3f}s, "
           f"max {result.max_delay:.3f}s over {args.slots} slots")
     print("per-slot mean delay: " + sparkline(result.slot_means(), width=args.slots))
@@ -411,6 +416,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=1,
                    help="region shards for slot replay (>1 enables the "
                         "sharded engine; results are bit-identical)")
+    p.add_argument("--executor",
+                   choices=["serial", "process", "shm", "auto"],
+                   default="serial",
+                   help="sharded-replay executor: serial (in-process), "
+                        "process (pickled slices), shm (persistent workers "
+                        "over a shared-memory arena), or auto (serial below "
+                        "a users-per-shard threshold, shm above)")
+    p.add_argument("--warm-start", action="store_true",
+                   help="seed each slot's replay fixpoint from the previous "
+                        "slot's converged per-node state (bit-identical; "
+                        "only the round count changes)")
     p.add_argument("--fail-prob", type=float, default=0.0,
                    help="per-slot node failure probability (failure injection)")
     p.set_defaults(func=cmd_trace)

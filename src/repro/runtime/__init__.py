@@ -35,13 +35,15 @@ The full runtime model is documented in ``docs/RUNTIME.md``.
 from repro.runtime.events import EventQueue, Event
 from repro.runtime.serverless import InstancePool, InstanceState, ServerlessConfig
 from repro.runtime.cluster import SimulatedCluster, RequestOutcome
-from repro.runtime.replay import ReplayResult, replay_slot
+from repro.runtime.replay import ReplayResult, WarmStartCache, replay_slot
 from repro.runtime.shard import (
     RegionMap,
     RegionShard,
     ShardStats,
     ShardedReplayResult,
+    ShmReplayContext,
     replay_slot_sharded,
+    resolve_shard_executor,
 )
 from repro.runtime.simulator import OnlineSimulator, SlotRecord, OnlineTraceResult
 from repro.runtime.metrics import LatencyRecorder, summarize_latencies
@@ -63,12 +65,15 @@ __all__ = [
     "SimulatedCluster",
     "RequestOutcome",
     "ReplayResult",
+    "WarmStartCache",
     "replay_slot",
     "RegionMap",
     "RegionShard",
     "ShardStats",
     "ShardedReplayResult",
+    "ShmReplayContext",
     "replay_slot_sharded",
+    "resolve_shard_executor",
     "OnlineSimulator",
     "SlotRecord",
     "OnlineTraceResult",

@@ -114,6 +114,8 @@ class SimulatedCluster:
         fast_replay: bool = True,
         region_map=None,
         shard_executor: str = "serial",
+        shard_context=None,
+        warm_start=None,
     ):
         check_positive("cores_per_node", cores_per_node)
         self.instance = instance
@@ -140,6 +142,14 @@ class SimulatedCluster:
         #: state is exposed through :attr:`shards`.
         self.region_map = region_map
         self.shard_executor = shard_executor
+        #: Optional persistent shared-memory executor state
+        #: (:class:`repro.runtime.shard.ShmReplayContext`) — owned by
+        #: the caller (usually :class:`~repro.runtime.simulator.
+        #: OnlineSimulator`), shared across per-slot clusters.
+        self.shard_context = shard_context
+        #: Optional cross-slot :class:`repro.runtime.replay.
+        #: WarmStartCache`, likewise caller-owned.
+        self.warm_start = warm_start
         self.shards = []
         self.last_shard_stats = None
         if region_map is not None:
@@ -411,6 +421,8 @@ class SimulatedCluster:
                 at_arr,
                 self.region_map,
                 executor=self.shard_executor,
+                shard_context=self.shard_context,
+                warm_start=self.warm_start,
             )
             if sharded is None:
                 self.fast_replay = False
@@ -425,6 +437,7 @@ class SimulatedCluster:
             self.nodes,
             req_arr,
             at_arr,
+            warm_start=self.warm_start,
         )
         if result is None:
             self.fast_replay = False

@@ -44,7 +44,8 @@ grow.  Telemetry counters (``runtime.shard.*``) are documented in
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -55,6 +56,7 @@ from repro.runtime.replay import (
     DEFAULT_MAX_ROUNDS,
     ReplayPlan,
     ReplayResult,
+    WarmStartCache,
     build_replay_plan,
     empty_result,
 )
@@ -639,6 +641,9 @@ class ShardSlice:
     keep_alive: float
     cold_penalty: float
     M: np.int64
+    # optional warm-start seed for this shard's rows (same shape as the
+    # ready matrix); ``None`` seeds from the congestion-free bound
+    warm_init: Optional[np.ndarray] = None
 
     @classmethod
     def from_plan(
@@ -726,6 +731,11 @@ class ShardCommit:
     tied: bool
     n_local: int
     n_boundary: int
+    # per owned node: summed admission delay (start − ready, includes
+    # cold-start penalties) and invocation count — feeds the cross-slot
+    # :class:`repro.runtime.replay.WarmStartCache`
+    node_wait: dict = field(default_factory=dict)
+    node_count: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -827,8 +837,12 @@ class RegionShard:
 
     # -- protocol steps -------------------------------------------------
     def begin(self, _payload=None) -> _Exports:
-        """Initialize with the congestion-free bound; export readies."""
+        """Initialize with the congestion-free bound (or the slice's
+        warm-start seed when one is present); export readies."""
         slc = self.slc
+        if slc.warm_init is not None:
+            self.ready = np.array(slc.warm_init, dtype=np.float64)
+            return self._export_ready()
         ready = np.zeros((slc.rows.size, slc.width))
         if slc.rows.size:
             ready[:, 0] = slc.first_ready
@@ -1473,6 +1487,8 @@ class RegionShard:
 
         busy: dict = {}
         core_free: dict = {}
+        node_wait: dict = {}
+        node_count: dict = {}
         for v, idx in self.node_idx.items():
             cache = self._node_cache.get(v)
             if cache is None:  # node never had an invocation
@@ -1491,6 +1507,9 @@ class RegionShard:
             core_free[v] = _core_free_final(
                 cache.st_s, cache.w_s, slc.cores
             )
+            if cache.r_s.size:
+                node_wait[v] = float(np.sum(cache.st_s - cache.r_s))
+                node_count[v] = int(cache.r_s.size)
         pool_updates = {}
         for g, key in enumerate(slc.groups.tolist()):
             svc_g, node_g = divmod(key, int(slc.M))
@@ -1508,6 +1527,8 @@ class RegionShard:
             tied=any(self.tied.values()),
             n_local=int(self._re_local.size),
             n_boundary=int(self._re_foreign.size),
+            node_wait=node_wait,
+            node_count=node_count,
         )
 
 
@@ -1528,6 +1549,15 @@ class ShardStats:
     ready_values_exchanged: int = 0
     start_values_exchanged: int = 0
     executor: str = "serial"
+    # shared-memory executor telemetry (zero unless executor == "shm")
+    shm_bytes: int = 0
+    shm_segments: int = 0
+    pool_reused: bool = False
+    # cross-slot warm start telemetry
+    warm_started: bool = False
+    warm_seeded_nodes: int = 0
+    warm_invalidated_nodes: int = 0
+    warm_declined: bool = False
 
 
 @dataclass
@@ -1600,13 +1630,17 @@ def run_sharded_rounds_pooled(
     pool: "object",
     regions: Sequence[int],
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    executor: str = "process",
+    finalize_cmd: str = "finalize",
 ) -> tuple[Optional[list[ShardCommit]], ShardStats]:
     """Process driver: same schedule, shards live in pipe workers.
 
     ``pool`` is a :class:`repro.utils.parallel.PipeWorkerPool` whose
-    worker ``i`` hosts the :class:`RegionShard` for ``regions[i]``.
+    worker ``i`` hosts the :class:`RegionShard` for ``regions[i]`` (or,
+    under the shm executor, a :class:`_ShmShardHost` wrapping it —
+    ``finalize_cmd`` selects the in-place commit variant there).
     """
-    stats = ShardStats(n_shards=len(regions), executor="process")
+    stats = ShardStats(n_shards=len(regions), executor=executor)
     exports = dict(zip(regions, pool.call_all("begin", [None] * len(regions))))
     converged = False
     while stats.rounds < max_rounds:
@@ -1638,7 +1672,7 @@ def run_sharded_rounds_pooled(
             break
     if not converged:
         return None, stats
-    commits = pool.call_all("finalize", [None] * len(regions))
+    commits = pool.call_all(finalize_cmd, [None] * len(regions))
     if any(c.tied for c in commits):
         return None, stats
     stats.boundary_invocations = sum(c.n_boundary for c in commits)
@@ -1687,6 +1721,25 @@ def commit_sharded(
     return ShardedReplayResult(result=result, stats=stats)
 
 
+def slices_from_plan(
+    plan: ReplayPlan,
+    region_map: RegionMap,
+    warm_ready: Optional[np.ndarray] = None,
+) -> list[ShardSlice]:
+    """Carve every region's :class:`ShardSlice` out of a full plan,
+    optionally slicing a coordinator-computed warm-start ready matrix
+    into per-shard ``warm_init`` seeds."""
+    slices = [
+        ShardSlice.from_plan(plan, region_map, r)
+        for r in range(region_map.n_regions)
+    ]
+    if warm_ready is not None:
+        slices = [
+            replace(s, warm_init=warm_ready[s.rows]) for s in slices
+        ]
+    return slices
+
+
 def build_shard_slices(
     instance: ProblemInstance,
     placement: Placement,
@@ -1704,10 +1757,330 @@ def build_shard_slices(
     if plan is None:
         return None
     plan._homes = instance.homes[plan.req]  # consumed by ShardSlice.from_plan
-    return [
-        ShardSlice.from_plan(plan, region_map, r)
-        for r in range(region_map.n_regions)
-    ]
+    return slices_from_plan(plan, region_map)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory executor
+# ---------------------------------------------------------------------------
+
+
+#: ShardSlice fields backed by arena arrays under the shm executor.
+_SLICE_ARRAYS = (
+    "rows", "at_rows", "lengths", "first_ready", "transfer", "service",
+    "cloud_mask", "ret", "re_row", "re_col", "re_rank", "re_s", "re_dst",
+    "ne_rank", "ne_node", "ne_svc", "ne_s", "ne_pooled", "ne_src",
+    "node_ids", "groups", "carried",
+)
+
+#: ShardSlice scalar fields shipped in the per-slot control message.
+_SLICE_SCALARS = (
+    "region", "n_regions", "width", "cores", "keep_alive",
+    "cold_penalty", "M",
+)
+
+#: Below this many requests per shard the fixpoint is too small for
+#: process parallelism to pay for its exchanges (``executor="auto"``).
+DEFAULT_SHM_USERS_PER_SHARD = 25_000
+
+#: Environment override for the auto-selection threshold.
+SHM_THRESHOLD_ENV = "REPRO_SHM_USERS_PER_SHARD"
+
+
+def shm_users_per_shard() -> int:
+    """The ``executor="auto"`` users-per-shard threshold (env override)."""
+    raw = os.environ.get(SHM_THRESHOLD_ENV)
+    if raw is None:
+        return DEFAULT_SHM_USERS_PER_SHARD
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{SHM_THRESHOLD_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"{SHM_THRESHOLD_ENV} must be >= 0, got {value}"
+        )
+    return value
+
+
+def resolve_shard_executor(
+    executor: str, n_regions: int, n_req: int
+) -> str:
+    """Resolve ``executor="auto"`` to a concrete engine.
+
+    ``auto`` picks ``"shm"`` only when it can plausibly pay: at least
+    two regions, at least :func:`shm_users_per_shard` requests per
+    region, more than one CPU, and a working ``multiprocessing.shared_
+    memory`` (``/dev/shm``).  Everything else resolves to ``"serial"``.
+    Explicit executor names pass through unchanged (validated by
+    :func:`replay_slot_sharded`).
+    """
+    if executor != "auto":
+        return executor
+    if n_regions < 2 or n_req < shm_users_per_shard() * n_regions:
+        return "serial"
+    if (os.cpu_count() or 1) < 2:
+        return "serial"
+    from repro.utils.parallel import shared_memory_available
+
+    if not shared_memory_available():
+        return "serial"
+    return "shm"
+
+
+def _align64(nbytes: int) -> int:
+    return (int(nbytes) + 63) & ~63
+
+
+def shm_slot_nbytes(slices: Sequence[ShardSlice]) -> int:
+    """Arena bytes needed for one slot's input and output regions."""
+    total = 64  # allocator base alignment slack
+    for slc in slices:
+        for name in _SLICE_ARRAYS:
+            total += _align64(getattr(slc, name).nbytes) + 64
+        if slc.warm_init is not None:
+            total += _align64(slc.warm_init.nbytes) + 64
+        # three float64 output columns (finish / queueing / cold)
+        total += 3 * (_align64(int(slc.rows.size) * 8) + 64)
+    return total
+
+
+# per-worker cached arena attachment: (segment name, ShmArena)
+_WORKER_ARENA: dict = {"name": None, "arena": None}
+
+
+def _worker_attach(name: str, nbytes: int):
+    """Attach this worker to the coordinator's arena segment, reusing
+    the cached attachment when the segment is unchanged."""
+    from repro.utils.parallel import ShmArena
+
+    if _WORKER_ARENA["name"] != name:
+        if _WORKER_ARENA["arena"] is not None:
+            _WORKER_ARENA["arena"].close()
+        _WORKER_ARENA["arena"] = ShmArena.attach(name, nbytes)
+        _WORKER_ARENA["name"] = name
+    return _WORKER_ARENA["arena"]
+
+
+class _ShmShardHost:
+    """Worker-side host: a :class:`RegionShard` whose slice arrays are
+    zero-copy views into the coordinator's arena, plus pre-allocated
+    output views the commit is written into (only scalars and the small
+    per-node dicts travel back through the pipe)."""
+
+    def __init__(self, shard: RegionShard, out_views: tuple):
+        self.shard = shard
+        self._out = out_views
+
+    # protocol steps delegate to the wrapped shard
+    def begin(self, payload=None):
+        return self.shard.begin(payload)
+
+    def step_sim(self, payload):
+        return self.shard.step_sim(payload)
+
+    def step_prop(self, payload):
+        return self.shard.step_prop(payload)
+
+    def finalize_shm(self, _payload=None) -> ShardCommit:
+        """Like :meth:`RegionShard.finalize`, but the three per-row
+        output columns are written into the arena in place and replaced
+        with empty arrays in the pickled reply (``rows`` too — the
+        coordinator already holds every slice's row index)."""
+        commit = self.shard.finalize()
+        out_f, out_q, out_c = self._out
+        out_f[:] = commit.finish
+        out_q[:] = commit.queueing
+        out_c[:] = commit.cold
+        empty = np.empty(0)
+        return replace(
+            commit, rows=np.empty(0, dtype=np.int64),
+            finish=empty, queueing=empty, cold=empty,
+        )
+
+
+def _shard_worker_factory(meta: dict) -> _ShmShardHost:
+    """Build one worker's :class:`_ShmShardHost` from a control message
+    of scalars and arena refs (no array ever crosses the pipe)."""
+    arena = _worker_attach(meta["segment"], meta["nbytes"])
+    kwargs = {
+        name: arena.view(ref) for name, ref in meta["refs"].items()
+    }
+    kwargs.update(meta["scalars"])
+    if meta["warm"] is not None:
+        kwargs["warm_init"] = arena.view(meta["warm"])
+    slc = ShardSlice(**kwargs)
+    out_views = tuple(arena.view(ref) for ref in meta["out"])
+    return _ShmShardHost(RegionShard(slc), out_views)
+
+
+class ShmReplayContext:
+    """Persistent shared-memory executor state for a slot sequence.
+
+    Owns the :class:`~repro.utils.parallel.ShmArena` (reset and reused
+    across slots, re-created only when a slot outgrows it) and the
+    long-lived :class:`~repro.utils.parallel.ShardWorkerPool` whose
+    workers attach to the arena once and are re-targeted per slot with
+    tiny control messages.  Pass one instance to successive
+    :func:`replay_slot_sharded` calls (or let
+    :class:`repro.runtime.simulator.OnlineSimulator` own one); without
+    it the shm executor builds and tears down a transient context every
+    slot and loses the reuse that makes it fast.
+    """
+
+    def __init__(self):
+        self.arena = None
+        self.pool = None
+        #: Cumulative telemetry across slots.
+        self.segments_created = 0
+        self.slots_served = 0
+        self.pool_spawns = 0
+
+    def ensure_arena(self, nbytes: int):
+        """An arena with capacity ``nbytes``: the existing one reset
+        when large enough, otherwise a fresh (1.25×-headroom) segment."""
+        from repro.utils.parallel import ShmArena
+
+        if self.arena is not None and self.arena.nbytes >= nbytes:
+            self.arena.reset()
+            return self.arena
+        if self.arena is not None:
+            self.arena.close()
+            self.arena = None
+        self.arena = ShmArena(int(nbytes * 1.25))
+        self.segments_created += 1
+        return self.arena
+
+    def ensure_pool(self, n_workers: int):
+        """A live :class:`ShardWorkerPool` of exactly ``n_workers``."""
+        from repro.utils.parallel import ShardWorkerPool
+
+        if (
+            self.pool is not None
+            and not self.pool.closed
+            and self.pool.n_workers == n_workers
+        ):
+            return self.pool, True
+        if self.pool is not None:
+            self.pool.close()
+        self.pool = ShardWorkerPool(n_workers)
+        self.pool_spawns += 1
+        return self.pool, False
+
+    def close(self) -> None:
+        """Shut down the worker pool and release the arena (idempotent)."""
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+        if self.arena is not None:
+            self.arena.close()
+            self.arena = None
+
+    def __enter__(self) -> "ShmReplayContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _shm_metas(arena, slices: Sequence[ShardSlice]) -> tuple[list, list]:
+    """Copy every slice's arrays into the arena; return the per-worker
+    control messages and the coordinator-side output views."""
+    metas = []
+    outs = []
+    for slc in slices:
+        refs = {
+            name: arena.put(getattr(slc, name)) for name in _SLICE_ARRAYS
+        }
+        warm_ref = (
+            arena.put(slc.warm_init) if slc.warm_init is not None else None
+        )
+        out_refs = []
+        out_views = []
+        for _ in range(3):
+            ref, view = arena.alloc(int(slc.rows.size), np.float64)
+            out_refs.append(ref)
+            out_views.append(view)
+        metas.append(
+            {
+                "segment": arena.name,
+                "nbytes": arena.nbytes,
+                "refs": refs,
+                "scalars": {
+                    name: getattr(slc, name) for name in _SLICE_SCALARS
+                },
+                "warm": warm_ref,
+                "out": tuple(out_refs),
+            }
+        )
+        outs.append(tuple(out_views))
+    return metas, outs
+
+
+def run_sharded_rounds_shm(
+    context: ShmReplayContext,
+    slices: Sequence[ShardSlice],
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> tuple[Optional[list[ShardCommit]], ShardStats]:
+    """Shared-memory driver: persistent workers, arena-backed columns.
+
+    The coordinator writes every slice's arrays into the context's
+    arena, re-targets the persistent workers with per-slot control
+    messages (segment name + refs + scalars), runs the exact pooled
+    round schedule, and reads the three per-row output columns straight
+    out of the arena when the workers finalize in place.
+    """
+    arena = context.ensure_arena(shm_slot_nbytes(slices))
+    pool, reused = context.ensure_pool(len(slices))
+    metas, outs = _shm_metas(arena, slices)
+    pool.load_all(_shard_worker_factory, metas)
+    context.slots_served += 1
+    commits, stats = run_sharded_rounds_pooled(
+        pool,
+        [s.region for s in slices],
+        max_rounds=max_rounds,
+        executor="shm",
+        finalize_cmd="finalize_shm",
+    )
+    stats.shm_bytes = arena.used
+    stats.shm_segments = context.segments_created
+    stats.pool_reused = reused
+    if commits is None:
+        return None, stats
+    # reconstitute the arena-resident columns (copies: the arena is
+    # reset on the next slot, the commit must outlive it)
+    for commit, slc, (out_f, out_q, out_c) in zip(commits, slices, outs):
+        commit.rows = slc.rows
+        commit.finish = out_f.copy()
+        commit.queueing = out_q.copy()
+        commit.cold = out_c.copy()
+    return commits, stats
+
+
+def _run_shard_attempt(
+    slices: list[ShardSlice],
+    executor: str,
+    max_rounds: int,
+    shard_context: Optional[ShmReplayContext],
+    worker_pool,
+) -> tuple[Optional[list[ShardCommit]], ShardStats]:
+    """One fixpoint attempt (warm or cold) on the chosen engine."""
+    if executor == "shm":
+        assert shard_context is not None
+        return run_sharded_rounds_shm(
+            shard_context, slices, max_rounds=max_rounds
+        )
+    if executor == "process":
+        worker_pool.load_all(RegionShard, slices)
+        return run_sharded_rounds_pooled(
+            worker_pool,
+            [s.region for s in slices],
+            max_rounds=max_rounds,
+        )
+    shards = [RegionShard(s) for s in slices]
+    return run_sharded_rounds(shards, max_rounds=max_rounds)
 
 
 def replay_slot_sharded(
@@ -1721,25 +2094,47 @@ def replay_slot_sharded(
     region_map: RegionMap,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     executor: str = "serial",
+    shard_context: Optional[ShmReplayContext] = None,
+    warm_start: Optional[WarmStartCache] = None,
 ) -> Optional[ShardedReplayResult]:
     """Region-sharded replay of one slot; ``None`` declines.
 
     Bit-identical to :func:`repro.runtime.replay.replay_slot` on the
     same inputs — including the per-round iterates, the round count and
     every decline decision — with per-region state isolated into
-    :class:`RegionShard` objects.  ``executor`` selects ``"serial"``
-    (in-process shard objects) or ``"process"`` (one persistent worker
-    per region via :class:`repro.utils.parallel.PipeWorkerPool`).
+    :class:`RegionShard` objects.  ``executor`` selects:
+
+    * ``"serial"`` — in-process shard objects (correct everywhere);
+    * ``"process"`` — one persistent pipe worker per region, slices
+      pickled to the workers once per slot;
+    * ``"shm"`` — persistent workers over a shared-memory arena
+      (:class:`ShmReplayContext`): columnar state is published in the
+      arena, only refs and exchange deltas cross the pipes, and per-row
+      outputs are written back in place.  Pass a ``shard_context`` to
+      keep the arena and workers alive across slots; a transient
+      context is built (and torn down) per call otherwise.
+    * ``"auto"`` — :func:`resolve_shard_executor` picks serial or shm
+      from the slot's size and the host's capabilities.
+
+    ``warm_start`` enables the cross-slot warm start exactly as in
+    :func:`repro.runtime.replay.replay_slot`: the coordinator seeds
+    every shard's initial ready matrix from the cache's per-node
+    congestion estimates, and a seeded attempt that fails to converge
+    (or lands on a tie) is retried from the cold seed, so declines and
+    committed bits never depend on the cache.
     """
     if region_map.n_nodes != len(nodes):
         raise ValueError(
             f"region map covers {region_map.n_nodes} nodes, cluster has "
             f"{len(nodes)}"
         )
-    if executor not in ("serial", "process"):
+    if executor not in ("serial", "process", "shm", "auto"):
         raise ValueError(f"unknown shard executor: {executor!r}")
     req = np.asarray(req, dtype=np.int64)
     at = np.asarray(at, dtype=np.float64)
+    executor = resolve_shard_executor(
+        executor, region_map.n_regions, int(req.size)
+    )
     if req.size == 0:
         return ShardedReplayResult(
             result=empty_result(req),
@@ -1747,28 +2142,80 @@ def replay_slot_sharded(
                 n_shards=region_map.n_regions, executor=executor
             ),
         )
-    slices = build_shard_slices(
-        instance, placement, routing, pool, nodes, req, at, region_map
+    plan = build_replay_plan(
+        instance, placement, routing, pool, nodes, req, at
     )
-    if slices is None:
+    if plan is None:
         return None
-    cores = slices[0].cores
-    if executor == "process":
-        from repro.utils.parallel import PipeWorkerPool
+    plan._homes = instance.homes[plan.req]  # consumed by ShardSlice.from_plan
 
-        with PipeWorkerPool.for_objects(
-            RegionShard, [(s,) for s in slices]
-        ) as worker_pool:
-            commits, stats = run_sharded_rounds_pooled(
-                worker_pool,
-                [s.region for s in slices],
-                max_rounds=max_rounds,
+    warm_ready = (
+        warm_start.initial_ready(plan) if warm_start is not None else None
+    )
+    warm_meta = (
+        (warm_start.last_seeded_nodes, warm_start.last_invalidated_nodes)
+        if warm_start is not None
+        else (0, 0)
+    )
+    seeds = [warm_ready, None] if warm_ready is not None else [None]
+
+    transient_ctx = None
+    worker_pool = None
+    try:
+        if executor == "shm":
+            if shard_context is None:
+                transient_ctx = ShmReplayContext()
+                shard_context = transient_ctx
+        elif executor == "process":
+            from repro.utils.parallel import ShardWorkerPool
+
+            worker_pool = ShardWorkerPool(region_map.n_regions)
+
+        commits = None
+        stats = None
+        used_seed = None
+        warm_declined = False
+        for seed in seeds:
+            slices = slices_from_plan(plan, region_map, warm_ready=seed)
+            if warm_start is None:
+                # The slices copied everything the rounds need; the
+                # plan's own arrays (~25% of the slot's working set at
+                # 1M users) are only needed again for the warm-start
+                # cache update or a cold retry, neither of which can
+                # happen here.  Dropping them before the rounds keeps
+                # the fixpoint's resident set — and its wall time — at
+                # the flat engine's level.
+                plan = None
+            commits, stats = _run_shard_attempt(
+                slices, executor, max_rounds, shard_context, worker_pool
             )
-    else:
-        shards = [RegionShard(s) for s in slices]
-        commits, stats = run_sharded_rounds(shards, max_rounds=max_rounds)
+            if commits is not None:
+                used_seed = seed
+                break
+            if seed is not None and warm_start is not None:
+                warm_start.note_declined()
+                warm_declined = True
+    finally:
+        if worker_pool is not None:
+            worker_pool.close()
+        if transient_ctx is not None:
+            transient_ctx.close()
+
     if commits is None:
         return None
+    stats.warm_started = used_seed is not None
+    stats.warm_declined = warm_declined
+    if used_seed is not None:
+        stats.warm_seeded_nodes = warm_meta[0]
+        stats.warm_invalidated_nodes = warm_meta[1]
+    if warm_start is not None:
+        wait_sum = np.zeros(plan.n_nodes)
+        for c in commits:
+            for v, w in c.node_wait.items():
+                wait_sum[v] = w
+        warm_start.update(plan, wait_sum)
+        warm_start.note_rounds(stats.rounds, used_seed is not None)
+    cores = slices[0].cores
     return commit_sharded(commits, stats, pool, nodes, req, at, cores)
 
 

@@ -122,6 +122,7 @@ class OnlineSimulator:
         fast_replay: bool = True,
         shards: int = 1,
         shard_executor: str = "serial",
+        warm_start: bool = False,
     ):
         check_positive("slot_seconds", slot_seconds)
         self.network = network
@@ -136,8 +137,18 @@ class OnlineSimulator:
         #: partitioned geographically by k-means over their positions.
         #: Results stay bit-identical to the flat replay; only the
         #: memory/scaling profile changes.  ``shard_executor`` picks
-        #: ``"serial"`` (in-process) or ``"process"`` shard workers.
+        #: ``"serial"`` (in-process), ``"process"`` (pickled slices to
+        #: pipe workers), ``"shm"`` (persistent workers over a
+        #: shared-memory arena — the simulator owns one
+        #: :class:`repro.runtime.shard.ShmReplayContext` reused across
+        #: every slot), or ``"auto"`` (serial below a users-per-shard
+        #: threshold, shm above; see
+        #: :func:`repro.runtime.shard.resolve_shard_executor`).
         self.shards = int(shards)
+        if shard_executor not in ("serial", "process", "shm", "auto"):
+            raise ValueError(
+                f"unknown shard executor: {shard_executor!r}"
+            )
         self.shard_executor = shard_executor
         self.region_map = None
         if self.shards > 1:
@@ -145,6 +156,23 @@ class OnlineSimulator:
 
             self.region_map = RegionMap.from_positions(
                 network.positions, self.shards
+            )
+        #: Lazily-built persistent shm executor state; created on first
+        #: use, freed by :meth:`close` (or on garbage collection via
+        #: the pool/arena finalizers).
+        self.shard_context = None
+        #: With ``warm_start=True`` the replay engines seed each slot's
+        #: fixpoint from the previous slot's converged per-node
+        #: congestion (:class:`repro.runtime.replay.WarmStartCache`).
+        #: Committed results stay bit-identical — the cache only
+        #: changes round counts, measures its own benefit, and
+        #: suppresses itself on workloads where seeding does not pay.
+        self.warm_start_cache = None
+        if warm_start:
+            from repro.runtime.replay import WarmStartCache
+
+            self.warm_start_cache = WarmStartCache(
+                len(network.servers)
             )
         #: Use the vectorized fault-free replay
         #: (:mod:`repro.runtime.replay`) for slots without faults or a
@@ -160,6 +188,22 @@ class OnlineSimulator:
             move_prob=move_prob,
             seed=self._mobility_rng,
         )
+
+    def close(self) -> None:
+        """Release the persistent shm executor state (workers, arena).
+
+        Idempotent; a no-op unless a shm slot actually ran.  The
+        simulator is also a context manager for scoped use.
+        """
+        if self.shard_context is not None:
+            self.shard_context.close()
+            self.shard_context = None
+
+    def __enter__(self) -> "OnlineSimulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(
         self,
@@ -267,6 +311,17 @@ class OnlineSimulator:
                         if note is not None:
                             note(sorted(slot_faults.crashes))
 
+                if (
+                    self.region_map is not None
+                    and self.shard_context is None
+                    and self.shard_executor in ("shm", "auto")
+                ):
+                    from repro.runtime.shard import ShmReplayContext
+
+                    # persistent arena + workers, reused every slot
+                    # (cheap until the first slot actually resolves to
+                    # the shm engine)
+                    self.shard_context = ShmReplayContext()
                 cluster = SimulatedCluster(
                     instance,
                     result.placement,
@@ -277,6 +332,8 @@ class OnlineSimulator:
                     fast_replay=self.fast_replay,
                     region_map=self.region_map,
                     shard_executor=self.shard_executor,
+                    shard_context=self.shard_context,
+                    warm_start=self.warm_start_cache,
                 )
                 # arrivals spread uniformly across the slot
                 offsets = self._arrival_rng.uniform(
@@ -391,6 +448,38 @@ class OnlineSimulator:
                                 "runtime.shard.start_values_exchanged",
                                 shard_stats.start_values_exchanged,
                             )
+                            if shard_stats.executor == "shm":
+                                tracer.inc("runtime.shard.shm_slots")
+                                tracer.inc(
+                                    "runtime.shard.shm_bytes",
+                                    shard_stats.shm_bytes,
+                                )
+                                tracer.inc(
+                                    "runtime.shard.shm_pool_reuses",
+                                    int(shard_stats.pool_reused),
+                                )
+                            if shard_stats.warm_started:
+                                tracer.inc(
+                                    "runtime.shard.warm_start_slots"
+                                )
+                                tracer.inc(
+                                    "runtime.shard.warm_start_seeded_nodes",
+                                    shard_stats.warm_seeded_nodes,
+                                )
+                                tracer.inc(
+                                    "runtime.shard."
+                                    "warm_start_invalidated_nodes",
+                                    shard_stats.warm_invalidated_nodes,
+                                )
+                            if shard_stats.warm_declined:
+                                tracer.inc(
+                                    "runtime.shard.warm_start_declined"
+                                )
+                        elif (
+                            self.warm_start_cache is not None
+                            and self.warm_start_cache.last_used
+                        ):
+                            tracer.inc("runtime.warm_start_slots")
                     elif not resilient:
                         tracer.inc("runtime.replay_fallback_slots")
                     if resilient:

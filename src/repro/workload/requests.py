@@ -178,6 +178,16 @@ class RequestBatch(SequenceABC):
             lo, hi = int(self.chain_offsets[h]), int(self.chain_offsets[h + 1])
             chain = tuple(self.chains[lo:hi].tolist())
             raise ValueError(f"request chain has repeated services: {chain}")
+        for name, arr in (
+            ("data_in", self.data_in),
+            ("data_out", self.data_out),
+            ("edge_data", self.edge_data),
+        ):
+            if arr.size and not np.isfinite(arr).all():
+                h = int(np.flatnonzero(~np.isfinite(arr))[0])
+                raise ValueError(
+                    f"{name} must be finite, got {arr[h]!r} at position {h}"
+                )
         if self.data_in.size:
             check_non_negative("data_in", float(self.data_in.min()))
             check_non_negative("data_out", float(self.data_out.min()))

@@ -24,14 +24,22 @@ def doc():
 
 
 def test_schema_header(doc):
-    assert doc["schema"] == "bench-shard/1"
+    assert doc["schema"] == "bench-shard/2"
     assert isinstance(doc["description"], str) and doc["description"]
     assert doc["command"].startswith("PYTHONPATH=src python benchmarks/")
     cfg = doc["config"]
     assert cfg["shards"] >= 2
     assert cfg["repeats"] >= 1
     assert cfg["window_size"] > 0
-    assert cfg["executor"] in ("serial", "process")
+    assert set(cfg["executors"]) <= {"sharded", "shm"}
+    assert "sharded" in cfg["executors"]
+
+
+def test_host_block(doc):
+    host = doc["host"]
+    assert host["cpu_count"] >= 1
+    assert isinstance(host["shared_memory"], bool)
+    assert isinstance(host["platform"], str) and host["platform"]
 
 
 def test_scales_rows(doc):
@@ -39,26 +47,57 @@ def test_scales_rows(doc):
     assert len(scales) >= 2
     sizes = [row["n_users"] for row in scales]
     assert sizes == sorted(sizes)
+    engines = ["ref", "sharded"] + (
+        ["shm"] if "shm" in doc["config"]["executors"] else []
+    )
     for row in scales:
-        for engine in ("ref", "sharded"):
+        for engine in engines:
             m = row[engine]
             assert ENGINE_KEYS <= set(m)
             assert m["wall_s_median"] > 0
             assert len(m["wall_s_runs"]) == doc["config"]["repeats"]
             assert len(m["digest"]) == 64
-        assert row["sharded"]["shards"] == doc["config"]["shards"]
-        assert row["sharded"]["boundary_invocations"] >= 0
-        assert row["sharded"]["exchange_rounds"] >= 0
+        for engine in engines[1:]:
+            assert row[engine]["shards"] == doc["config"]["shards"]
+            assert row[engine]["boundary_invocations"] >= 0
+            assert row[engine]["exchange_rounds"] >= 0
+        if "shm" in engines:
+            assert row["shm"]["shm_bytes"] > 0
+            assert row["shm"]["shm_segments"] >= 1
         gen = row["generation"]
         assert gen["peak_rss_mb"] > 0
         assert gen["window_size"] == doc["config"]["window_size"]
 
 
 def test_bit_identity_claimed_and_consistent(doc):
+    engines = ["sharded"] + (
+        ["shm"] if "shm" in doc["config"]["executors"] else []
+    )
     for row in doc["scales"]:
         assert row["identical"] is True
-        assert row["ref"]["digest"] == row["sharded"]["digest"]
-        assert row["ref"]["rounds"] == row["sharded"]["rounds"]
+        for engine in engines:
+            assert row[engine]["digest"] == row["ref"]["digest"]
+            assert row[engine]["rounds"] == row["ref"]["rounds"]
+
+
+def test_warm_start_block(doc):
+    ws = doc["warm_start"]
+    assert ws["identical"] is True
+    assert ws["slots"] >= 2
+    assert len(ws["rounds_cold"]) == ws["slots"]
+    assert len(ws["rounds_warm"]) == ws["slots"]
+    assert len(ws["seeded"]) == ws["slots"]
+    assert ws["rounds_saved_total"] == (
+        sum(ws["rounds_cold"]) - sum(ws["rounds_warm"])
+    )
+    # the adaptive gate bounds the downside: seeded slots may cost
+    # rounds before suppression kicks in, but the cap is a handful of
+    # strikes' worth of the cold baseline
+    overhead = max(0, -ws["rounds_saved_total"])
+    assert overhead <= 4 * max(ws["rounds_cold"])
+    # the first slot can never be seeded (the cache is unprimed)
+    assert ws["seeded"][0] is False
+    assert isinstance(ws["suppressed"], bool)
 
 
 def test_acceptance_criteria(doc):
@@ -73,6 +112,23 @@ def test_acceptance_criteria(doc):
         crit["gen_rss_largest_mb"]
         <= 2.0 * max(crit["gen_rss_smallest_mb"], 1.0)
     )
+    assert crit["warm_start_identical"] is True
+
+
+def test_shm_parallel_criterion_gating(doc):
+    """The multi-core criterion is enforced on >=4-core hosts and
+    recorded-but-gated elsewhere — never silently dropped."""
+    crit = doc["criteria"]
+    assert crit["shm_parallel_cores"] == doc["host"]["cpu_count"]
+    if crit["shm_parallel_gated"]:
+        assert (
+            crit["shm_parallel_cores"] < 4
+            or "shm" not in doc["config"]["executors"]
+        )
+        assert crit["shm_parallel_ge_2x"] is None
+    else:
+        assert crit["shm_parallel_ge_2x"] is True
+        assert crit["shm_speedup_vs_sharded_at_largest"] >= 2.0
 
 
 def test_million_user_scale_present(doc):

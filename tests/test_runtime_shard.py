@@ -13,15 +13,24 @@ from hypothesis import given, settings, strategies as st
 from repro.experiments.scenarios import ScenarioParams, build_scenario
 from repro.model import Placement, optimal_routing
 from repro.runtime import ServerlessConfig, SimulatedCluster
-from repro.runtime.replay import replay_slot
+from repro.runtime.replay import WarmStartCache, replay_slot
 from repro.runtime.serverless import InstancePool
 from repro.runtime.shard import (
+    SHM_THRESHOLD_ENV,
     RegionMap,
+    ShmReplayContext,
     _core_free_final,
     _fifo_reference,
     _fifo_starts,
     partition_cluster,
     replay_slot_sharded,
+    resolve_shard_executor,
+    shm_users_per_shard,
+)
+from repro.utils.parallel import shared_memory_available
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared memory on this host"
 )
 
 
@@ -245,6 +254,297 @@ class TestShardedEquivalence:
         )
         _assert_identical(ref, shr, a, b)
         assert shr.stats.executor == "process"
+
+    @needs_shm
+    def test_shm_executor_identical(self):
+        """The shared-memory executor commits the same bits as flat."""
+        inst, placement, routing = _solved(9, 10)
+        at = np.random.default_rng(9).uniform(0.0, 12.0, inst.n_requests)
+        rmap = RegionMap.contiguous(inst.n_servers, 3)
+        ref, shr, a, b = _run_pair(
+            inst, placement, routing, at,
+            rmap, ServerlessConfig(cold_start=0.5, keep_alive=5.0),
+            executor="shm",
+        )
+        _assert_identical(ref, shr, a, b)
+        assert shr.stats.executor == "shm"
+        assert shr.stats.shm_bytes > 0
+        assert shr.stats.shm_segments >= 1
+
+    @needs_shm
+    def test_shm_invalid_executor_rejected(self):
+        inst, placement, routing = _solved(2, 4)
+        pool = InstancePool(placement, ServerlessConfig())
+        cluster = SimulatedCluster(inst, placement, routing, pool=pool)
+        with pytest.raises(ValueError, match="executor"):
+            replay_slot_sharded(
+                inst, placement, routing, pool, cluster.nodes,
+                np.arange(inst.n_requests), np.zeros(inst.n_requests),
+                RegionMap.contiguous(inst.n_servers, 2),
+                executor="threads",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory context lifecycle
+# ---------------------------------------------------------------------------
+@needs_shm
+class TestShmContext:
+    def test_context_reuses_arena_and_pool_across_slots(self):
+        """One persistent context serves many slots: the arena is
+        allocated once (with headroom) and the worker pool spawns once,
+        while every slot's bits still match the flat replay."""
+        inst, placement, routing = _solved(11, 12)
+        serverless = ServerlessConfig(cold_start=0.5, keep_alive=8.0)
+        rmap = RegionMap.contiguous(inst.n_servers, 2)
+        req = np.arange(inst.n_requests)
+        pool_a = InstancePool(placement, serverless)
+        pool_b = InstancePool(placement, serverless)
+        ca = SimulatedCluster(inst, placement, routing, pool=pool_a)
+        cb = SimulatedCluster(inst, placement, routing, pool=pool_b)
+        gen = np.random.default_rng(11)
+        with ShmReplayContext() as ctx:
+            for slot in range(3):
+                at = gen.uniform(slot * 10.0, slot * 10.0 + 9.0,
+                                 inst.n_requests)
+                ref = replay_slot(
+                    inst, placement, routing, pool_a, ca.nodes, req, at
+                )
+                shr = replay_slot_sharded(
+                    inst, placement, routing, pool_b, cb.nodes, req, at,
+                    rmap, executor="shm", shard_context=ctx,
+                )
+                _assert_identical(ref, shr, (pool_a, ca), (pool_b, cb))
+                assert shr.stats.pool_reused == (slot > 0)
+            assert ctx.segments_created == 1
+            assert ctx.pool_spawns == 1
+            assert ctx.slots_served == 3
+
+    def test_close_is_idempotent_and_releases_workers(self):
+        inst, placement, routing = _solved(12, 6)
+        serverless = ServerlessConfig(cold_start=0.5, keep_alive=5.0)
+        rmap = RegionMap.contiguous(inst.n_servers, 2)
+        pool = InstancePool(placement, serverless)
+        cluster = SimulatedCluster(inst, placement, routing, pool=pool)
+        at = np.random.default_rng(12).uniform(0.0, 8.0, inst.n_requests)
+        ctx = ShmReplayContext()
+        replay_slot_sharded(
+            inst, placement, routing, pool, cluster.nodes,
+            np.arange(inst.n_requests), at, rmap,
+            executor="shm", shard_context=ctx,
+        )
+        procs = list(ctx.pool._procs)
+        ctx.close()
+        ctx.close()
+        assert ctx.pool is None and ctx.arena is None
+        for proc in procs:
+            proc.join(timeout=5.0)
+            assert not proc.is_alive()
+
+    def test_transient_context_leaves_no_workers(self):
+        """Without a shard_context the per-call context tears down."""
+        import multiprocessing as mp
+
+        inst, placement, routing = _solved(13, 6)
+        pool = InstancePool(placement, ServerlessConfig())
+        cluster = SimulatedCluster(inst, placement, routing, pool=pool)
+        at = np.random.default_rng(13).uniform(0.0, 8.0, inst.n_requests)
+        before = len(mp.active_children())
+        replay_slot_sharded(
+            inst, placement, routing, pool, cluster.nodes,
+            np.arange(inst.n_requests), at,
+            RegionMap.contiguous(inst.n_servers, 2), executor="shm",
+        )
+        leaked = [
+            p for p in mp.active_children() if not p.join(0.5) and p.is_alive()
+        ]
+        assert len(leaked) <= before
+
+
+# ---------------------------------------------------------------------------
+# executor="auto" resolution
+# ---------------------------------------------------------------------------
+class TestAutoExecutor:
+    def test_explicit_names_pass_through(self):
+        for name in ("serial", "process", "shm"):
+            assert resolve_shard_executor(name, 8, 10**9) == name
+
+    def test_small_workload_stays_serial(self):
+        assert resolve_shard_executor("auto", 4, 100) == "serial"
+
+    def test_single_region_stays_serial(self):
+        assert resolve_shard_executor("auto", 1, 10**9) == "serial"
+
+    def test_large_workload_goes_shm_given_cores(self, monkeypatch):
+        import repro.runtime.shard as shard_mod
+
+        monkeypatch.setattr(shard_mod.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(
+            "repro.utils.parallel.shared_memory_available", lambda: True
+        )
+        n = shm_users_per_shard()
+        assert resolve_shard_executor("auto", 4, 4 * n) == "shm"
+        assert resolve_shard_executor("auto", 4, 4 * n - 1) == "serial"
+
+    def test_single_cpu_stays_serial(self, monkeypatch):
+        import repro.runtime.shard as shard_mod
+
+        monkeypatch.setattr(shard_mod.os, "cpu_count", lambda: 1)
+        assert resolve_shard_executor("auto", 4, 10**9) == "serial"
+
+    def test_no_shared_memory_stays_serial(self, monkeypatch):
+        import repro.runtime.shard as shard_mod
+
+        monkeypatch.setattr(shard_mod.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(
+            "repro.utils.parallel.shared_memory_available", lambda: False
+        )
+        assert resolve_shard_executor("auto", 4, 10**9) == "serial"
+
+    def test_threshold_env_override(self, monkeypatch):
+        monkeypatch.setenv(SHM_THRESHOLD_ENV, "10")
+        assert shm_users_per_shard() == 10
+
+    def test_threshold_env_invalid(self, monkeypatch):
+        monkeypatch.setenv(SHM_THRESHOLD_ENV, "lots")
+        with pytest.raises(ValueError, match="integer"):
+            shm_users_per_shard()
+        monkeypatch.setenv(SHM_THRESHOLD_ENV, "-5")
+        with pytest.raises(ValueError, match=">= 0"):
+            shm_users_per_shard()
+
+
+# ---------------------------------------------------------------------------
+# Cross-slot warm start
+# ---------------------------------------------------------------------------
+def _multi_slot_digest(executor, warm, n_slots=6, seed=21, n_users=14):
+    """Replay a slot sequence; digest every committed column and the
+    carried pool/node state, and collect per-slot round counts."""
+    import hashlib
+
+    inst, placement, routing = _solved(seed, n_users)
+    serverless = ServerlessConfig(cold_start=0.5, keep_alive=30.0)
+    pool = InstancePool(placement, serverless)
+    cluster = SimulatedCluster(inst, placement, routing, pool=pool)
+    rmap = RegionMap.contiguous(inst.n_servers, 2)
+    cache = WarmStartCache(inst.n_servers) if warm else None
+    gen = np.random.default_rng(seed)
+    req = np.arange(inst.n_requests)
+    digest = hashlib.sha256()
+    rounds = []
+    for slot in range(n_slots):
+        at = gen.uniform(slot * 12.0, slot * 12.0 + 10.0, inst.n_requests)
+        if executor == "flat":
+            out = replay_slot(
+                inst, placement, routing, pool, cluster.nodes, req, at,
+                warm_start=cache,
+            )
+            assert out is not None
+            rounds.append(out.rounds)
+            for col in (out.finish, out.queueing, out.cold_start):
+                digest.update(col.tobytes())
+        else:
+            shr = replay_slot_sharded(
+                inst, placement, routing, pool, cluster.nodes, req, at,
+                rmap, executor=executor, warm_start=cache,
+            )
+            assert shr is not None
+            rounds.append(shr.stats.rounds)
+            res = shr.result
+            for col in (res.finish, res.queueing, res.cold_start):
+                digest.update(col.tobytes())
+    digest.update(repr(sorted(pool._last_used.items())).encode())
+    for nd in cluster.nodes:
+        digest.update(repr(list(nd.core_free)).encode())
+    return digest.hexdigest(), rounds, cache
+
+
+class TestWarmStart:
+    def test_warm_start_bit_identical_flat(self):
+        cold, cold_rounds, _ = _multi_slot_digest("flat", warm=False)
+        warm, warm_rounds, cache = _multi_slot_digest("flat", warm=True)
+        assert warm == cold
+        assert cache is not None and cache.primed
+
+    def test_warm_start_bit_identical_sharded(self):
+        cold, _, _ = _multi_slot_digest("serial", warm=False)
+        warm, _, cache = _multi_slot_digest("serial", warm=True)
+        assert warm == cold
+        assert cache.primed
+
+    @needs_shm
+    def test_warm_start_bit_identical_shm(self):
+        cold, _, _ = _multi_slot_digest("serial", warm=False)
+        warm, _, cache = _multi_slot_digest("shm", warm=True)
+        assert warm == cold
+
+    def test_flat_and_sharded_warm_caches_agree(self):
+        """The sharded engine must feed the cache the same per-node
+        observations as the flat engine: identical wait sums, counts,
+        signatures, and gate state after the same slot sequence."""
+        _, flat_rounds, a = _multi_slot_digest("flat", warm=True)
+        _, shard_rounds, b = _multi_slot_digest("serial", warm=True)
+        assert flat_rounds == shard_rounds
+        assert np.array_equal(a._wait, b._wait)
+        assert np.array_equal(a._count, b._count)
+        assert np.array_equal(a._sig, b._sig)
+        assert a.ema_rounds == b.ema_rounds
+        assert a.warm_slots == b.warm_slots
+        assert a.strikes == b.strikes
+        assert a.suppressed == b.suppressed
+
+    def test_probe_slots_run_unseeded(self):
+        """Every probe_every-th slot must measure the cold baseline."""
+        cache = WarmStartCache(4, probe_every=3)
+        cache.primed = True
+        cache._wait[:] = 1.0
+        cache._count[:] = 10
+
+        class _FakePlan:
+            n_nodes = 4
+
+            def node_signature(self):
+                return np.full(4, 10, dtype=np.int64), np.zeros(4, np.uint64)
+
+            def warm_initial_ready(self, est):
+                return est
+
+        cache._sig[:] = 0
+        seen = []
+        for i in range(6):
+            out = cache.initial_ready(_FakePlan())
+            seen.append(out is not None)
+            # seeded slots beat the cold EMA so no strikes accrue
+            cache.note_rounds(5 if out is None else 3, seeded=out is not None)
+        # slots 0 and 3 are probes (cold); the rest seed
+        assert seen == [False, True, True, False, True, True]
+
+    def test_strikes_suppress_unhelpful_seeding(self):
+        """Seeded slots that never beat the cold EMA stop the seeding."""
+        cache = WarmStartCache(2, strike_limit=2, probe_every=4)
+        cache.primed = True
+        cache.ema_rounds = 10.0
+        # two seeded slots at the EMA (no improvement) => suppressed
+        cache.note_rounds(10, seeded=True)
+        cache._slot_i = 1  # stay off probe slots
+        cache.note_rounds(10, seeded=True)
+        assert cache.suppressed
+
+    def test_declined_warm_attempt_strikes(self):
+        cache = WarmStartCache(2, strike_limit=1)
+        cache.note_declined()
+        assert cache.suppressed
+        assert cache.declined == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmStartCache(0)
+        with pytest.raises(ValueError):
+            WarmStartCache(4, tolerance=-0.1)
+        with pytest.raises(ValueError):
+            WarmStartCache(4, strike_limit=0)
+        with pytest.raises(ValueError):
+            WarmStartCache(4, probe_every=1)
 
 
 # ---------------------------------------------------------------------------

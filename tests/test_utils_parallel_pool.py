@@ -1,0 +1,185 @@
+"""Tests for the persistent pipe worker pool and the shared-memory arena.
+
+The pool's teardown contract is the load-bearing part: a raising task,
+a dead worker, or a dropped pool must never leave orphaned child
+processes behind — the shm shard executor keeps pools alive across an
+entire online trace, so leaks compound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils.parallel import (
+    PipeWorkerPool,
+    ShardWorkerPool,
+    ShmArena,
+    shared_memory_available,
+)
+
+
+class _Echo:
+    """Minimal stateful hosted object for pool tests."""
+
+    def __init__(self, base):
+        self.base = base
+        self.calls = 0
+
+    def add(self, x):
+        self.calls += 1
+        return self.base + x
+
+    def count(self, _):
+        return self.calls
+
+    def boom(self, _):
+        raise RuntimeError("task exploded")
+
+    def die(self, _):
+        import os
+
+        os._exit(1)
+
+
+def _make_echo(base):
+    return _Echo(base)
+
+
+def _assert_reaped(pool):
+    """Every worker process must be dead and the pool closed."""
+    assert pool.closed
+    for proc in pool._procs:
+        proc.join(timeout=5.0)
+        assert not proc.is_alive()
+
+
+class TestPipeWorkerPool:
+    def test_call_all_gathers_in_worker_order(self):
+        with PipeWorkerPool(_Echo, [(10,), (20,), (30,)]) as pool:
+            assert pool.n_workers == 3
+            assert pool.call_all("add", [1, 2, 3]) == [11, 22, 33]
+
+    def test_state_persists_across_calls(self):
+        with PipeWorkerPool(_Echo, [(0,), (0,)]) as pool:
+            pool.call_all("add", [1, 1])
+            pool.call_all("add", [1, 1])
+            assert pool.call_all("count", [None, None]) == [2, 2]
+
+    def test_load_all_replaces_hosted_objects(self):
+        with PipeWorkerPool(_Echo, [(1,), (2,)]) as pool:
+            pool.call_all("add", [0, 0])
+            pool.load_all(_make_echo, [100, 200])
+            assert pool.call_all("add", [1, 1]) == [101, 201]
+            # fresh objects: the pre-load call count is gone
+            assert pool.call_all("count", [None, None]) == [1, 1]
+
+    def test_raising_task_closes_pool_and_reaps_workers(self):
+        """The no-orphan regression: a failing call must drain replies,
+        close the pool, and leave zero live children."""
+        pool = PipeWorkerPool(_Echo, [(0,), (0,), (0,)])
+        with pytest.raises(RuntimeError, match="task exploded"):
+            pool.call_all("boom", [None, None, None])
+        _assert_reaped(pool)
+
+    def test_dead_worker_closes_pool_and_reaps_survivors(self):
+        pool = PipeWorkerPool(_Echo, [(0,), (0,)])
+        with pytest.raises(RuntimeError, match="worker exited"):
+            pool.call_all("die", [None, None])
+        _assert_reaped(pool)
+
+    def test_failing_constructor_reaps_started_workers(self):
+        with pytest.raises(RuntimeError, match="failed to start"):
+            PipeWorkerPool(_Echo, [(0,), ()])  # second ctor: missing arg
+
+    def test_call_after_close_raises(self):
+        pool = PipeWorkerPool(_Echo, [(0,)])
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.call_all("add", [1])
+
+    def test_arg_count_mismatch(self):
+        with PipeWorkerPool(_Echo, [(0,), (0,)]) as pool:
+            with pytest.raises(ValueError, match="expected 2 args"):
+                pool.call_all("add", [1])
+
+
+class TestShardWorkerPool:
+    def test_workers_start_empty_and_load(self):
+        with ShardWorkerPool(2) as pool:
+            pool.load_all(_make_echo, [5, 6])
+            assert pool.call_all("add", [1, 1]) == [6, 7]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ShardWorkerPool(0)
+
+
+class TestShmArena:
+    @pytest.fixture(params=[True, False], ids=["shm", "fallback"])
+    def arena(self, request):
+        use_shm = request.param
+        if use_shm and not shared_memory_available():
+            pytest.skip("no shared memory on this host")
+        with ShmArena(1 << 16, use_shm=use_shm) as a:
+            yield a
+
+    def test_put_view_roundtrip(self, arena):
+        src = np.arange(100, dtype=np.float64)
+        ref = arena.put(src)
+        out = arena.view(ref)
+        assert np.array_equal(out, src)
+        assert out.dtype == src.dtype
+
+    def test_alloc_is_aligned_and_writable(self, arena):
+        ref1, v1 = arena.alloc(7, np.int64)
+        ref2, v2 = arena.alloc((3, 5), np.float64)
+        assert ref1[0] % 64 == 0 and ref2[0] % 64 == 0
+        v2[...] = 2.5
+        assert float(arena.view(ref2).sum()) == 2.5 * 15
+
+    def test_reset_rewinds_bump_pointer(self, arena):
+        arena.put(np.zeros(64))
+        assert arena.used > 0
+        arena.reset()
+        assert arena.used == 0
+        ref = arena.put(np.ones(8))
+        assert ref[0] == 0
+
+    def test_exhaustion_raises_memory_error(self, arena):
+        with pytest.raises(MemoryError, match="arena exhausted"):
+            arena.alloc(1 << 20, np.float64)
+
+    def test_refcount_close(self):
+        if not shared_memory_available():
+            pytest.skip("no shared memory on this host")
+        arena = ShmArena(4096)
+        arena.acquire()
+        ref = arena.put(np.arange(4))
+        arena.close()  # one ref left: views must stay valid
+        assert np.array_equal(arena.view(ref), np.arange(4))
+        arena.close()
+        arena.close()  # idempotent after release
+
+    def test_attach_sees_owner_writes(self):
+        if not shared_memory_available():
+            pytest.skip("no shared memory on this host")
+        with ShmArena(4096) as owner:
+            ref = owner.put(np.arange(16, dtype=np.int64))
+            peer = ShmArena.attach(owner.name, owner.nbytes)
+            try:
+                got = peer.view(ref)
+                assert np.array_equal(got, np.arange(16))
+                got[...] = 7  # peer writes, owner observes
+                assert (owner.view(ref) == 7).all()
+            finally:
+                del got
+                peer.close()
+
+    def test_fallback_has_no_name(self):
+        with ShmArena(1024, use_shm=False) as a:
+            assert a.name is None
+            assert not a.is_shared
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            ShmArena(0)

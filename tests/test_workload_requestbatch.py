@@ -132,6 +132,139 @@ class TestRequestBatchValidation:
                 edge_data=np.array([], dtype=np.float64),
             )
 
+    def test_chains_offsets_mismatch_is_value_error(self):
+        """A CSR chains/offsets disagreement must raise, not silently
+        produce a batch whose views read out of bounds."""
+        with pytest.raises(ValueError, match="chains length"):
+            RequestBatch(
+                index=np.arange(2),
+                homes=np.zeros(2, dtype=np.int64),
+                chains=np.array([0, 1, 2]),
+                chain_offsets=np.array([0, 2, 4]),
+                data_in=np.ones(2),
+                data_out=np.ones(2),
+                edge_data=np.ones(2),
+            )
+
+    def test_offsets_wrong_shape_is_value_error(self):
+        with pytest.raises(ValueError, match="chain_offsets"):
+            RequestBatch(
+                index=np.arange(2),
+                homes=np.zeros(2, dtype=np.int64),
+                chains=np.array([0, 1]),
+                chain_offsets=np.array([0, 1]),
+                data_in=np.ones(2),
+                data_out=np.ones(2),
+                edge_data=np.array([], dtype=np.float64),
+            )
+
+    def test_offsets_not_starting_at_zero_is_value_error(self):
+        with pytest.raises(ValueError, match="starting at 0"):
+            RequestBatch(
+                index=np.array([0]),
+                homes=np.array([0]),
+                chains=np.array([1]),
+                chain_offsets=np.array([1, 2]),
+                data_in=np.array([1.0]),
+                data_out=np.array([1.0]),
+                edge_data=np.array([], dtype=np.float64),
+            )
+
+    @pytest.mark.parametrize("column", ["data_in", "data_out", "edge_data"])
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_data_rejected(self, column, bad):
+        cols = {
+            "data_in": np.array([1.0, 1.0]),
+            "data_out": np.array([1.0, 1.0]),
+            "edge_data": np.array([1.0, 1.0]),
+        }
+        cols[column] = np.array([1.0, bad])
+        with pytest.raises(ValueError, match=f"{column} must be finite"):
+            RequestBatch(
+                index=np.arange(2),
+                homes=np.zeros(2, dtype=np.int64),
+                chains=np.array([0, 1, 0, 1]),
+                chain_offsets=np.array([0, 2, 4]),
+                **cols,
+            )
+
+
+def _empty_batch() -> RequestBatch:
+    return RequestBatch(
+        index=np.empty(0, dtype=np.int64),
+        homes=np.empty(0, dtype=np.int64),
+        chains=np.empty(0, dtype=np.int64),
+        chain_offsets=np.zeros(1, dtype=np.int64),
+        data_in=np.empty(0),
+        data_out=np.empty(0),
+        edge_data=np.empty(0),
+    )
+
+
+class TestRequestBatchConcat:
+    def test_concat_with_empty_batches(self):
+        batch = _manual_batch()
+        merged = RequestBatch.concat([_empty_batch(), batch, _empty_batch()])
+        assert merged.n_requests == batch.n_requests
+        assert np.array_equal(merged.chains, batch.chains)
+        assert np.array_equal(merged.chain_offsets, batch.chain_offsets)
+        assert np.array_equal(merged.edge_data, batch.edge_data)
+
+    def test_concat_all_empty(self):
+        merged = RequestBatch.concat([_empty_batch(), _empty_batch()])
+        assert merged.n_requests == 0
+        assert merged.chain_offsets.tolist() == [0]
+
+    def test_concat_renumbers_index(self):
+        a = _manual_batch()
+        merged = RequestBatch.concat([a, a])
+        assert merged.index.tolist() == list(range(2 * a.n_requests))
+        assert merged[3].chain == a[0].chain
+        assert merged[3].edge_data == a[0].edge_data
+
+    def test_concat_no_batches_rejected(self):
+        with pytest.raises(ValueError, match="at least one batch"):
+            RequestBatch.concat([])
+
+    def test_concat_non_batch_rejected(self):
+        with pytest.raises(TypeError, match="RequestBatch"):
+            RequestBatch.concat([_manual_batch(), "nope"])
+
+
+class TestRequestBatchTake:
+    def test_take_unsorted_and_repeated_indices(self):
+        batch = _manual_batch()
+        sub = batch.take(np.array([2, 0, 2]))
+        assert sub.n_requests == 3
+        # `index` keeps the original values so provenance survives.
+        assert sub.index.tolist() == [2, 0, 2]
+        for out, src in zip(sub, (batch[2], batch[0], batch[2])):
+            assert out.chain == src.chain
+            assert out.edge_data == src.edge_data
+            assert out.home == src.home
+            assert out.data_in == src.data_in
+
+    def test_take_empty(self):
+        sub = _manual_batch().take(np.empty(0, dtype=np.int64))
+        assert sub.n_requests == 0
+        assert sub.chain_offsets.tolist() == [0]
+
+    def test_take_out_of_range_rejected(self):
+        batch = _manual_batch()
+        with pytest.raises(IndexError, match=r"\[0, 3\)"):
+            batch.take(np.array([3]))
+        with pytest.raises(IndexError):
+            batch.take(np.array([-1]))
+
+    def test_take_non_1d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            _manual_batch().take(np.array([[0, 1]]))
+
+    def test_take_result_revalidates(self):
+        sub = _manual_batch().take(np.array([1, 0]))
+        assert np.array_equal(sub.lengths, [1, 3])
+        assert sub.edge_offsets.tolist() == [0, 0, 2]
+
 
 class TestRequestBatchDemand:
     def test_demand_matrices_match_per_request_loop(self, net, app):
