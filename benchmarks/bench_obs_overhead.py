@@ -107,6 +107,7 @@ def main(argv=None) -> int:
 
     modes = _timing_loop(args.repeats, args.warmup)
     result: dict = {
+        "schema": "bench-obs/2",
         "description": (
             "Observability overhead on the full SoCL solve at the fig-9 "
             "cluster scale (20 servers, 100 users, seed 0). 'disabled' is "

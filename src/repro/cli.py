@@ -16,11 +16,14 @@ Subcommands:
 * ``dataset``  — list the curated 20-project microservice registry.
 
 Every subcommand also accepts the observability flags ``--trace
-out.jsonl`` (run under a :mod:`repro.obs` tracer, write the JSONL trace
-and print the span-tree/counter summary to stderr) and ``--log-level
-debug|info|warning|error`` (stdlib logging across all ``repro``
-modules).  Tracing is observational: results are bit-identical with it
-on or off.
+out.jsonl`` (run under a :mod:`repro.obs` tracer with an attached
+flight recorder, write the JSONL trace and print the span-tree/counter
+summary to stderr) and ``--log-level debug|info|warning|error``
+(stdlib logging across all ``repro`` modules).  Tracing is
+observational: results are bit-identical with it on or off.  A recorded
+trace can be re-rendered offline — span tree, histogram quantile
+tables, per-shard slot timelines and the flight-recorder timeline —
+with ``repro report out.jsonl``.
 
 Everything is deterministic given ``--seed``.
 """
@@ -40,7 +43,15 @@ from repro.baselines import (
 )
 from repro.core import SoCL, SoCLConfig
 from repro.core.online import OnlineSoCL
-from repro.obs import LOG_LEVELS, Tracer, setup_logging, summary, use_tracer, write_jsonl
+from repro.obs import (
+    LOG_LEVELS,
+    FlightRecorder,
+    Tracer,
+    setup_logging,
+    summary,
+    use_tracer,
+    write_jsonl,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -336,6 +347,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.trace_file:
+        from repro.experiments.reporting import render_trace_report
+
+        try:
+            text = render_trace_report(args.trace_file)
+        except (OSError, ValueError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+
     from repro.experiments.report import generate_report
 
     try:
@@ -470,7 +497,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for sweep cells")
     p.set_defaults(func=cmd_sweep)
 
-    p = add_command("report", help="regenerate all figures into a Markdown report")
+    p = add_command("report", help="regenerate all figures into a Markdown "
+                                   "report, or render a recorded trace file")
+    p.add_argument("trace_file", nargs="?", default=None, metavar="TRACE",
+                   help="a --trace JSONL file to render (span tree, histogram "
+                        "quantiles, per-shard timeline, flight recorder) "
+                        "instead of regenerating figures")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--full", action="store_true", help="bench-scale sweeps (slower)")
     p.add_argument("--only", nargs="+", default=None,
@@ -487,6 +519,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not args.trace_out:
         return args.func(args)
     tracer = Tracer("repro")
+    tracer.flight = FlightRecorder()
     with use_tracer(tracer):
         with tracer.span(f"cli.{args.command}"):
             rc = args.func(args)

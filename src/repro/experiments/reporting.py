@@ -1,4 +1,4 @@
-"""Plain-text table rendering for experiment results.
+"""Plain-text table rendering for experiment results and trace files.
 
 The benchmark harness prints the same rows/series the paper reports;
 these helpers render lists of dicts (or
@@ -8,10 +8,20 @@ and CSV for EXPERIMENTS.md.  :func:`format_span_tree` and
 human-readable run summary (``repro … --trace`` prints it after the
 JSONL is written); they take plain records/mappings so this module
 stays free of solver imports.
+
+The second half is the offline trace reporter behind ``repro report
+<trace.jsonl>``: :func:`load_trace` validates and parses a JSONL trace
+written by ``--trace`` back into grouped records, and
+:func:`render_trace_report` turns it into the full plain-text report —
+span tree, histogram quantile table (:func:`format_hist_table`),
+per-shard slot timeline (:func:`format_shard_timeline`), flight-recorder
+timeline (:func:`format_snapshot_table`) and the counter/gauge catalog.
 """
 
 from __future__ import annotations
 
+import json
+import re
 from typing import Iterable, Mapping, Optional, Sequence
 
 
@@ -144,3 +154,220 @@ def rows_to_csv(rows: Iterable, columns: Optional[Sequence[str]] = None) -> str:
     for row in data:
         lines.append(",".join(_fmt(row.get(col, "")) for col in columns))
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# offline trace reporting (``repro report <trace.jsonl>``)
+# ---------------------------------------------------------------------------
+
+_SHARD_NAME = re.compile(r"^shard(\d+)$")
+
+
+def load_trace(path: str) -> dict:
+    """Validate and parse a ``--trace`` JSONL file into grouped records.
+
+    Returns a dict with keys ``meta`` (the meta record), ``spans`` (the
+    flattened span records in depth-first order), ``counters`` /
+    ``gauges`` (name → value), ``hists`` (name →
+    :class:`repro.obs.hist.StreamingHistogram`, rebuilt so quantiles can
+    be queried offline) and ``snapshots`` (flight-recorder records in
+    file order).  Raises ``ValueError`` on any schema violation — the
+    file is checked with :func:`repro.obs.validate_jsonl` first, so a
+    report is never rendered from a malformed trace.
+    """
+    # Lazy: keeps this module import-light and avoids the obs <-> experiments
+    # import cycle (repro.obs.export imports this module for summaries).
+    from repro.obs.export import validate_jsonl
+    from repro.obs.hist import StreamingHistogram
+
+    validate_jsonl(path)
+    out: dict = {
+        "meta": None,
+        "spans": [],
+        "counters": {},
+        "gauges": {},
+        "hists": {},
+        "snapshots": [],
+    }
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            kind = record["type"]
+            if kind == "meta":
+                out["meta"] = record
+            elif kind == "span":
+                out["spans"].append(record)
+            elif kind == "counter":
+                out["counters"][record["name"]] = record["value"]
+            elif kind == "gauge":
+                out["gauges"][record["name"]] = record["value"]
+            elif kind == "hist":
+                out["hists"][record["name"]] = StreamingHistogram.from_dict(record)
+            elif kind == "snapshot":
+                out["snapshots"].append(record)
+    return out
+
+
+def format_hist_table(
+    hists: Mapping,
+    quantiles: Sequence[float] = (0.5, 0.9, 0.95, 0.99),
+) -> str:
+    """Render histograms as one quantile table (count/mean/p50…/max).
+
+    ``hists`` maps name → :class:`repro.obs.hist.StreamingHistogram`
+    (or an ``as_dict`` payload — rebuilt transparently).  Quantiles are
+    approximate within each histogram's relative-error bound; count,
+    mean, min and max are exact.
+    """
+    from repro.obs.hist import StreamingHistogram
+
+    rows = []
+    for name in sorted(hists):
+        hist = hists[name]
+        if isinstance(hist, Mapping):
+            hist = StreamingHistogram.from_dict(hist)
+        row = {"histogram": name, "count": hist.count}
+        if hist.count:
+            row["mean"] = hist.mean
+            for q in quantiles:
+                row[f"p{q * 100:g}"] = hist.quantile(q)
+            row["max"] = hist.max
+        rows.append(row)
+    if not rows:
+        return ""
+    columns = ["histogram", "count", "mean"]
+    columns += [f"p{q * 100:g}" for q in quantiles] + ["max"]
+    return format_table(rows, columns=columns, title="histograms")
+
+
+def format_shard_timeline(
+    span_records: Sequence[Mapping],
+    max_slots: int = 40,
+) -> str:
+    """Render per-shard replay time per slot as a slot × shard table.
+
+    Scans the flattened span records for ``slot`` spans (the simulator
+    stamps each with its ``index`` attr) and the ``shard<k>`` subtrees
+    nested beneath them — identical for the serial and shm executors,
+    so one renderer covers both.  Each cell is the shard's total phase
+    time in milliseconds; ``rounds`` is the slot's fixpoint round count
+    (the ``step_sim`` call count, identical across shards).  Returns
+    ``""`` when the trace has no sharded-replay spans.
+    """
+    rows: list[dict] = []
+    shard_ids: set[int] = set()
+    current: Optional[dict] = None
+    slot_depth = 0
+    for record in span_records:
+        name = record.get("name", "")
+        depth = int(record.get("depth", 0))
+        if name == "slot":
+            current = {"slot": record.get("attrs", {}).get("index", len(rows))}
+            slot_depth = depth
+            rows.append(current)
+            continue
+        if current is None or depth <= slot_depth:
+            current = None
+            continue
+        match = _SHARD_NAME.match(name)
+        if match:
+            shard = int(match.group(1))
+            shard_ids.add(shard)
+            key = f"shard{shard} ms"
+            current[key] = current.get(key, 0.0) + record["duration"] * 1e3
+        elif name == "step_sim":
+            calls = record.get("attrs", {}).get("calls")
+            if calls is not None:
+                current["rounds"] = max(current.get("rounds", 0), int(calls))
+    rows = [r for r in rows if len(r) > 1]
+    if not rows or not shard_ids:
+        return ""
+    truncated = len(rows) > max_slots
+    rows = rows[:max_slots]
+    columns = ["slot"] + [f"shard{k} ms" for k in sorted(shard_ids)]
+    if any("rounds" in r for r in rows):
+        columns.append("rounds")
+    text = format_table(rows, columns=columns, title="per-shard replay time")
+    if truncated:
+        text += f"\n… ({max_slots} slots shown)"
+    return text
+
+
+#: Preferred flight-recorder column order; anything else is appended sorted.
+_SNAPSHOT_COLUMNS = (
+    "rss_kb",
+    "requests",
+    "completed",
+    "cold_starts",
+    "replay_rounds",
+    "shard_rounds",
+    "shard_exchange_rounds",
+    "warm_hit_rate",
+    "warm_slots",
+    "arena_used_bytes",
+    "arena_capacity_bytes",
+    "pool_workers",
+    "pool_spawns",
+)
+
+
+def format_snapshot_table(
+    snapshots: Sequence[Mapping],
+    max_rows: int = 40,
+) -> str:
+    """Render flight-recorder snapshots as a per-slot runtime table.
+
+    One row per ring entry (oldest first), flattening each snapshot's
+    ``data`` dict into columns — well-known fields first in
+    :data:`_SNAPSHOT_COLUMNS` order, any extras appended sorted.
+    """
+    if not snapshots:
+        return ""
+    keys: set = set()
+    rows = []
+    for snap in snapshots:
+        data = snap.get("data", {})
+        keys.update(data)
+        rows.append({"slot": snap.get("slot"), "t (s)": snap.get("time"), **data})
+    columns = ["slot", "t (s)"]
+    columns += [k for k in _SNAPSHOT_COLUMNS if k in keys]
+    columns += sorted(keys.difference(_SNAPSHOT_COLUMNS))
+    truncated = len(rows) > max_rows
+    rows = rows[:max_rows]
+    text = format_table(rows, columns=columns, title="flight recorder")
+    if truncated:
+        text += f"\n… ({max_rows} snapshots shown)"
+    return text
+
+
+def render_trace_report(path: str, max_spans: int = 120) -> str:
+    """Render a full plain-text report of one ``--trace`` JSONL file.
+
+    Sections (each omitted when the trace has no matching records):
+    span time tree, histogram quantile table, per-shard slot timeline,
+    flight-recorder timeline, and the counter/gauge catalog.  This is
+    what ``repro report <trace.jsonl>`` prints.
+    """
+    trace = load_trace(path)
+    meta = trace["meta"] or {}
+    header = (
+        f"trace report: {path}\n"
+        f"name {meta.get('name', '?')!r}, schema {meta.get('schema', '?')}, "
+        f"{len(trace['spans'])} spans, {len(trace['counters'])} counters, "
+        f"{len(trace['hists'])} histograms, {len(trace['snapshots'])} snapshots"
+    )
+    sections = [header]
+    tree = format_span_tree(trace["spans"], max_spans=max_spans)
+    if tree:
+        sections.append("spans\n" + tree)
+    for text in (
+        format_hist_table(trace["hists"]),
+        format_shard_timeline(trace["spans"]),
+        format_snapshot_table(trace["snapshots"]),
+        format_counters(trace["counters"], trace["gauges"]),
+    ):
+        if text:
+            sections.append(text)
+    return "\n\n".join(sections)

@@ -14,17 +14,21 @@ See docs/OBSERVABILITY.md for the trace schema, counter catalog and
 CLI usage (``--trace out.jsonl --log-level debug``).
 """
 
+from repro.obs.hist import DEFAULT_ERROR, StreamingHistogram, merged_hist
 from repro.obs.metrics import MetricsRegistry, merged
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder, current_rss_kb
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
     Span,
     Tracer,
+    activate_tracer,
     current_tracer,
     use_tracer,
 )
 from repro.obs.export import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
     summary,
     trace_records,
     validate_jsonl,
@@ -34,15 +38,23 @@ from repro.obs.export import (
 from repro.obs.logsetup import LOG_LEVELS, setup_logging
 
 __all__ = [
+    "DEFAULT_ERROR",
+    "StreamingHistogram",
+    "merged_hist",
     "MetricsRegistry",
     "merged",
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "current_rss_kb",
     "NULL_TRACER",
     "NullTracer",
     "Span",
     "Tracer",
+    "activate_tracer",
     "current_tracer",
     "use_tracer",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
     "summary",
     "trace_records",
     "validate_jsonl",

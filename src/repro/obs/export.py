@@ -1,32 +1,50 @@
 """JSONL trace export, record-schema validation and summary rendering.
 
-A trace file is one JSON object per line.  Schema (version 1):
+A trace file is one JSON object per line.  Schema (version 2; version-1
+files remain valid — the two new record kinds simply never appear in
+them):
 
-* ``{"type": "meta", "schema": 1, "name": str}`` — exactly one, first
-  line of the file;
+* ``{"type": "meta", "schema": 1 | 2, "name": str}`` — exactly one,
+  first line of the file;
 * ``{"type": "span", "name": str, "path": str, "depth": int,
   "start": float, "duration": float, "attrs": dict}`` — one per span,
   depth-first, ``path`` is the ``/``-joined ancestry (root first) and
   ``depth`` its length minus one;
 * ``{"type": "counter", "name": str, "value": int | float}``;
-* ``{"type": "gauge", "name": str, "value": float}``.
+* ``{"type": "gauge", "name": str, "value": float}``;
+* ``{"type": "hist", "name": str, "error": float, "count": int,
+  "zero": int, "sum": float, "min": float | null, "max": float | null,
+  "buckets": {str(int): int}}`` — a
+  :meth:`repro.obs.hist.StreamingHistogram.as_dict` payload
+  (schema >= 2 only);
+* ``{"type": "snapshot", "slot": int, "time": float, "data": dict}`` —
+  one :class:`repro.obs.flight.FlightRecorder` ring entry
+  (schema >= 2 only).
 
-:func:`validate_record` enforces exactly this contract (the CI traced
-smoke step runs it over every emitted line); docs/OBSERVABILITY.md is
-the human-readable version of the same schema.
+:func:`validate_record` enforces exactly this contract and
+:func:`validate_jsonl` version-gates it: record kinds introduced by
+schema 2 are rejected in a schema-1 file with a clear error, and truly
+unknown kinds are always rejected (never passed through silently).
+docs/OBSERVABILITY.md is the human-readable version of the same schema.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Optional
 
 from repro.obs.tracer import Span, Tracer
 
 #: Version stamped into the meta record; bump on breaking schema changes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-_RECORD_TYPES = ("meta", "span", "counter", "gauge")
+#: Meta versions this validator still accepts.
+SUPPORTED_SCHEMAS = (1, 2)
+
+_RECORD_TYPES = ("meta", "span", "counter", "gauge", "hist", "snapshot")
+
+#: Record kinds only valid at or above the keyed schema version.
+_KIND_MIN_SCHEMA = {"hist": 2, "snapshot": 2}
 
 
 def _span_records(span: Span, path: str) -> Iterator[dict]:
@@ -45,7 +63,9 @@ def _span_records(span: Span, path: str) -> Iterator[dict]:
 
 
 def trace_records(tracer: Tracer) -> Iterator[dict]:
-    """All JSONL records of ``tracer``: meta, spans (DFS), counters, gauges."""
+    """All JSONL records of ``tracer``: meta, spans (DFS), counters,
+    gauges, histograms, then flight-recorder snapshots (when attached).
+    """
     yield {"type": "meta", "schema": SCHEMA_VERSION, "name": tracer.name}
     for root in tracer.roots:
         yield from _span_records(root, "")
@@ -53,6 +73,12 @@ def trace_records(tracer: Tracer) -> Iterator[dict]:
         yield {"type": "counter", "name": name, "value": tracer.counters[name]}
     for name in sorted(tracer.gauges):
         yield {"type": "gauge", "name": name, "value": tracer.gauges[name]}
+    for name in sorted(tracer.hists):
+        yield {"type": "hist", "name": name, **tracer.hists[name].as_dict()}
+    flight = getattr(tracer, "flight", None)
+    if flight is not None:
+        for record in flight.records():
+            yield {"type": "snapshot", **record}
 
 
 def write_jsonl(tracer: Tracer, path: str) -> int:
@@ -65,18 +91,48 @@ def write_jsonl(tracer: Tracer, path: str) -> int:
     return n
 
 
-def validate_record(record: Mapping) -> None:
-    """Raise ``ValueError`` unless ``record`` matches the documented schema."""
+def validate_record(record: Mapping, schema: int = SCHEMA_VERSION) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the documented schema.
+
+    ``schema`` is the file's declared meta version: kinds introduced
+    later (``hist``/``snapshot`` at schema 2) are rejected with a clear
+    "requires schema" error when validating an older file.
+    """
     if not isinstance(record, Mapping):
         raise ValueError(f"record must be a mapping, got {type(record).__name__}")
     kind = record.get("type")
     if kind not in _RECORD_TYPES:
         raise ValueError(f"unknown record type {kind!r}; expected {_RECORD_TYPES}")
+    needs = _KIND_MIN_SCHEMA.get(kind, 1)
+    if schema < needs:
+        raise ValueError(
+            f"record type {kind!r} requires schema >= {needs}, "
+            f"but this trace declares schema {schema}"
+        )
     if kind == "meta":
         _require(record, "schema", int)
         _require(record, "name", str)
-        if record["schema"] != SCHEMA_VERSION:
-            raise ValueError(f"unsupported schema version {record['schema']}")
+        if record["schema"] not in SUPPORTED_SCHEMAS:
+            raise ValueError(
+                f"unsupported schema version {record['schema']}; "
+                f"supported: {SUPPORTED_SCHEMAS}"
+            )
+        return
+    if kind == "snapshot":
+        _require(record, "slot", int)
+        start = _require(record, "time", (int, float))
+        if start < 0:
+            raise ValueError("snapshot time must be >= 0")
+        data = _require(record, "data", Mapping)
+        for key, value in data.items():
+            if not isinstance(key, str):
+                raise ValueError("snapshot data keys must be strings")
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float, type(None))
+            ):
+                raise ValueError(
+                    f"snapshot data value {key!r} must be numeric or null"
+                )
         return
     _require(record, "name", str)
     if kind == "span":
@@ -93,6 +149,37 @@ def validate_record(record: Mapping) -> None:
             raise ValueError("span path must end with its name")
         if record["depth"] != record["path"].count("/"):
             raise ValueError("span depth must match its path")
+    elif kind == "hist":
+        error = _require(record, "error", (int, float))
+        if not (0.0 < error < 1.0):
+            raise ValueError(f"hist error must be in (0, 1), got {error}")
+        count = _require(record, "count", int)
+        zero = _require(record, "zero", int)
+        if count < 0 or zero < 0 or zero > count:
+            raise ValueError("hist counts must satisfy 0 <= zero <= count")
+        _require(record, "sum", (int, float))
+        for key in ("min", "max"):
+            value = _require(record, key, (int, float, type(None)))
+            if (value is None) != (count == 0):
+                raise ValueError(
+                    f"hist {key!r} must be null iff the histogram is empty"
+                )
+        buckets = _require(record, "buckets", Mapping)
+        bucketed = 0
+        for bkey, bval in buckets.items():
+            if not isinstance(bkey, str):
+                raise ValueError("hist bucket keys must be strings")
+            try:
+                int(bkey)
+            except ValueError:
+                raise ValueError(
+                    f"hist bucket key {bkey!r} must parse as an integer"
+                ) from None
+            if isinstance(bval, bool) or not isinstance(bval, int) or bval < 0:
+                raise ValueError("hist bucket counts must be ints >= 0")
+            bucketed += bval
+        if bucketed + zero != count:
+            raise ValueError("hist bucket counts plus zero must equal count")
     else:  # counter / gauge
         value = _require(record, "value", (int, float))
         if isinstance(value, bool):
@@ -113,14 +200,28 @@ def _require(record: Mapping, key: str, types) -> object:
 
 
 def validate_jsonl(path: str) -> int:
-    """Validate every line of a trace file; returns the record count."""
+    """Validate every line of a trace file; returns the record count.
+
+    The first line must be the ``meta`` record; its declared schema
+    version gates which record kinds the remaining lines may use.
+    """
     n = 0
+    schema: Optional[int] = None
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             if not line.strip():
                 continue
             try:
-                validate_record(json.loads(line))
+                record = json.loads(line)
+                if schema is None:
+                    if not isinstance(record, Mapping) or record.get("type") != "meta":
+                        raise ValueError("first record must be the meta record")
+                    validate_record(record, schema=SCHEMA_VERSION)
+                    schema = int(record["schema"])
+                else:
+                    if isinstance(record, Mapping) and record.get("type") == "meta":
+                        raise ValueError("duplicate meta record")
+                    validate_record(record, schema=schema)
             except ValueError as exc:
                 raise ValueError(f"{path}:{lineno}: {exc}") from exc
             n += 1

@@ -1,26 +1,31 @@
-"""Counter/gauge registry backing the span tracer.
+"""Counter/gauge/histogram registry backing the span tracer.
 
 Counters are monotonically accumulated event counts (merge rounds,
 cache hits, quota placements …); gauges are last-write-wins scalar
-observations (final cost, ζ-cache size …).  The registry is a plain
-dict wrapper so disabled-mode call sites can skip it entirely and
-process-pool workers can ship it across the pickle boundary as the
-``{"counters": …, "gauges": …}`` payload produced by :meth:`as_dict`.
+observations (final cost, ζ-cache size …); histograms are fixed-memory
+streaming distributions (per-request latencies, replay rounds — see
+:mod:`repro.obs.hist`).  The registry is a plain dict wrapper so
+disabled-mode call sites can skip it entirely and process-pool workers
+can ship it across the pickle boundary as the ``{"counters": …,
+"gauges": …, "hists": …}`` payload produced by :meth:`as_dict`.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Union
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.obs.hist import DEFAULT_ERROR, StreamingHistogram
 
 
 class MetricsRegistry:
-    """Named counters and gauges with cross-worker merge support."""
+    """Named counters, gauges and histograms with cross-worker merge."""
 
-    __slots__ = ("counters", "gauges")
+    __slots__ = ("counters", "gauges", "hists")
 
     def __init__(self) -> None:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        self.hists: dict[str, StreamingHistogram] = {}
 
     def inc(self, name: str, value: Union[int, float] = 1) -> None:
         """Add ``value`` to counter ``name`` (created at 0)."""
@@ -34,9 +39,29 @@ class MetricsRegistry:
         """Record a last-write-wins gauge observation."""
         self.gauges[name] = float(value)
 
+    def hist(
+        self, name: str, error: float = DEFAULT_ERROR
+    ) -> StreamingHistogram:
+        """The named histogram, created on first use with ``error``."""
+        h = self.hists.get(name)
+        if h is None:
+            h = self.hists[name] = StreamingHistogram(error=error)
+        return h
+
+    def observe(self, name: str, value: float) -> None:
+        """Stream one sample into the named histogram."""
+        self.hist(name).record(value)
+
+    def observe_many(self, name: str, values) -> None:
+        """Vectorized bulk ingest into the named histogram."""
+        self.hist(name).record_many(values)
+
     def as_dict(self) -> dict:
         """Picklable snapshot (the payload shipped out of pool workers)."""
-        return {"counters": dict(self.counters), "gauges": dict(self.gauges)}
+        payload = {"counters": dict(self.counters), "gauges": dict(self.gauges)}
+        if self.hists:
+            payload["hists"] = {n: h.as_dict() for n, h in self.hists.items()}
+        return payload
 
     def merge(
         self,
@@ -53,21 +78,30 @@ class MetricsRegistry:
         if isinstance(other, MetricsRegistry):
             counters: Mapping = other.counters
             gauges: Mapping = other.gauges
+            hists: Mapping = other.hists
         else:
             counters = other.get("counters", {})
             gauges = other.get("gauges", {})
+            hists = other.get("hists", {})
         for name, value in counters.items():
             self.inc(prefix + name, value)
         for name, value in gauges.items():
             self.set_gauge(prefix + name, value)
+        for name, payload in hists.items():
+            error = (
+                payload.error
+                if isinstance(payload, StreamingHistogram)
+                else float(payload.get("error", DEFAULT_ERROR))
+            )
+            self.hist(prefix + name, error=error).merge(payload)
 
     def __len__(self) -> int:
-        return len(self.counters) + len(self.gauges)
+        return len(self.counters) + len(self.gauges) + len(self.hists)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MetricsRegistry({len(self.counters)} counters, "
-            f"{len(self.gauges)} gauges)"
+            f"{len(self.gauges)} gauges, {len(self.hists)} hists)"
         )
 
 

@@ -125,6 +125,18 @@ class NullTracer:
         """No-op gauge write."""
         pass
 
+    def observe(self, name: str, value: float) -> None:
+        """No-op histogram sample."""
+        pass
+
+    def observe_many(self, name: str, values) -> None:
+        """No-op histogram bulk ingest."""
+        pass
+
+    def attach_span(self, span) -> None:
+        """No-op span graft."""
+        pass
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "NullTracer()"
 
@@ -142,6 +154,9 @@ class Tracer:
         self.name = name
         self.roots: list[Span] = []
         self.metrics = MetricsRegistry()
+        #: Optional :class:`repro.obs.flight.FlightRecorder`; when set,
+        #: its snapshots ride along in :func:`repro.obs.trace_records`.
+        self.flight = None
         self._stack: list[Span] = []
         self._epoch = time.perf_counter()
 
@@ -161,6 +176,18 @@ class Tracer:
             sp.duration = time.perf_counter() - t0
             self._stack.pop()
 
+    def attach_span(self, span: Span) -> None:
+        """Graft a pre-built span subtree under the innermost open span.
+
+        Used to replay timing recorded *outside* the tracer's lexical
+        span stack — e.g. a shard's per-phase elapsed times accumulated
+        across fixpoint rounds and emitted as one synthetic
+        ``shard<k>`` subtree after the rounds finish.  With no span
+        open, the subtree becomes a new root.
+        """
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(span)
+
     # -- metrics --------------------------------------------------------
     def inc(self, name: str, value: Union[int, float] = 1) -> None:
         """Add ``value`` (default 1) to the named counter."""
@@ -169,6 +196,14 @@ class Tracer:
     def set_gauge(self, name: str, value: float) -> None:
         """Record a last-write-wins gauge observation."""
         self.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Stream one sample into the named histogram."""
+        self.metrics.observe(name, value)
+
+    def observe_many(self, name: str, values) -> None:
+        """Vectorized bulk ingest into the named histogram."""
+        self.metrics.observe_many(name, values)
 
     @property
     def counters(self) -> dict[str, float]:
@@ -179,6 +214,11 @@ class Tracer:
     def gauges(self) -> dict[str, float]:
         """Name → last value for every gauge written so far."""
         return self.metrics.gauges
+
+    @property
+    def hists(self) -> dict:
+        """Name → :class:`~repro.obs.hist.StreamingHistogram` recorded so far."""
+        return self.metrics.hists
 
     # -- cross-process merge -------------------------------------------
     def payload(self) -> dict:
@@ -192,10 +232,13 @@ class Tracer:
     def merge_payload(self, payload: Optional[dict]) -> None:
         """Fold a worker's :meth:`payload` into this tracer.
 
-        Counters add and gauges last-write-win (see
+        Counters add, gauges last-write-win and histograms merge (see
         :meth:`repro.obs.metrics.MetricsRegistry.merge`); the worker's
         span forest is grafted under one synthetic root named after the
-        worker so the merged tree keeps per-cell attribution.
+        worker so the merged tree keeps per-cell attribution.  When a
+        span is open, the synthetic root nests under it (so a shard
+        worker payload merged inside the ``replay`` span lands at
+        ``slot<t>/replay/shard<k>``); otherwise it becomes a new root.
         """
         if not payload:
             return
@@ -208,7 +251,7 @@ class Tracer:
                 duration=sum(s.duration for s in spans),
                 children=spans,
             )
-            self.roots.append(root)
+            self.attach_span(root)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -236,3 +279,17 @@ def use_tracer(tracer: Union[Tracer, NullTracer]) -> Iterator[Union[Tracer, Null
         yield tracer
     finally:
         _CURRENT.reset(token)
+
+
+def activate_tracer(
+    tracer: Union[Tracer, NullTracer]
+) -> Union[Tracer, NullTracer]:
+    """Install ``tracer`` as the ambient tracer *unscoped*.
+
+    For worker processes that enable/disable tracing via control
+    messages (:class:`repro.utils.parallel.PipeWorkerPool`) rather than
+    a lexical ``with`` block — in-process code should always prefer
+    :func:`use_tracer`.  Returns the tracer for chaining.
+    """
+    _CURRENT.set(tracer)
+    return tracer

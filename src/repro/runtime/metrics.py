@@ -4,14 +4,33 @@ The testbed experiments report per-interval average delay, per-user
 median latency, and delay stability via maximum latency.  The
 :class:`LatencyRecorder` accumulates completion records per slot and
 produces those aggregates.
+
+**Memory model.**  The recorder used to keep every per-request latency
+(O(total-requests) memory — at 1M users that is the largest allocation
+in the whole online run).  It now streams every sample into a
+fixed-memory :class:`repro.obs.hist.StreamingHistogram` and, in the
+default ``"auto"`` mode, keeps the exact per-slot arrays only until
+``spill_at`` total samples; past that the arrays are dropped and the
+summary switches to histogram-backed quantiles (documented 1% relative
+error), keeping memory flat.  Per-slot scalars (count, mean, max) are
+computed at record time and always retained, so the Fig. 10 trace
+series are exact at any scale.  ``mode="exact"`` opts back into the old
+keep-everything behavior for golden-result parity on small runs;
+``mode="hist"`` never keeps arrays at all.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
+
+from repro.obs.hist import DEFAULT_ERROR, StreamingHistogram
+
+#: ``"auto"`` recorders drop exact arrays past this many total samples.
+DEFAULT_SPILL = 65536
+
+_MODES = ("auto", "exact", "hist")
 
 
 def summarize_latencies(latencies: Sequence[float]) -> dict[str, float]:
@@ -36,37 +55,116 @@ def summarize_latencies(latencies: Sequence[float]) -> dict[str, float]:
     }
 
 
-@dataclass
 class LatencyRecorder:
-    """Per-slot latency accumulator."""
+    """Per-slot latency accumulator with bounded memory.
 
-    slots: list[np.ndarray] = field(default_factory=list)
+    Parameters
+    ----------
+    mode:
+        ``"auto"`` (default) keeps exact per-slot arrays until
+        ``spill_at`` total samples, then spills to histogram-only;
+        ``"exact"`` never spills (opt-in legacy behavior);
+        ``"hist"`` never keeps arrays.
+    spill_at:
+        Total-sample threshold for the ``"auto"`` spill.
+    error:
+        Relative-error bound of the backing histogram's quantiles.
+    """
+
+    def __init__(
+        self,
+        mode: str = "auto",
+        spill_at: int = DEFAULT_SPILL,
+        error: float = DEFAULT_ERROR,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        self.spill_at = int(spill_at)
+        #: Exact per-slot arrays; emptied once the recorder spills.
+        self.slots: list[np.ndarray] = []
+        #: Streaming histogram fed with every sample (all modes).
+        self.hist = StreamingHistogram(error=error)
+        self._counts: list[int] = []
+        self._means: list[float] = []
+        self._maxima: list[float] = []
+        self._spilled = mode == "hist"
 
     def record_slot(self, latencies: Sequence[float]) -> None:
         """Append one slot's per-request latencies (seconds)."""
-        self.slots.append(np.asarray(latencies, dtype=np.float64))
+        arr = np.asarray(latencies, dtype=np.float64)
+        self._counts.append(int(arr.size))
+        self._means.append(float(arr.mean()) if arr.size else 0.0)
+        self._maxima.append(float(arr.max()) if arr.size else 0.0)
+        self.hist.record_many(arr)
+        if not self._spilled:
+            self.slots.append(arr)
+            if self.mode == "auto" and self.hist.count > self.spill_at:
+                self.slots.clear()
+                self._spilled = True
+
+    @property
+    def exact(self) -> bool:
+        """Whether the exact per-sample arrays are still retained."""
+        return not self._spilled
 
     @property
     def n_slots(self) -> int:
         """Number of slots recorded so far."""
-        return len(self.slots)
+        return len(self._counts)
+
+    @property
+    def total_count(self) -> int:
+        """Total samples recorded across all slots (exact at any scale)."""
+        return self.hist.count
+
+    def slot_counts(self) -> np.ndarray:
+        """Completed-request count per slot (exact at any scale)."""
+        return np.asarray(self._counts, dtype=np.int64)
 
     def slot_means(self) -> np.ndarray:
-        """Average delay per slot (Fig. 10's trace series)."""
-        return np.array(
-            [s.mean() if s.size else 0.0 for s in self.slots]
-        )
+        """Average delay per slot (Fig. 10's trace series; exact)."""
+        return np.asarray(self._means, dtype=np.float64)
 
     def slot_maxima(self) -> np.ndarray:
         """Worst per-request delay in each slot (0.0 for empty slots)."""
-        return np.array([s.max() if s.size else 0.0 for s in self.slots])
+        return np.asarray(self._maxima, dtype=np.float64)
 
     def all_latencies(self) -> np.ndarray:
-        """Every recorded latency, concatenated across slots."""
+        """Every recorded latency, concatenated across slots.
+
+        Only available while :attr:`exact` — past the ``"auto"`` spill
+        point the samples no longer exist; use :meth:`overall` (or
+        :attr:`hist` directly) for histogram-backed summaries.
+        """
+        if self._spilled:
+            raise RuntimeError(
+                f"exact latencies were dropped after {self.hist.count} samples "
+                f"(mode={self.mode!r}, spill_at={self.spill_at}); use "
+                f"overall() / hist for streaming summaries or mode='exact'"
+            )
         if not self.slots:
             return np.empty(0)
         return np.concatenate(self.slots)
 
     def overall(self) -> dict[str, float]:
-        """Whole-trace summary (Fig. 10's avg and max delay numbers)."""
-        return summarize_latencies(self.all_latencies())
+        """Whole-trace summary (Fig. 10's avg and max delay numbers).
+
+        Exact (``np.percentile``) while the arrays are retained;
+        histogram-backed within the documented relative-error bound
+        after the spill (count, mean and max stay exact — they are
+        tracked outside the buckets).
+        """
+        if not self._spilled:
+            return summarize_latencies(self.all_latencies())
+        h = self.hist
+        if h.count == 0:
+            return summarize_latencies([])
+        return {
+            "count": float(h.count),
+            "mean": float(h.mean),
+            "median": float(h.quantile(0.5)),
+            "p95": float(h.quantile(0.95)),
+            "p99": float(h.quantile(0.99)),
+            "max": float(h.max),
+        }

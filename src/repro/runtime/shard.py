@@ -45,11 +45,13 @@ from __future__ import annotations
 
 import heapq
 import os
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.tracer import Span, current_tracer
 from repro.model.instance import ProblemInstance
 from repro.model.placement import Placement, Routing
 from repro.runtime.replay import (
@@ -764,12 +766,48 @@ class _NodeCache:
     P: Optional[np.ndarray]  # lagged prefix max of finish (cores == 2)
 
 
+class _ShardTelemetry:
+    """Per-shard telemetry accumulator (allocated only while tracing).
+
+    ``counters`` holds *deterministic* event counts — pure functions of
+    the replay inputs, so they are bit-identical between the serial
+    driver and any worker executor (the cross-process counter-identity
+    test relies on this).  ``phase_elapsed``/``phase_calls`` hold
+    wall-clock accumulators per protocol phase, emitted as one
+    synthetic ``shard<k>`` span by :meth:`RegionShard.flush_telemetry`.
+    """
+
+    __slots__ = ("counters", "phase_elapsed", "phase_calls")
+
+    def __init__(self) -> None:
+        self.counters = {
+            "node_sims": 0,
+            "cache_rebuilds": 0,
+            "cache_splices": 0,
+        }
+        self.phase_elapsed: dict[str, float] = {}
+        self.phase_calls: dict[str, int] = {}
+
+    def note_phase(self, phase: str, elapsed: float) -> None:
+        """Accumulate one timed call of the named protocol phase."""
+        self.phase_elapsed[phase] = self.phase_elapsed.get(phase, 0.0) + elapsed
+        self.phase_calls[phase] = self.phase_calls.get(phase, 0) + 1
+
+
 class RegionShard:
     """One region's live replay state: nodes, pools, rows, exchanges.
 
     Methods are message-shaped (one picklable argument, one picklable
     return) so the same object runs in-process under the serial driver
     or inside a :class:`~repro.utils.parallel.PipeWorkerPool` worker.
+
+    When the ambient tracer is enabled at construction time the shard
+    accumulates telemetry (:class:`_ShardTelemetry`) and emits it via
+    :meth:`flush_telemetry` — in a worker that lands in the worker's
+    local tracer, installed by
+    :meth:`repro.utils.parallel.PipeWorkerPool.set_tracing` *before*
+    the shard is loaded, and shipped back with
+    :meth:`~repro.utils.parallel.PipeWorkerPool.collect_telemetry`.
     """
 
     def __init__(self, slc: ShardSlice):
@@ -834,11 +872,29 @@ class RegionShard:
         self._re_of_ne[self._ne_of_local] = local
         # ne positions whose start/penalty changed in the last sim step
         self._start_changed: list[np.ndarray] = []
+        # telemetry only exists while the ambient tracer is enabled, so
+        # disabled runs pay a single None check per protocol call
+        self._telemetry = (
+            _ShardTelemetry() if current_tracer().enabled else None
+        )
+
+    def _timed(self, phase: str, fn, payload):
+        """Run one protocol phase, accumulating wall time when traced."""
+        tel = self._telemetry
+        if tel is None:
+            return fn(payload)
+        t0 = time.perf_counter()
+        out = fn(payload)
+        tel.note_phase(phase, time.perf_counter() - t0)
+        return out
 
     # -- protocol steps -------------------------------------------------
     def begin(self, _payload=None) -> _Exports:
         """Initialize with the congestion-free bound (or the slice's
         warm-start seed when one is present); export readies."""
+        return self._timed("begin", self._begin_impl, _payload)
+
+    def _begin_impl(self, _payload=None) -> _Exports:
         slc = self.slc
         if slc.warm_init is not None:
             self.ready = np.array(slc.warm_init, dtype=np.float64)
@@ -908,6 +964,11 @@ class RegionShard:
     ) -> _StartExports:
         """Import foreign readies, re-simulate changed nodes, export
         the start/penalty values of foreign-owned invocations."""
+        return self._timed("step_sim", self._step_sim_impl, imports)
+
+    def _step_sim_impl(
+        self, imports: Optional[tuple[np.ndarray, np.ndarray]]
+    ) -> _StartExports:
         slc = self.slc
         chunks = self._changed_chunks
         self._changed_chunks = []
@@ -1109,6 +1170,13 @@ class RegionShard:
                 P=None,
             )
             self._node_cache[v] = cache
+        tel = self._telemetry
+        if tel is not None:
+            # deterministic: rebuild-vs-splice is a pure function of the
+            # replay inputs, so these counts are executor-independent
+            tel.counters["node_sims"] += 1
+            key = "cache_rebuilds" if rebuild else "cache_splices"
+            tel.counters[key] += 1
         r_s = cache.r_s
         m = int(r_s.size)
         # Exact same-node ready ties are event-order dependent; checked
@@ -1383,6 +1451,12 @@ class RegionShard:
         round — are recomputed.  Untouched rows keep their finish and
         ready values, which equal what a full recompute would produce.
         """
+        return self._timed("step_prop", self._step_prop_impl, imports)
+
+    def _step_prop_impl(
+        self,
+        imports: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    ) -> tuple[bool, _Exports]:
         slc = self.slc
         if imports is not None and imports[0].size:
             pos = np.searchsorted(slc.re_rank, imports[0])
@@ -1457,6 +1531,9 @@ class RegionShard:
 
     def finalize(self, _payload=None) -> ShardCommit:
         """Assemble this shard's committed outputs (no mutation here)."""
+        return self._timed("finalize", self._finalize_impl, _payload)
+
+    def _finalize_impl(self, _payload=None) -> ShardCommit:
         slc = self.slc
         n_rows = int(slc.rows.size)
         r_rows = (
@@ -1530,6 +1607,50 @@ class RegionShard:
             node_wait=node_wait,
             node_count=node_count,
         )
+
+    def flush_telemetry(self, _payload=None) -> None:
+        """Emit accumulated telemetry into the ambient tracer and reset.
+
+        Counters land under ``runtime.shard.*`` (deterministic, so the
+        serial and worker executors emit bit-identical totals) and the
+        per-phase wall times become one synthetic ``shard<k>`` span with
+        one child per protocol phase.  Inside a worker whose local
+        tracer is already named ``shard<k>`` the phase spans attach as
+        roots instead — the parent-side payload merge wraps them in the
+        same ``shard<k>`` root, so the merged tree has the exact shape
+        of a serial traced run.  A no-op when tracing is disabled.
+        """
+        tel = self._telemetry
+        tracer = current_tracer()
+        if tel is None or not tracer.enabled:
+            return None
+        for key in sorted(tel.counters):
+            value = tel.counters[key]
+            if value:
+                tracer.inc(f"runtime.shard.{key}", value)
+        name = f"shard{self.region}"
+        children = [
+            Span(
+                name=phase,
+                duration=elapsed,
+                attrs={"calls": tel.phase_calls[phase]},
+            )
+            for phase, elapsed in tel.phase_elapsed.items()
+        ]
+        if children:
+            if getattr(tracer, "name", None) == name:
+                for child in children:
+                    tracer.attach_span(child)
+            else:
+                tracer.attach_span(
+                    Span(
+                        name=name,
+                        duration=sum(c.duration for c in children),
+                        children=children,
+                    )
+                )
+        self._telemetry = _ShardTelemetry()
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -1617,13 +1738,34 @@ def run_sharded_rounds(
             converged = True
             break
     if not converged:
+        for s in shards:
+            s.flush_telemetry()
         return None, stats
     commits = [s.finalize() for s in shards]
+    for s in shards:
+        s.flush_telemetry()
     if any(c.tied for c in commits):
         return None, stats
     stats.boundary_invocations = sum(c.n_boundary for c in commits)
     stats.local_invocations = sum(c.n_local for c in commits)
     return commits, stats
+
+
+def _collect_worker_telemetry(pool, n_workers: int) -> None:
+    """Flush every worker shard's telemetry and merge it parent-side.
+
+    Skipped entirely when the ambient tracer is disabled, so untraced
+    runs pay zero extra control messages per slot.  Each worker payload
+    is grafted with :meth:`repro.obs.Tracer.merge_payload` — under the
+    caller's open span, so per-shard subtrees land at the same tree
+    position a serial traced run puts them.
+    """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return
+    pool.call_all("flush_telemetry", [None] * n_workers)
+    for payload in pool.collect_telemetry():
+        tracer.merge_payload(payload)
 
 
 def run_sharded_rounds_pooled(
@@ -1671,8 +1813,10 @@ def run_sharded_rounds_pooled(
             converged = True
             break
     if not converged:
+        _collect_worker_telemetry(pool, len(regions))
         return None, stats
     commits = pool.call_all(finalize_cmd, [None] * len(regions))
+    _collect_worker_telemetry(pool, len(regions))
     if any(c.tied for c in commits):
         return None, stats
     stats.boundary_invocations = sum(c.n_boundary for c in commits)
@@ -1884,6 +2028,9 @@ class _ShmShardHost:
     def step_prop(self, payload):
         return self.shard.step_prop(payload)
 
+    def flush_telemetry(self, payload=None):
+        return self.shard.flush_telemetry(payload)
+
     def finalize_shm(self, _payload=None) -> ShardCommit:
         """Like :meth:`RegionShard.finalize`, but the three per-row
         output columns are written into the arena in place and replaced
@@ -1937,6 +2084,10 @@ class ShmReplayContext:
         self.segments_created = 0
         self.slots_served = 0
         self.pool_spawns = 0
+        #: Whether the live pool's workers currently run local tracers;
+        #: tracing control messages are sent on state changes only, so
+        #: untraced slot sequences stay message-free.
+        self.pool_traced = False
 
     def ensure_arena(self, nbytes: int):
         """An arena with capacity ``nbytes``: the existing one reset
@@ -2034,6 +2185,16 @@ def run_sharded_rounds_shm(
     """
     arena = context.ensure_arena(shm_slot_nbytes(slices))
     pool, reused = context.ensure_pool(len(slices))
+    if not reused:
+        context.pool_traced = False
+    # trace context crosses the process boundary *before* the shards are
+    # (re)built, so their construction-time telemetry gates see it
+    want_trace = current_tracer().enabled
+    if context.pool_traced != want_trace:
+        pool.set_tracing(
+            [f"shard{s.region}" for s in slices] if want_trace else None
+        )
+        context.pool_traced = want_trace
     metas, outs = _shm_metas(arena, slices)
     pool.load_all(_shard_worker_factory, metas)
     context.slots_served += 1
@@ -2170,6 +2331,10 @@ def replay_slot_sharded(
             from repro.utils.parallel import ShardWorkerPool
 
             worker_pool = ShardWorkerPool(region_map.n_regions)
+            if current_tracer().enabled:
+                worker_pool.set_tracing(
+                    [f"shard{r}" for r in range(region_map.n_regions)]
+                )
 
         commits = None
         stats = None

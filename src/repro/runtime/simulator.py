@@ -98,7 +98,7 @@ class OnlineTraceResult:
         this; without faults it is 1.0 by construction.
         """
         total = sum(r.n_requests for r in self.slots)
-        done = sum(int(s.size) for s in self.recorder.slots)
+        done = int(self.recorder.total_count)
         return done / total if total else 1.0
 
     def slot_means(self) -> np.ndarray:
@@ -123,6 +123,7 @@ class OnlineSimulator:
         shards: int = 1,
         shard_executor: str = "serial",
         warm_start: bool = False,
+        exact_latencies: bool = False,
     ):
         check_positive("slot_seconds", slot_seconds)
         self.network = network
@@ -180,6 +181,12 @@ class OnlineSimulator:
         #: loop, so this only changes wall-clock.  Set ``False`` to
         #: force the event loop everywhere (benchmark baseline).
         self.fast_replay = fast_replay
+        #: ``True`` keeps every per-request latency in memory
+        #: (``mode="exact"`` on the recorder) for golden-result parity
+        #: on small runs; the default recorder spills to a streaming
+        #: histogram past ~65k samples so trace memory stays flat at
+        #: 1M users (see :class:`repro.runtime.metrics.LatencyRecorder`).
+        self.exact_latencies = bool(exact_latencies)
         rng = as_generator(seed)
         self._mobility_rng, self._workload_rng, self._arrival_rng = spawn(rng, 3)
         self.mobility = RandomWaypointMobility(
@@ -204,6 +211,52 @@ class OnlineSimulator:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def _record_flight_snapshot(
+        self, flight, slot: int, record, latencies, replay_cols, cluster
+    ) -> None:
+        """Capture one per-slot runtime snapshot into ``flight``.
+
+        Fields beyond the recorder's automatic RSS: request counts,
+        replay/fixpoint rounds, shm arena utilization + worker-pool
+        state (when the shm executor is live), and warm-start cache
+        telemetry (when enabled).  Values are numeric or ``None`` per
+        the ``snapshot`` record schema.
+        """
+        fields: dict = {
+            "requests": float(record.n_requests),
+            "completed": float(latencies.size),
+            "cold_starts": float(record.cold_starts),
+            "replay_rounds": (
+                float(replay_cols.rounds) if replay_cols is not None else None
+            ),
+        }
+        shard_stats = cluster.last_shard_stats
+        if shard_stats is not None:
+            fields["shard_rounds"] = float(shard_stats.rounds)
+            fields["shard_exchange_rounds"] = float(
+                shard_stats.exchange_rounds
+            )
+        ctx = self.shard_context
+        if ctx is not None and ctx.arena is not None:
+            fields["arena_used_bytes"] = float(ctx.arena.used)
+            fields["arena_capacity_bytes"] = float(ctx.arena.nbytes)
+            fields["arena_segments"] = float(ctx.segments_created)
+            fields["pool_spawns"] = float(ctx.pool_spawns)
+            fields["pool_workers"] = (
+                float(ctx.pool.n_workers)
+                if ctx.pool is not None and not ctx.pool.closed
+                else 0.0
+            )
+        cache = self.warm_start_cache
+        if cache is not None:
+            slots_seen = slot + 1
+            fields["warm_slots"] = float(cache.warm_slots)
+            fields["warm_hit_rate"] = cache.warm_slots / slots_seen
+            fields["warm_declined"] = float(cache.declined)
+            fields["warm_ema_rounds"] = float(cache.ema_rounds)
+            fields["warm_suppressed"] = float(cache.suppressed)
+        flight.snapshot(slot, **fields)
 
     def run(
         self,
@@ -241,7 +294,9 @@ class OnlineSimulator:
         check_positive("n_slots", n_slots)
         tracer = current_tracer()
         resilient = faults is not None or resilience is not None
-        recorder = LatencyRecorder()
+        recorder = LatencyRecorder(
+            mode="exact" if self.exact_latencies else "auto"
+        )
         records: list[SlotRecord] = []
         pool: Optional[InstancePool] = None
         prev_homes = self.mobility.homes
@@ -419,6 +474,19 @@ class OnlineSimulator:
                     )
                     tracer.inc("runtime.cold_starts", record.cold_starts)
                     tracer.inc("runtime.node_down_slots", int(bool(down)))
+                    # fixed-memory streaming histograms: per-request
+                    # completion latency / queueing delay and per-slot
+                    # fixpoint rounds (docs/OBSERVABILITY.md)
+                    tracer.observe_many(
+                        "runtime.latency.completion", latencies
+                    )
+                    if replay_cols is not None:
+                        tracer.observe_many(
+                            "runtime.latency.queueing", replay_cols.queueing
+                        )
+                        tracer.observe(
+                            "runtime.replay.rounds", replay_cols.rounds
+                        )
                     if replay_cols is not None:
                         tracer.inc("runtime.replay_fast_slots")
                         tracer.inc("runtime.replay_rounds", replay_cols.rounds)
@@ -503,6 +571,12 @@ class OnlineSimulator:
                                 "runtime.degraded_links",
                                 slot_faults.n_degraded_links,
                             )
+                    flight = getattr(tracer, "flight", None)
+                    if flight is not None:
+                        self._record_flight_snapshot(
+                            flight, slot, record, latencies, replay_cols,
+                            cluster,
+                        )
                 logger.debug(
                     "slot %d: %d requests, mean latency %.3fs, %d cold starts",
                     slot,

@@ -125,6 +125,16 @@ def _pipe_worker(conn, factory, ctor_args) -> None:
     arg)``) so a persistent worker can be re-targeted across slots.
     Runs until stopped so the object's state persists across calls —
     the point of the pool.
+
+    Two telemetry control messages carry trace context across the
+    process boundary: ``"__trace__"`` installs a worker-local enabled
+    tracer named by the payload (or restores the no-op tracer when the
+    payload is falsy) as this process's ambient tracer — sent *before*
+    ``__load__`` so construction-time ``tracer.enabled`` gates see it —
+    and ``"__telemetry__"`` replies with the worker tracer's picklable
+    payload and swaps in a fresh tracer (``None`` while tracing is
+    off), so the parent can fold per-worker spans/counters back in with
+    :meth:`repro.obs.Tracer.merge_payload`.
     """
     import traceback
 
@@ -151,6 +161,20 @@ def _pipe_worker(conn, factory, ctor_args) -> None:
                 obj = None  # drop the old object before building the new
                 obj = load_factory(load_arg)
                 result = None
+            elif method == "__trace__":
+                from repro.obs.tracer import NULL_TRACER, Tracer, activate_tracer
+
+                activate_tracer(Tracer(str(arg)) if arg else NULL_TRACER)
+                result = None
+            elif method == "__telemetry__":
+                from repro.obs.tracer import Tracer, activate_tracer, current_tracer
+
+                tracer = current_tracer()
+                if tracer.enabled:
+                    result = tracer.payload()
+                    activate_tracer(Tracer(tracer.name))
+                else:
+                    result = None
             else:
                 result = getattr(obj, method)(arg)
         except Exception:
@@ -305,6 +329,32 @@ class PipeWorkerPool:
         ``factory(args[i])``.  ``factory`` must be a module-level
         callable (pickled by reference)."""
         self.call_all("__load__", [(factory, a) for a in args])
+
+    def set_tracing(self, names: Optional[Sequence[str]]) -> None:
+        """Install (or remove) a worker-local tracer in every worker.
+
+        ``names[i]`` names worker ``i``'s tracer (e.g. ``"shard3"``);
+        pass ``None`` to restore the no-op tracer everywhere.  Send
+        *before* :meth:`load_all` so construction-time
+        ``tracer.enabled`` gates in the hosted object see the right
+        mode.  Callers should only send on state changes — a disabled
+        run must not pay per-slot control messages.
+        """
+        if names is None:
+            args: list = [None] * self.n_workers
+        else:
+            args = list(names)
+        self.call_all("__trace__", args)
+
+    def collect_telemetry(self) -> list:
+        """Drain every worker's tracer payload (``None`` when disabled).
+
+        Each payload is a :meth:`repro.obs.Tracer.payload` dict; the
+        worker swaps in a fresh tracer, so successive collections never
+        double-count.  Merge parent-side with
+        :meth:`repro.obs.Tracer.merge_payload`.
+        """
+        return self.call_all("__telemetry__", [None] * self.n_workers)
 
     def close(self) -> None:
         """Stop every worker and reap the processes (idempotent)."""

@@ -1,0 +1,152 @@
+"""Tests for repro.obs.flight and the schema-2 export version gating.
+
+The flight recorder is a bounded ring — memory must stay fixed no
+matter how many slots stream through — and its snapshots (plus the
+schema-2 ``hist`` records) must round-trip through the JSONL validator,
+which version-gates them: a schema-1 trace may not contain either kind.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
+    FlightRecorder,
+    Tracer,
+    current_rss_kb,
+    trace_records,
+    validate_jsonl,
+    validate_record,
+    write_jsonl,
+)
+
+
+class TestFlightRecorder:
+    def test_snapshot_shape(self):
+        flight = FlightRecorder(capacity=4)
+        snap = flight.snapshot(0, requests=10.0, rounds=3.0)
+        assert snap["slot"] == 0
+        assert snap["time"] >= 0.0
+        assert snap["data"]["requests"] == 10.0
+        assert snap["data"]["rss_kb"] > 0.0
+
+    def test_ring_overwrites_oldest(self):
+        flight = FlightRecorder(capacity=3)
+        for slot in range(8):
+            flight.snapshot(slot)
+        assert len(flight) == 3
+        assert flight.dropped == 5
+        assert [r["slot"] for r in flight.records()] == [5, 6, 7]
+
+    def test_records_oldest_first_before_wrap(self):
+        flight = FlightRecorder(capacity=8)
+        for slot in range(3):
+            flight.snapshot(slot)
+        assert [r["slot"] for r in flight.records()] == [0, 1, 2]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_rss_probe_positive(self):
+        assert current_rss_kb() > 0.0
+
+
+class TestSchemaGating:
+    def _traced(self) -> Tracer:
+        tracer = Tracer("gate")
+        with tracer.span("work"):
+            tracer.inc("runs")
+            tracer.observe("lat", 0.25)
+        tracer.flight = FlightRecorder(capacity=4)
+        tracer.flight.snapshot(0, requests=1.0)
+        return tracer
+
+    def test_records_carry_new_kinds(self, tmp_path):
+        tracer = self._traced()
+        kinds = [r["type"] for r in trace_records(tracer)]
+        assert "hist" in kinds and "snapshot" in kinds
+        path = tmp_path / "t.jsonl"
+        n = write_jsonl(tracer, str(path))
+        assert validate_jsonl(str(path)) == n
+
+    @pytest.mark.parametrize("kind", ["hist", "snapshot"])
+    def test_new_kinds_rejected_under_schema_1(self, kind, tmp_path):
+        tracer = self._traced()
+        records = list(trace_records(tracer))
+        records[0]["schema"] = 1
+        path = tmp_path / "v1.jsonl"
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="requires schema >= 2"):
+            validate_jsonl(str(path))
+
+    def test_schema_1_without_new_kinds_still_valid(self, tmp_path):
+        records = [
+            {"type": "meta", "schema": 1, "name": "old"},
+            {"type": "counter", "name": "runs", "value": 3},
+            {"type": "gauge", "name": "cost", "value": 1.5},
+        ]
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+        assert validate_jsonl(str(path)) == 3
+        assert 1 in SUPPORTED_SCHEMAS and SCHEMA_VERSION == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown record type"):
+            validate_record({"type": "metric", "name": "x", "value": 1})
+
+    def test_duplicate_meta_rejected(self, tmp_path):
+        meta = {"type": "meta", "schema": 2, "name": "dup"}
+        path = tmp_path / "dup.jsonl"
+        path.write_text(
+            json.dumps(meta) + "\n" + json.dumps(meta) + "\n", encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="duplicate meta"):
+            validate_jsonl(str(path))
+
+    def test_meta_must_come_first(self, tmp_path):
+        path = tmp_path / "nometa.jsonl"
+        path.write_text(
+            json.dumps({"type": "counter", "name": "x", "value": 1}) + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="meta"):
+            validate_jsonl(str(path))
+
+    def test_bad_hist_records_rejected(self):
+        good = {
+            "type": "hist", "name": "h", "error": 0.01, "count": 2,
+            "zero": 1, "sum": 3.0, "min": 0.0, "max": 3.0,
+            "buckets": {"55": 1},
+        }
+        validate_record(good)
+        for mutate in (
+            {"error": 1.5},
+            {"zero": 3},
+            {"min": None},
+            {"buckets": {"x": 1}},
+            {"buckets": {"55": 2}},
+        ):
+            with pytest.raises(ValueError):
+                validate_record({**good, **mutate})
+
+    def test_bad_snapshot_records_rejected(self):
+        good = {
+            "type": "snapshot", "slot": 0, "time": 0.5,
+            "data": {"rss_kb": 100.0, "rounds": None},
+        }
+        validate_record(good)
+        for mutate in (
+            {"time": -1.0},
+            {"slot": "zero"},
+            {"data": {"rss_kb": "big"}},
+            {"data": {"ok": True}},
+        ):
+            with pytest.raises(ValueError):
+                validate_record({**good, **mutate})

@@ -132,3 +132,79 @@ class TestTracedParallelSweep:
         socl_rows = [r for r in parallel_rows if r.algorithm == "SoCL"]
         assert socl_rows
         assert all("partition" in r.stage_times for r in socl_rows)
+
+
+class TestTraceReport:
+    """``repro report <trace.jsonl>`` re-renders a recorded trace."""
+
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        from repro.cli import main
+
+        out = str(tmp_path_factory.mktemp("trace") / "run.jsonl")
+        rc = main([
+            "trace", "--servers", "6", "--users", "10", "--slots", "2",
+            "--shards", "3", "--trace", out,
+        ])
+        assert rc == 0
+        return out
+
+    def test_load_trace_groups_records(self, trace_path):
+        from repro.experiments.reporting import load_trace
+        from repro.obs import StreamingHistogram
+
+        trace = load_trace(trace_path)
+        assert trace["meta"]["schema"] == 2
+        assert trace["spans"] and trace["counters"]
+        hists = trace["hists"]
+        assert "runtime.latency.completion" in hists
+        assert isinstance(hists["runtime.latency.completion"], StreamingHistogram)
+        assert hists["runtime.latency.completion"].count > 0
+        # the CLI attaches a flight recorder to every --trace run
+        assert len(trace["snapshots"]) == 2
+        assert trace["snapshots"][0]["data"]["rss_kb"] > 0
+
+    def test_report_renders_all_sections(self, trace_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "trace report:" in out and "schema 2" in out
+        # histogram quantile table
+        assert "runtime.latency.completion" in out and "p99" in out
+        # per-shard slot timeline (3 shards, one row per slot)
+        assert "per-shard replay time" in out
+        assert "shard2 ms" in out and "rounds" in out
+        # flight recorder timeline and the counter catalog
+        assert "flight recorder" in out and "rss_kb" in out
+        assert "runtime.shard.node_sims" in out
+
+    def test_report_to_file(self, trace_path, tmp_path, capsys):
+        from repro.cli import main
+
+        dest = str(tmp_path / "report.txt")
+        assert main(["report", trace_path, "--output", dest]) == 0
+        with open(dest, encoding="utf-8") as fh:
+            assert "flight recorder" in fh.read()
+
+    def test_report_rejects_invalid_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "mystery"}\n', encoding="utf-8")
+        assert main(["report", str(bad)]) == 2
+        assert "meta" in capsys.readouterr().err
+
+    def test_report_rejects_missing_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_shard_timeline_empty_without_shards(self):
+        from repro.experiments.reporting import format_shard_timeline
+
+        spans = [
+            {"type": "span", "name": "slot", "path": "slot", "depth": 0,
+             "start": 0.0, "duration": 1.0, "attrs": {"index": 0}},
+        ]
+        assert format_shard_timeline(spans) == ""

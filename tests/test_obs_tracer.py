@@ -188,7 +188,7 @@ class TestExport:
 
     def test_records_validate(self):
         records = list(trace_records(self._tracer()))
-        assert records[0] == {"type": "meta", "schema": 1, "name": "unit"}
+        assert records[0] == {"type": "meta", "schema": 2, "name": "unit"}
         for record in records:
             validate_record(record)
         paths = [r["path"] for r in records if r["type"] == "span"]

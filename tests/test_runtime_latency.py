@@ -1,0 +1,107 @@
+"""Tests for repro.runtime.metrics (bounded-memory LatencyRecorder).
+
+The recorder's scale contract: per-slot series (count/mean/max) are
+exact forever; exact per-sample arrays are kept only until the ``auto``
+spill point (>= 100k samples here must NOT be buffered); summaries
+degrade gracefully to histogram-backed quantiles within the documented
+1% relative error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.metrics import DEFAULT_SPILL, LatencyRecorder, summarize_latencies
+
+
+def _stream(recorder: LatencyRecorder, n_slots: int, per_slot: int, seed: int = 0):
+    gen = np.random.default_rng(seed)
+    slots = [gen.uniform(0.01, 5.0, per_slot) for _ in range(n_slots)]
+    for arr in slots:
+        recorder.record_slot(arr)
+    return slots
+
+
+class TestExactPhase:
+    def test_pre_spill_matches_legacy_behavior(self):
+        rec = LatencyRecorder()
+        slots = _stream(rec, n_slots=4, per_slot=50)
+        assert rec.exact
+        flat = np.concatenate(slots)
+        assert np.array_equal(rec.all_latencies(), flat)
+        assert rec.overall() == summarize_latencies(flat)
+        assert np.array_equal(rec.slot_counts(), [50] * 4)
+        assert np.array_equal(rec.slot_means(), [a.mean() for a in slots])
+        assert np.array_equal(rec.slot_maxima(), [a.max() for a in slots])
+
+    def test_empty_slot_is_zero(self):
+        rec = LatencyRecorder()
+        rec.record_slot(np.empty(0))
+        assert rec.slot_counts().tolist() == [0]
+        assert rec.slot_means().tolist() == [0.0]
+        assert rec.overall()["count"] == 0.0
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(mode="forever")
+
+
+class TestSpill:
+    def test_memory_stays_flat_at_100k_samples(self):
+        """Past the spill point no per-sample array survives — the
+        recorder's retained state is O(buckets + slots), not O(samples)."""
+        rec = LatencyRecorder(spill_at=10_000)
+        n_slots, per_slot = 50, 2_500  # 125k samples >= 100k
+        _stream(rec, n_slots, per_slot)
+        assert rec.total_count == n_slots * per_slot >= 100_000
+        assert not rec.exact
+        assert rec.slots == []  # the only per-sample storage, gone
+        # fixed-memory leftovers: histogram buckets + per-slot scalars
+        assert len(rec.hist.buckets) < 1000
+        assert rec.n_slots == n_slots
+
+    def test_all_latencies_raises_after_spill(self):
+        rec = LatencyRecorder(spill_at=100)
+        _stream(rec, n_slots=3, per_slot=60)
+        with pytest.raises(RuntimeError, match="spill_at=100"):
+            rec.all_latencies()
+
+    def test_slot_series_survive_spill_exactly(self):
+        a = LatencyRecorder(spill_at=100)
+        b = LatencyRecorder(mode="exact")
+        gen = np.random.default_rng(7)
+        for _ in range(5):
+            arr = gen.uniform(0.0, 2.0, 80)
+            a.record_slot(arr)
+            b.record_slot(arr)
+        assert not a.exact and b.exact
+        assert np.array_equal(a.slot_means(), b.slot_means())
+        assert np.array_equal(a.slot_maxima(), b.slot_maxima())
+        assert np.array_equal(a.slot_counts(), b.slot_counts())
+
+    def test_overall_within_error_bound_after_spill(self):
+        rec = LatencyRecorder(spill_at=1_000)
+        slots = _stream(rec, n_slots=10, per_slot=500)
+        flat = np.concatenate(slots)
+        exact = summarize_latencies(flat)
+        approx = rec.overall()
+        assert approx["count"] == exact["count"]
+        assert approx["mean"] == pytest.approx(exact["mean"], rel=1e-9)
+        assert approx["max"] == exact["max"]
+        for key in ("median", "p95", "p99"):
+            assert approx[key] == pytest.approx(exact[key], rel=0.02)
+
+    def test_exact_mode_never_spills(self):
+        rec = LatencyRecorder(mode="exact", spill_at=10)
+        _stream(rec, n_slots=4, per_slot=50)
+        assert rec.exact
+        assert rec.all_latencies().size == 200
+
+    def test_hist_mode_never_buffers(self):
+        rec = LatencyRecorder(mode="hist")
+        rec.record_slot(np.array([1.0, 2.0]))
+        assert not rec.exact
+        assert rec.slots == []
+        assert rec.overall()["count"] == 2.0
+
+    def test_default_spill_threshold(self):
+        assert LatencyRecorder().spill_at == DEFAULT_SPILL == 65536

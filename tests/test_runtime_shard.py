@@ -586,3 +586,137 @@ class TestClusterWiring:
         assert ref.finish.tobytes() == res.finish.tobytes()
         assert sharded.last_shard_stats is not None
         assert sharded.last_shard_stats.n_shards == 3
+
+
+# ---------------------------------------------------------------------------
+# Worker telemetry propagation
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryBitIdentity:
+    """Shard telemetry must be executor-invariant: the ``runtime.shard.*``
+    counters a traced replay emits are pure functions of the replay
+    inputs, so serial and worker-pool executors must produce exactly the
+    same totals (worker tracers ship payloads back over the control
+    pipe; the parent folds them in)."""
+
+    @staticmethod
+    def _traced_replay(executor: str):
+        from repro.obs import Tracer, use_tracer
+
+        inst, placement, routing = _solved(9, 12)
+        at = np.random.default_rng(9).uniform(0.0, 12.0, inst.n_requests)
+        rmap = RegionMap.contiguous(inst.n_servers, 3)
+        req = np.arange(inst.n_requests)
+        pool = InstancePool(
+            placement, ServerlessConfig(cold_start=0.5, keep_alive=5.0)
+        )
+        cluster = SimulatedCluster(inst, placement, routing, pool=pool)
+        tracer = Tracer(f"telemetry-{executor}")
+        with use_tracer(tracer):
+            shr = replay_slot_sharded(
+                inst, placement, routing, pool, cluster.nodes, req, at, rmap,
+                executor=executor,
+            )
+        assert shr is not None
+        return tracer, shr
+
+    @staticmethod
+    def _shard_counters(tracer) -> dict:
+        return {
+            name: value
+            for name, value in tracer.counters.items()
+            if name.startswith("runtime.shard.")
+            and not name.startswith("runtime.shard.shm_")
+        }
+
+    @staticmethod
+    def _span_shape(tracer) -> list:
+        def shape(span):
+            return (span.name, [shape(c) for c in span.children])
+
+        return sorted(shape(s) for s in tracer.roots)
+
+    def test_serial_emits_shard_counters(self):
+        tracer, _ = self._traced_replay("serial")
+        counters = self._shard_counters(tracer)
+        for key in ("node_sims", "cache_rebuilds", "cache_splices"):
+            assert f"runtime.shard.{key}" in counters
+        assert counters["runtime.shard.node_sims"] > 0
+        # one synthetic subtree per shard with the four protocol phases
+        assert [s.name for s in tracer.roots] == ["shard0", "shard1", "shard2"]
+        for root in tracer.roots:
+            assert [c.name for c in root.children] == [
+                "begin", "step_sim", "step_prop", "finalize",
+            ]
+
+    def test_untraced_shards_carry_no_telemetry_state(self):
+        from repro.runtime.shard import RegionShard, build_shard_slices
+
+        inst, placement, routing = _solved(9, 12)
+        at = np.random.default_rng(9).uniform(0.0, 12.0, inst.n_requests)
+        pool = InstancePool(
+            placement, ServerlessConfig(cold_start=0.5, keep_alive=5.0)
+        )
+        cluster = SimulatedCluster(inst, placement, routing, pool=pool)
+        slices = build_shard_slices(
+            inst, placement, routing, pool, cluster.nodes,
+            np.arange(inst.n_requests), at,
+            RegionMap.contiguous(inst.n_servers, 3),
+        )
+        assert slices is not None
+        # no ambient tracer -> the per-shard counter/phase state is never
+        # even allocated, keeping the untraced hot path untouched
+        assert all(RegionShard(s)._telemetry is None for s in slices)
+
+    def test_process_counters_bit_identical_to_serial(self):
+        ref, _ = self._traced_replay("serial")
+        proc, _ = self._traced_replay("process")
+        assert self._shard_counters(proc) == self._shard_counters(ref)
+        assert self._span_shape(proc) == self._span_shape(ref)
+
+    @needs_shm
+    def test_shm_counters_bit_identical_to_serial(self):
+        ref, _ = self._traced_replay("serial")
+        shm, _ = self._traced_replay("shm")
+        assert self._shard_counters(shm) == self._shard_counters(ref)
+        assert self._span_shape(shm) == self._span_shape(ref)
+
+    @needs_shm
+    def test_shm_context_toggles_tracing_across_slots(self):
+        """A reused shm context must disable worker tracing again when a
+        later slot runs untraced — and the untraced result must match."""
+        from repro.obs import Tracer, use_tracer
+
+        inst, placement, routing = _solved(9, 12)
+        at = np.random.default_rng(9).uniform(0.0, 12.0, inst.n_requests)
+        rmap = RegionMap.contiguous(inst.n_servers, 3)
+        req = np.arange(inst.n_requests)
+
+        def run(ctx, traced):
+            pool = InstancePool(
+                placement, ServerlessConfig(cold_start=0.5, keep_alive=5.0)
+            )
+            cluster = SimulatedCluster(inst, placement, routing, pool=pool)
+            if traced:
+                with use_tracer(Tracer("toggle")):
+                    return replay_slot_sharded(
+                        inst, placement, routing, pool, cluster.nodes,
+                        req, at, rmap, executor="shm", shard_context=ctx,
+                    )
+            return replay_slot_sharded(
+                inst, placement, routing, pool, cluster.nodes,
+                req, at, rmap, executor="shm", shard_context=ctx,
+            )
+
+        with ShmReplayContext() as ctx:
+            a = run(ctx, traced=True)
+            assert ctx.pool_traced is True
+            b = run(ctx, traced=False)
+            assert ctx.pool_traced is False
+            c = run(ctx, traced=True)
+            assert ctx.pool_traced is True
+        for col in ("finish", "queueing", "cold_start"):
+            ref = getattr(a.result, col).tobytes()
+            assert getattr(b.result, col).tobytes() == ref
+            assert getattr(c.result, col).tobytes() == ref
