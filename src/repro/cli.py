@@ -13,6 +13,10 @@ Subcommands:
   fault intensity (instance crashes + link degradation) for SoCL-Online
   against the RP/JDR baselines, under a configurable
   retry/hedging/timeout/shedding policy;
+* ``autoscale`` — static vs reactive provisioning comparison: plain
+  SoCL, SoCL assisted by the feedback-control autoscaler, and a
+  pure-reactive platform, under diurnal and bursty traffic
+  (docs/AUTOSCALING.md);
 * ``dataset``  — list the curated 20-project microservice registry.
 
 Every subcommand also accepts the observability flags ``--trace
@@ -304,6 +308,52 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_autoscale(args: argparse.Namespace) -> int:
+    from repro.experiments import figures, format_table
+
+    rows = figures.autoscale_sweep(
+        modes=args.modes,
+        traffics=args.traffics,
+        n_users=args.users,
+        n_servers=args.servers,
+        n_slots=args.slots,
+        budget=args.budget,
+        seed=args.seed,
+        n_jobs=args.jobs,
+    )
+    print(
+        format_table(
+            rows,
+            columns=[
+                "traffic",
+                "mode",
+                "algorithm",
+                "completion_rate",
+                "p99_latency",
+                "mean_latency",
+                "cold_starts",
+                "instance_seconds",
+                "scale_ups",
+                "scale_downs",
+                "prewarms",
+                "evictions",
+            ],
+            percent=("completion_rate",),
+            title=(
+                f"autoscale sweep: {args.users} users on {args.servers} servers, "
+                f"{args.slots} slots"
+            ),
+        )
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(rows, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import format_table
     from repro.experiments.scenarios import ScenarioParams
@@ -481,6 +531,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for sweep cells")
     p.set_defaults(func=cmd_resilience)
+
+    p = add_command("autoscale", help="static vs reactive provisioning comparison")
+    p.add_argument("--servers", type=int, default=8)
+    p.add_argument("--users", type=int, default=40)
+    p.add_argument("--budget", type=float, default=6000.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--slots", type=int, default=8)
+    p.add_argument(
+        "--modes", nargs="+", choices=["socl", "socl+as", "reactive"],
+        default=["socl", "socl+as", "reactive"],
+        help="provisioning modes: socl (static per-slot pre-provisioning), "
+             "socl+as (SoCL assisted by the feedback autoscaler), "
+             "reactive (pure-reactive, no pre-provisioning)",
+    )
+    p.add_argument(
+        "--traffics", nargs="+", choices=["diurnal", "bursty"],
+        default=["diurnal", "bursty"],
+        help="arrival-trace profiles driving per-slot request volumes",
+    )
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for sweep cells")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also dump the comparison rows as JSON to PATH")
+    p.set_defaults(func=cmd_autoscale)
 
     p = add_command("dataset", help="list the curated project registry")
     p.set_defaults(func=cmd_dataset)

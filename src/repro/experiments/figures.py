@@ -486,6 +486,128 @@ def resilience_sweep(
 
 
 # ----------------------------------------------------------------------
+# Autoscaling — static vs assisted vs pure-reactive provisioning
+# ----------------------------------------------------------------------
+def _autoscale_cell(task: tuple) -> dict:
+    """One (mode, traffic) autoscaling run; top-level for process pools.
+
+    The stateful :class:`~repro.runtime.autoscale.Autoscaler` is built
+    *inside* the worker (its signal EMAs and cooldown clocks must start
+    fresh per cell), so only the mode/traffic strings and scalars cross
+    the pickle boundary.
+    """
+    from repro.runtime.autoscale import AutoscaleConfig, Autoscaler, StaticProvisioner
+
+    (
+        mode,
+        traffic,
+        n_users,
+        n_servers,
+        n_slots,
+        budget,
+        seed,
+        data_scale,
+        fast_replay,
+    ) = task
+    network = stadium_topology(n_servers, seed=seed)
+    app = eshop_application()
+
+    # Slot request volumes from an Alibaba-style arrival trace: diurnal
+    # shape always, plus Poisson bursts for the "bursty" profile.  The
+    # trace normalizes to the user population so peak slots saturate it.
+    burst_rate = 6.0 if traffic == "bursty" else 0.0
+    trace = generate_arrivals(
+        duration_hours=n_slots * 5.0 / 60.0,
+        interval_minutes=5.0,
+        seed=seed,
+        burst_rate_per_hour=burst_rate,
+        burst_magnitude=3.0,
+    )
+    peak = float(trace.volumes.max()) or 1.0
+    volumes = np.maximum(1, np.ceil(trace.volumes / peak * n_users)).astype(int)
+
+    if mode == "reactive":
+        solver = StaticProvisioner()
+        autoscaler = Autoscaler(AutoscaleConfig(), reactive=True)
+    elif mode == "socl+as":
+        solver = SoCL()
+        autoscaler = Autoscaler(AutoscaleConfig())
+    else:  # plain SoCL, no feedback loop
+        solver = SoCL()
+        autoscaler = None
+    sim = OnlineSimulator(
+        network,
+        app,
+        ProblemConfig(weight=0.5, budget=budget),
+        WorkloadSpec(n_users=n_users, data_scale=data_scale),
+        seed=seed,
+        fast_replay=fast_replay,
+        autoscaler=autoscaler,
+    )
+    res = sim.run(solver, n_slots=n_slots, volumes=volumes[:n_slots].tolist())
+    stats = autoscaler.stats if autoscaler is not None else None
+    return {
+        "mode": mode,
+        "traffic": traffic,
+        "algorithm": res.solver_name
+        + (f"+{autoscaler.name}" if autoscaler is not None else ""),
+        "completion_rate": res.completion_rate,
+        "mean_latency": res.mean_delay,
+        "p99_latency": res.p99_delay,
+        "cold_starts": sum(s.cold_starts for s in res.slots),
+        "instance_seconds": res.instance_seconds(),
+        "scale_ups": stats.scale_ups if stats else 0,
+        "scale_downs": stats.scale_downs if stats else 0,
+        "prewarms": stats.prewarms if stats else 0,
+        "evictions": stats.evictions if stats else 0,
+    }
+
+
+def autoscale_sweep(
+    modes: Sequence[str] = ("socl", "socl+as", "reactive"),
+    traffics: Sequence[str] = ("diurnal", "bursty"),
+    n_users: int = 40,
+    n_servers: int = 8,
+    n_slots: int = 8,
+    budget: float = 6000.0,
+    seed: int = 0,
+    data_scale: float = 5.0,
+    n_jobs: int = 1,
+    fast_replay: bool = True,
+) -> list[dict]:
+    """Static vs autoscaled provisioning under diurnal and bursty load.
+
+    Three provisioning modes on the simulated cluster (docs/AUTOSCALING.md):
+    ``socl`` — the paper's per-slot static pre-provisioning, untouched;
+    ``socl+as`` — SoCL assisted by the reactive feedback loop
+    (:class:`~repro.runtime.autoscale.Autoscaler`), which trims
+    replicas and sizes the warm pool between slots; ``reactive`` — a
+    pure-reactive platform (:class:`~repro.runtime.autoscale.StaticProvisioner`
+    bootstrap, all subsequent capacity changes feedback-driven).  Each
+    mode runs under the two `workload/alibaba`-style traffic profiles
+    and reports completion rate, p99 latency, and cost
+    (instance-seconds).  One row per (traffic, mode); ``n_jobs > 1``
+    runs cells on a process pool with serial row order.
+    """
+    tasks = [
+        (
+            mode,
+            traffic,
+            n_users,
+            n_servers,
+            n_slots,
+            budget,
+            seed,
+            data_scale,
+            fast_replay,
+        )
+        for traffic in traffics
+        for mode in modes
+    ]
+    return _run_cells(_autoscale_cell, tasks, n_jobs, "autoscale")
+
+
+# ----------------------------------------------------------------------
 # Fig. 10 — 4-hour delay trace on 16 edge nodes with mobility
 # ----------------------------------------------------------------------
 def fig10_trace(

@@ -27,7 +27,11 @@ a discrete-event simulation:
   of the solvable state before each provision;
 * :mod:`repro.runtime.resilience` — request-level fault injection
   (degraded links, instance crashes) and the retry / hedging / timeout /
-  shedding policies that absorb them.
+  shedding policies that absorb them;
+* :mod:`repro.runtime.autoscale` — the reactive feedback-control loop
+  over the serverless pools: utilization/queueing monitoring, hysteresis
+  scaling rules with cooldowns, warm-pool sizing, and the pure-reactive
+  provisioning baseline (docs/AUTOSCALING.md).
 
 The full runtime model is documented in ``docs/RUNTIME.md``.
 """
@@ -44,6 +48,14 @@ from repro.runtime.shard import (
     ShmReplayContext,
     replay_slot_sharded,
     resolve_shard_executor,
+)
+from repro.runtime.autoscale import (
+    AutoscaleConfig,
+    Autoscaler,
+    ScalingAction,
+    ScalingPolicy,
+    StaticProvisioner,
+    UtilizationMonitor,
 )
 from repro.runtime.simulator import OnlineSimulator, SlotRecord, OnlineTraceResult
 from repro.runtime.metrics import LatencyRecorder, summarize_latencies
@@ -74,6 +86,12 @@ __all__ = [
     "ShmReplayContext",
     "replay_slot_sharded",
     "resolve_shard_executor",
+    "AutoscaleConfig",
+    "Autoscaler",
+    "ScalingAction",
+    "ScalingPolicy",
+    "StaticProvisioner",
+    "UtilizationMonitor",
     "OnlineSimulator",
     "SlotRecord",
     "OnlineTraceResult",

@@ -59,6 +59,7 @@ class InstancePool:
         self.cold_starts = 0
         self.warm_hits = 0
         self.evictions = 0
+        self.prewarms = 0
 
     def update_placement(self, placement: Placement) -> None:
         """Apply a new placement: removed instances are evicted, new ones
@@ -123,6 +124,21 @@ class InstancePool:
         self._last_used.update(last_used)
         self.cold_starts += n_cold
         self.warm_hits += n_warm
+
+    def prewarm(self, service: int, node: int, now: float) -> None:
+        """Warm an instance outside the request path (autoscaler keep-warm).
+
+        The platform pays the container init in the background, so the
+        instance's next invocation within the keep-alive window is a
+        warm hit instead of a cold start.  Raises for pairs the
+        placement does not provision; counted in :attr:`prewarms`.
+        """
+        if (service, node) not in self._provisioned:
+            raise ValueError(
+                f"service {service} is not provisioned on node {node}"
+            )
+        self._last_used[(service, node)] = now
+        self.prewarms += 1
 
     def evict(self, service: int, node: int) -> None:
         """Forget an instance's warmth (container crash or forced restart).

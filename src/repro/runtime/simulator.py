@@ -19,6 +19,13 @@ committed.  A :class:`~repro.runtime.resilience.ResiliencePolicy`
 those faults — retries, hedged re-routing, timeouts, and admission-time
 shedding.  With both arguments left at ``None`` the simulation is
 bit-identical to the fault-free code path.
+
+A third optional layer, the reactive autoscaler
+(:mod:`repro.runtime.autoscale`, the ``autoscaler`` constructor
+argument), hooks the slot boundary: after the solver commits it applies
+feedback-driven replica deltas and warm-pool actions, and after replay
+it folds the slot's utilization/queueing telemetry into its signals.
+Like the failure layers it is bit-identical when absent or disabled.
 """
 
 from __future__ import annotations
@@ -65,6 +72,17 @@ class SlotRecord:
     n_shed: int = 0
     n_timeouts: int = 0
     n_failed: int = 0
+    #: Provisioned (service, node) instances during the slot — the
+    #: capacity the cost metric ``instance-seconds`` integrates.
+    n_provisioned: int = 0
+    #: Warm instances at the slot start (after autoscaler prewarms).
+    n_warm: int = 0
+    #: Autoscaler actions taken at this slot's boundary (all zero when
+    #: no autoscaler is attached — purely additive reporting).
+    n_scale_ups: int = 0
+    n_scale_downs: int = 0
+    n_prewarms: int = 0
+    n_pool_evictions: int = 0
 
 
 @dataclass
@@ -105,6 +123,18 @@ class OnlineTraceResult:
         """Average delay per slot (Fig. 10's trace series)."""
         return self.recorder.slot_means()
 
+    def instance_seconds(self, slot_seconds: float = 300.0) -> float:
+        """Provisioned capacity integrated over the trace (cost metric).
+
+        Each slot contributes ``n_provisioned × slot_seconds`` — the
+        serverless bill for keeping those instances allocated, whether
+        or not they served traffic.  The autoscale sweep compares this
+        against completion rate and p99 latency (docs/AUTOSCALING.md).
+        """
+        return float(
+            sum(r.n_provisioned for r in self.slots) * slot_seconds
+        )
+
 
 class OnlineSimulator:
     """Drives one algorithm through a mobile, time-varying workload."""
@@ -124,6 +154,7 @@ class OnlineSimulator:
         shard_executor: str = "serial",
         warm_start: bool = False,
         exact_latencies: bool = False,
+        autoscaler=None,
     ):
         check_positive("slot_seconds", slot_seconds)
         self.network = network
@@ -187,6 +218,14 @@ class OnlineSimulator:
         #: histogram past ~65k samples so trace memory stays flat at
         #: 1M users (see :class:`repro.runtime.metrics.LatencyRecorder`).
         self.exact_latencies = bool(exact_latencies)
+        #: Optional :class:`repro.runtime.autoscale.Autoscaler` — the
+        #: reactive feedback-control loop over the serverless pools.
+        #: Hooked at the slot boundary: ``adjust`` after the solver
+        #: commits (replica deltas + warm-pool actions), ``observe``
+        #: after replay (utilization/queueing signals).  ``None`` (or a
+        #: disabled autoscaler) leaves every slot bit-identical to the
+        #: static pipeline (docs/AUTOSCALING.md).
+        self.autoscaler = autoscaler
         rng = as_generator(seed)
         self._mobility_rng, self._workload_rng, self._arrival_rng = spawn(rng, 3)
         self.mobility = RandomWaypointMobility(
@@ -248,6 +287,14 @@ class OnlineSimulator:
                 if ctx.pool is not None and not ctx.pool.closed
                 else 0.0
             )
+        asc = self.autoscaler
+        if asc is not None and asc.enabled:
+            fields["autoscale_provisioned"] = float(record.n_provisioned)
+            fields["autoscale_warm"] = float(record.n_warm)
+            fields["autoscale_scale_ups"] = float(asc.stats.scale_ups)
+            fields["autoscale_scale_downs"] = float(asc.stats.scale_downs)
+            fields["autoscale_prewarms"] = float(asc.stats.prewarms)
+            fields["autoscale_evictions"] = float(asc.stats.evictions)
         cache = self.warm_start_cache
         if cache is not None:
             slots_seen = slot + 1
@@ -290,6 +337,13 @@ class OnlineSimulator:
         it, a crashed invocation is a hard failure.  Both default to
         ``None``, which leaves every placement, routing, and objective
         bit-identical to the fault-free simulation.
+
+        When the simulator was constructed with an enabled
+        ``autoscaler`` (:mod:`repro.runtime.autoscale`), each slot
+        additionally runs the feedback loop: replica deltas and
+        warm-pool actions after the solver commits, telemetry
+        observation after replay (docs/AUTOSCALING.md).  Absent or
+        disabled, the same bit-identity contract applies.
         """
         check_positive("n_slots", n_slots)
         tracer = current_tracer()
@@ -349,17 +403,47 @@ class OnlineSimulator:
                 sw = Stopwatch()
                 with sw.measure(), tracer.span("provision"):
                     result = solver.solve(instance)
+                placement, routing = result.placement, result.routing
+
+                autoscaling = (
+                    self.autoscaler is not None and self.autoscaler.enabled
+                )
+                pool_actions: tuple = ()
+                if autoscaling:
+                    with tracer.span("autoscale"):
+                        placement, routing, pool_actions = (
+                            self.autoscaler.adjust(
+                                slot, instance, placement, routing
+                            )
+                        )
 
                 if pool is None:
-                    pool = InstancePool(result.placement, self.serverless)
+                    pool = InstancePool(placement, self.serverless)
                 else:
-                    pool.update_placement(result.placement)
+                    pool.update_placement(placement)
+                n_scale_ups = n_scale_downs = n_prewarms = n_pool_evictions = 0
+                if autoscaling:
+                    stats = self.autoscaler.stats
+                    n_scale_ups = sum(
+                        1 for a in pool_actions if a.kind == "up"
+                    )
+                    n_scale_downs = sum(
+                        1 for a in pool_actions if a.kind == "down"
+                    )
+                    pw_before, ev_before = stats.prewarms, stats.evictions
+                    # slot-local clock: 0.0 is the slot start, so the
+                    # prewarmed instances stay warm for the whole slot
+                    self.autoscaler.apply_pool(pool, pool_actions, now=0.0)
+                    n_prewarms = stats.prewarms - pw_before
+                    n_pool_evictions = stats.evictions - ev_before
                 cold_before = pool.cold_starts
+                n_provisioned = pool.n_provisioned
+                n_warm = pool.warm_count(0.0)
 
                 slot_faults = None
                 if faults is not None:
                     slot_faults = faults.for_slot(
-                        slot, result.placement, self.slot_seconds
+                        slot, placement, self.slot_seconds
                     )
                     if slot_faults.crashes:
                         note = getattr(solver, "note_failures", None)
@@ -379,8 +463,8 @@ class OnlineSimulator:
                     self.shard_context = ShmReplayContext()
                 cluster = SimulatedCluster(
                     instance,
-                    result.placement,
-                    result.routing,
+                    placement,
+                    routing,
                     pool=pool,
                     faults=slot_faults,
                     policy=resilience,
@@ -428,6 +512,28 @@ class OnlineSimulator:
                 else:
                     latencies = np.array([o.latency for o in outcomes if o.done])
                 recorder.record_slot(latencies)
+                if autoscaling:
+                    if replay_cols is not None:
+                        obs_req, obs_queue = (
+                            replay_cols.request,
+                            replay_cols.queueing,
+                        )
+                    else:
+                        obs_req = np.array(
+                            [o.request for o in outcomes if o.done],
+                            dtype=np.int64,
+                        )
+                        obs_queue = np.array(
+                            [o.queueing for o in outcomes if o.done]
+                        )
+                    self.autoscaler.observe(
+                        instance,
+                        routing,
+                        cluster,
+                        obs_req,
+                        obs_queue,
+                        self.slot_seconds,
+                    )
                 n_retries = n_hedges = n_shed = n_timeouts = n_failed = 0
                 if resilient:
                     for o in outcomes:
@@ -455,6 +561,12 @@ class OnlineSimulator:
                     n_shed=n_shed,
                     n_timeouts=n_timeouts,
                     n_failed=n_failed,
+                    n_provisioned=n_provisioned,
+                    n_warm=n_warm,
+                    n_scale_ups=n_scale_ups,
+                    n_scale_downs=n_scale_downs,
+                    n_prewarms=n_prewarms,
+                    n_pool_evictions=n_pool_evictions,
                 )
                 records.append(record)
                 if tracer.enabled:

@@ -155,6 +155,34 @@ class TestResilienceCommand:
         assert args.retries == 2
         assert not args.no_policy
 
+    def test_autoscale_parser_defaults(self):
+        args = build_parser().parse_args(["autoscale"])
+        assert args.modes == ["socl", "socl+as", "reactive"]
+        assert args.traffics == ["diurnal", "bursty"]
+        assert args.json is None
+
+    def test_autoscale_runs(self, capsys, tmp_path):
+        out_file = tmp_path / "as.json"
+        rc = main(
+            [
+                "autoscale",
+                "--servers", "6",
+                "--users", "10",
+                "--slots", "2",
+                "--modes", "socl", "reactive",
+                "--traffics", "diurnal",
+                "--json", str(out_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "instance_seconds" in out
+        assert "AS-reactive" in out
+        import json
+
+        rows = json.loads(out_file.read_text(encoding="utf-8"))
+        assert {r["mode"] for r in rows} == {"socl", "reactive"}
+
     def test_resilience_runs(self, capsys):
         rc = main(
             [

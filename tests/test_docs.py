@@ -23,6 +23,7 @@ DOC_FILES = [
     "CONTRIBUTING.md",
     "docs/README.md",
     "docs/ALGORITHMS.md",
+    "docs/AUTOSCALING.md",
     "docs/OBSERVABILITY.md",
     "docs/RUNTIME.md",
 ]
@@ -75,6 +76,7 @@ class TestDocFilesExist:
             "LICENSE",
             "docs/README.md",
             "docs/ALGORITHMS.md",
+            "docs/AUTOSCALING.md",
             "docs/OBSERVABILITY.md",
             "docs/RUNTIME.md",
         ],
@@ -167,6 +169,12 @@ class TestCliExamplesParse:
 
     def test_resilience_documented(self, documented_calls):
         assert any(sub == "resilience" for _, sub, _ in documented_calls)
+
+    def test_autoscale_documented(self, documented_calls):
+        assert any(
+            sub == "autoscale" and doc == "docs/AUTOSCALING.md"
+            for doc, sub, _ in documented_calls
+        )
 
 
 class TestDocLinksResolve:

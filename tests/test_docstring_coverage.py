@@ -84,3 +84,4 @@ def test_coverage_is_meaningful():
         total += len(list(_public_members(importlib.import_module(mod_name))))
     assert total >= 25
     assert "repro.runtime.resilience" in MODULES
+    assert "repro.runtime.autoscale" in MODULES
