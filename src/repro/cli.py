@@ -214,6 +214,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         shards=args.shards,
         shard_executor=args.executor,
         warm_start=args.warm_start,
+        pipeline=args.pipeline,
     )
     outages = (
         OutageSchedule(args.servers, fail_prob=args.fail_prob, seed=args.seed)
@@ -504,6 +505,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed each slot's replay fixpoint from the previous "
                         "slot's converged per-node state (bit-identical; "
                         "only the round count changes)")
+    p.add_argument("--pipeline", choices=["on", "off", "auto"],
+                   default="auto",
+                   help="pipelined slot execution: dispatch each slot's "
+                        "replay to a background thread and overlap the next "
+                        "slot's window generation + solve (bit-identical to "
+                        "off); auto pipelines only when a persistent "
+                        "process/shm shard executor carries the replay")
     p.add_argument("--fail-prob", type=float, default=0.0,
                    help="per-slot node failure probability (failure injection)")
     p.set_defaults(func=cmd_trace)

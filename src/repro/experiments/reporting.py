@@ -253,18 +253,33 @@ def format_shard_timeline(
     nested beneath them — identical for the serial and shm executors,
     so one renderer covers both.  Each cell is the shard's total phase
     time in milliseconds; ``rounds`` is the slot's fixpoint round count
-    (the ``step_sim`` call count, identical across shards).  Returns
-    ``""`` when the trace has no sharded-replay spans.
+    (the ``step_sim`` call count, identical across shards).  Slot spans
+    carrying the per-phase attrs (``t_solve_ms``/``t_replay_ms``/
+    ``t_overlap_ms``) additionally get ``solve ms``/``replay ms``/
+    ``overlap ms`` columns, so a pipelined run's hidden replay time is
+    visible per slot.  Returns ``""`` when the trace has no
+    sharded-replay spans.
     """
     rows: list[dict] = []
     shard_ids: set[int] = set()
+    phase_cols: set[str] = set()
     current: Optional[dict] = None
     slot_depth = 0
+    _PHASE_ATTRS = (
+        ("t_solve_ms", "solve ms"),
+        ("t_replay_ms", "replay ms"),
+        ("t_overlap_ms", "overlap ms"),
+    )
     for record in span_records:
         name = record.get("name", "")
         depth = int(record.get("depth", 0))
         if name == "slot":
-            current = {"slot": record.get("attrs", {}).get("index", len(rows))}
+            attrs = record.get("attrs", {})
+            current = {"slot": attrs.get("index", len(rows))}
+            for attr, col in _PHASE_ATTRS:
+                if attr in attrs:
+                    current[col] = float(attrs[attr])
+                    phase_cols.add(col)
             slot_depth = depth
             rows.append(current)
             continue
@@ -287,6 +302,9 @@ def format_shard_timeline(
     truncated = len(rows) > max_slots
     rows = rows[:max_slots]
     columns = ["slot"] + [f"shard{k} ms" for k in sorted(shard_ids)]
+    for _, col in _PHASE_ATTRS:
+        if col in phase_cols:
+            columns.append(col)
     if any("rounds" in r for r in rows):
         columns.append("rounds")
     text = format_table(rows, columns=columns, title="per-shard replay time")
@@ -306,6 +324,11 @@ _SNAPSHOT_COLUMNS = (
     "shard_exchange_rounds",
     "warm_hit_rate",
     "warm_slots",
+    "t_generate",
+    "t_solve",
+    "t_replay",
+    "t_observe",
+    "t_overlap",
     "arena_used_bytes",
     "arena_capacity_bytes",
     "pool_workers",

@@ -21,6 +21,10 @@ a discrete-event simulation:
 * :mod:`repro.runtime.simulator` — the time-slotted online driver:
   mobility moves users each slot, the provisioning algorithm re-runs,
   and the cluster replays the slot's requests;
+* :mod:`repro.runtime.pipeline` — pipelined slot execution: slot *t*'s
+  replay runs on a background thread while slot *t+1*'s window
+  generation and solve proceed in the main process, bit-identical to
+  the serial loop;
 * :mod:`repro.runtime.metrics` — latency aggregation (mean/median/max
   per slot, percentiles) matching the paper's reporting;
 * :mod:`repro.runtime.failures` — slot-level node outages degraded out
@@ -47,8 +51,10 @@ from repro.runtime.shard import (
     ShardedReplayResult,
     ShmReplayContext,
     replay_slot_sharded,
+    replay_slot_sharded_async,
     resolve_shard_executor,
 )
+from repro.runtime.pipeline import AsyncSlotReplay, resolve_pipeline
 from repro.runtime.autoscale import (
     AutoscaleConfig,
     Autoscaler,
@@ -85,6 +91,9 @@ __all__ = [
     "ShardedReplayResult",
     "ShmReplayContext",
     "replay_slot_sharded",
+    "replay_slot_sharded_async",
+    "AsyncSlotReplay",
+    "resolve_pipeline",
     "resolve_shard_executor",
     "AutoscaleConfig",
     "Autoscaler",

@@ -2384,6 +2384,55 @@ def replay_slot_sharded(
     return commit_sharded(commits, stats, pool, nodes, req, at, cores)
 
 
+def replay_slot_sharded_async(
+    instance: ProblemInstance,
+    placement: Placement,
+    routing: Routing,
+    pool: InstancePool,
+    nodes: Sequence,
+    req: np.ndarray,
+    at: np.ndarray,
+    region_map: RegionMap,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    executor: str = "serial",
+    shard_context: Optional[ShmReplayContext] = None,
+    warm_start: Optional[WarmStartCache] = None,
+    tracer=None,
+):
+    """Dispatch :func:`replay_slot_sharded` on a background thread.
+
+    Returns an :class:`repro.runtime.pipeline.AsyncSlotReplay` whose
+    ``join()`` yields exactly what the synchronous call would have
+    returned (or re-raises its error).  The replay thread runs under
+    ``tracer`` (a private :class:`repro.obs.Tracer`, or the no-op tracer
+    when ``None``) because the ambient tracer's span stack is not
+    thread-safe; callers merge the private tracer at join.
+
+    The caller must not mutate ``pool``/``nodes``/the input arrays while
+    the replay is in flight — the commit step mutates them from the
+    background thread.
+    """
+    from repro.runtime.pipeline import AsyncSlotReplay
+
+    def _run():
+        return replay_slot_sharded(
+            instance,
+            placement,
+            routing,
+            pool,
+            nodes,
+            req,
+            at,
+            region_map,
+            max_rounds=max_rounds,
+            executor=executor,
+            shard_context=shard_context,
+            warm_start=warm_start,
+        )
+
+    return AsyncSlotReplay(_run, tracer=tracer)
+
+
 # ---------------------------------------------------------------------------
 # Cluster-level partition containers
 # ---------------------------------------------------------------------------

@@ -31,6 +31,7 @@ Like the failure layers it is bit-identical when absent or disabled.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -39,9 +40,14 @@ import numpy as np
 from repro.microservices.application import Application
 from repro.model.instance import ProblemConfig, ProblemInstance
 from repro.network.topology import EdgeNetwork
-from repro.obs import current_tracer
+from repro.obs import NULL_TRACER, Tracer, current_tracer
 from repro.runtime.cluster import SimulatedCluster
 from repro.runtime.metrics import LatencyRecorder
+from repro.runtime.pipeline import (
+    PIPELINE_MODES,
+    AsyncSlotReplay,
+    resolve_pipeline,
+)
 from repro.runtime.resilience import FaultInjector, ResiliencePolicy, shed_indices
 from repro.runtime.serverless import InstancePool, ServerlessConfig
 from repro.utils.rng import SeedLike, as_generator, spawn
@@ -83,6 +89,20 @@ class SlotRecord:
     n_scale_downs: int = 0
     n_prewarms: int = 0
     n_pool_evictions: int = 0
+    #: Per-slot phase breakdown (wall seconds).  ``t_generate`` covers
+    #: mobility/churn, window generation and the problem build;
+    #: ``t_solve`` is the provisioning solve *for this slot* even when
+    #: the pipelined executor ran it speculatively during the previous
+    #: slot's replay; ``t_replay`` is the execute stage's own wall time;
+    #: ``t_observe`` the sequential suffix (recorder/autoscaler fold-in).
+    t_generate: float = 0.0
+    t_solve: float = 0.0
+    t_replay: float = 0.0
+    t_observe: float = 0.0
+    #: Replay seconds hidden behind the next slot's prefix (0.0 in
+    #: serial mode and for the final slot, which has nothing to overlap
+    #: with).  ``t_replay - t_overlap`` is the slot's exposed replay.
+    t_overlap: float = 0.0
 
 
 @dataclass
@@ -136,6 +156,79 @@ class OnlineTraceResult:
         )
 
 
+@dataclass
+class _SlotState:
+    """Everything one slot carries between its pipeline stages.
+
+    The slot loop is split into *prefix* (window generation + solve),
+    *mid* (autoscale/pool/fault commit + dispatch inputs), *execute*
+    (replay) and *suffix* (fold-in); pipelined mode runs stages of
+    adjacent slots interleaved, so their shared state lives in this
+    explicit carrier instead of loop locals.
+    """
+
+    slot: int
+    span: object = None
+    churn: float = 0.0
+    down: frozenset = frozenset()
+    result: object = None
+    instance: object = None
+    placement: object = None
+    routing: object = None
+    cluster: object = None
+    offsets: Optional[np.ndarray] = None
+    shed_set: frozenset = frozenset()
+    cold_before: int = 0
+    n_provisioned: int = 0
+    n_warm: int = 0
+    n_scale_ups: int = 0
+    n_scale_downs: int = 0
+    n_prewarms: int = 0
+    n_pool_evictions: int = 0
+    slot_faults: object = None
+    replay_cols: object = None
+    outcomes: list = field(default_factory=list)
+    #: In-flight background replay (pipelined mode only).
+    handle: Optional[AsyncSlotReplay] = None
+    #: Private tracer the replay thread ran under (merged at join).
+    replay_tracer: object = None
+    dispatched_at: float = 0.0
+    t_generate: float = 0.0
+    t_solve: float = 0.0
+    t_replay: float = 0.0
+    t_observe: float = 0.0
+    t_overlap: float = 0.0
+    t_stall: float = 0.0
+
+
+@dataclass
+class _RunContext:
+    """Mutable cross-slot state of one :meth:`OnlineSimulator.run`."""
+
+    solver: object
+    recorder: LatencyRecorder
+    tracer: object
+    faults: Optional[FaultInjector]
+    resilience: Optional[ResiliencePolicy]
+    resilient: bool
+    pipelined: bool
+    prev_homes: np.ndarray
+    records: list = field(default_factory=list)
+    pool: Optional[InstancePool] = None
+
+
+def _shift_span(span, delta: float) -> None:
+    """Rebase a span subtree's starts by ``delta`` seconds (in place).
+
+    Spans record ``start`` relative to their owning tracer's epoch; a
+    replay thread's private tracer has its own epoch, so its spans are
+    shifted onto the main tracer's timeline before grafting.
+    """
+    span.start += delta
+    for child in span.children:
+        _shift_span(child, delta)
+
+
 class OnlineSimulator:
     """Drives one algorithm through a mobile, time-varying workload."""
 
@@ -155,6 +248,7 @@ class OnlineSimulator:
         warm_start: bool = False,
         exact_latencies: bool = False,
         autoscaler=None,
+        pipeline: str = "auto",
     ):
         check_positive("slot_seconds", slot_seconds)
         self.network = network
@@ -226,6 +320,20 @@ class OnlineSimulator:
         #: disabled autoscaler) leaves every slot bit-identical to the
         #: static pipeline (docs/AUTOSCALING.md).
         self.autoscaler = autoscaler
+        #: Pipelined slot execution (:mod:`repro.runtime.pipeline`):
+        #: ``"on"`` dispatches each slot's replay to a background thread
+        #: and runs the next slot's window generation + solve while it
+        #: is in flight; ``"off"`` keeps the fully serial loop;
+        #: ``"auto"`` (default) pipelines only when a persistent
+        #: out-of-process shard executor would carry the replay —
+        #: overlapping with an in-process replay just adds GIL
+        #: contention.  Either way the trace is bit-identical to the
+        #: serial loop (docs/RUNTIME.md, "Pipelined slot execution").
+        if pipeline not in PIPELINE_MODES:
+            raise ValueError(
+                f"pipeline must be one of {PIPELINE_MODES}, got {pipeline!r}"
+            )
+        self.pipeline = pipeline
         rng = as_generator(seed)
         self._mobility_rng, self._workload_rng, self._arrival_rng = spawn(rng, 3)
         self.mobility = RandomWaypointMobility(
@@ -269,6 +377,11 @@ class OnlineSimulator:
             "replay_rounds": (
                 float(replay_cols.rounds) if replay_cols is not None else None
             ),
+            "t_generate": float(record.t_generate),
+            "t_solve": float(record.t_solve),
+            "t_replay": float(record.t_replay),
+            "t_observe": float(record.t_observe),
+            "t_overlap": float(record.t_overlap),
         }
         shard_stats = cluster.last_shard_stats
         if shard_stats is not None:
@@ -347,357 +460,532 @@ class OnlineSimulator:
         """
         check_positive("n_slots", n_slots)
         tracer = current_tracer()
-        resilient = faults is not None or resilience is not None
-        recorder = LatencyRecorder(
-            mode="exact" if self.exact_latencies else "auto"
+        n_regions = (
+            self.region_map.n_regions if self.region_map is not None else 1
         )
-        records: list[SlotRecord] = []
-        pool: Optional[InstancePool] = None
-        prev_homes = self.mobility.homes
+        ctx = _RunContext(
+            solver=solver,
+            recorder=LatencyRecorder(
+                mode="exact" if self.exact_latencies else "auto"
+            ),
+            tracer=tracer,
+            faults=faults,
+            resilience=resilience,
+            resilient=faults is not None or resilience is not None,
+            pipelined=resolve_pipeline(
+                self.pipeline,
+                n_regions,
+                self.shard_executor,
+                self.workload.n_users,
+            ),
+            prev_homes=self.mobility.homes,
+        )
 
-        for slot in range(n_slots):
-            with tracer.span("slot", index=slot) as slot_span:
-                homes = self.mobility.step()
-                churn = float(np.mean(homes != prev_homes))
-                prev_homes = homes
-
-                n_active = self.workload.n_users
-                if volumes is not None:
-                    n_active = int(
-                        min(self.workload.n_users, volumes[slot % len(volumes)])
-                    )
-                    n_active = max(1, n_active)
-                active = self._arrival_rng.choice(
-                    self.workload.n_users, size=n_active, replace=False
-                )
-
-                spec = WorkloadSpec(
-                    n_users=n_active,
-                    hotspot_fraction=self.workload.hotspot_fraction,
-                    hotspot_weight=self.workload.hotspot_weight,
-                    length_bias=self.workload.length_bias,
-                    min_chain=self.workload.min_chain,
-                    max_chain=self.workload.max_chain,
-                    data_in_range=self.workload.data_in_range,
-                    data_out_range=self.workload.data_out_range,
-                    edge_noise=self.workload.edge_noise,
-                    data_scale=self.workload.data_scale,
-                )
-                requests = generate_requests(
-                    self.network,
-                    self.app,
-                    spec,
-                    rng=self._workload_rng,
-                    homes=homes[active],
-                )
-                instance = ProblemInstance(
-                    self.network, self.app, requests, self.problem_config
-                )
-                down: frozenset[int] = frozenset()
-                if outages is not None:
-                    from repro.runtime.failures import degrade_instance
-
-                    down = outages.step()
-                    instance = degrade_instance(instance, down)
-
-                sw = Stopwatch()
-                with sw.measure(), tracer.span("provision"):
-                    result = solver.solve(instance)
-                placement, routing = result.placement, result.routing
-
-                autoscaling = (
-                    self.autoscaler is not None and self.autoscaler.enabled
-                )
-                pool_actions: tuple = ()
-                if autoscaling:
-                    with tracer.span("autoscale"):
-                        placement, routing, pool_actions = (
-                            self.autoscaler.adjust(
-                                slot, instance, placement, routing
-                            )
+        pending: Optional[_SlotState] = None
+        try:
+            for slot in range(n_slots):
+                with tracer.span("slot", index=slot) as slot_span:
+                    state = self._slot_prefix(ctx, slot, volumes, outages)
+                    state.span = slot_span
+                    if pending is not None:
+                        # the previous slot's replay overlapped this
+                        # slot's prefix; fold it in before committing
+                        # this slot (its autoscaler adjust consumes the
+                        # signals observed here)
+                        done, pending = pending, None
+                        self._join_pending(ctx, done)
+                    self._slot_mid(ctx, state)
+                    if ctx.pipelined:
+                        state.replay_tracer = (
+                            Tracer(f"replay{slot}")
+                            if tracer.enabled
+                            else NULL_TRACER
                         )
-
-                if pool is None:
-                    pool = InstancePool(placement, self.serverless)
-                else:
-                    pool.update_placement(placement)
-                n_scale_ups = n_scale_downs = n_prewarms = n_pool_evictions = 0
-                if autoscaling:
-                    stats = self.autoscaler.stats
-                    n_scale_ups = sum(
-                        1 for a in pool_actions if a.kind == "up"
-                    )
-                    n_scale_downs = sum(
-                        1 for a in pool_actions if a.kind == "down"
-                    )
-                    pw_before, ev_before = stats.prewarms, stats.evictions
-                    # slot-local clock: 0.0 is the slot start, so the
-                    # prewarmed instances stay warm for the whole slot
-                    self.autoscaler.apply_pool(pool, pool_actions, now=0.0)
-                    n_prewarms = stats.prewarms - pw_before
-                    n_pool_evictions = stats.evictions - ev_before
-                cold_before = pool.cold_starts
-                n_provisioned = pool.n_provisioned
-                n_warm = pool.warm_count(0.0)
-
-                slot_faults = None
-                if faults is not None:
-                    slot_faults = faults.for_slot(
-                        slot, placement, self.slot_seconds
-                    )
-                    if slot_faults.crashes:
-                        note = getattr(solver, "note_failures", None)
-                        if note is not None:
-                            note(sorted(slot_faults.crashes))
-
-                if (
-                    self.region_map is not None
-                    and self.shard_context is None
-                    and self.shard_executor in ("shm", "auto")
-                ):
-                    from repro.runtime.shard import ShmReplayContext
-
-                    # persistent arena + workers, reused every slot
-                    # (cheap until the first slot actually resolves to
-                    # the shm engine)
-                    self.shard_context = ShmReplayContext()
-                cluster = SimulatedCluster(
-                    instance,
-                    placement,
-                    routing,
-                    pool=pool,
-                    faults=slot_faults,
-                    policy=resilience,
-                    fast_replay=self.fast_replay,
-                    region_map=self.region_map,
-                    shard_executor=self.shard_executor,
-                    shard_context=self.shard_context,
-                    warm_start=self.warm_start_cache,
-                )
-                # arrivals spread uniformly across the slot
-                offsets = self._arrival_rng.uniform(
-                    0.0, self.slot_seconds, size=instance.n_requests
-                )
-                shed_set: frozenset[int] = frozenset()
-                if resilience is not None and resilience.shedding:
-                    capacity = (
-                        sum(nd.compute * nd.cores for nd in cluster.nodes)
-                        * self.slot_seconds
-                    )
-                    shed_set = frozenset(
-                        int(i)
-                        for i in shed_indices(instance, resilience, capacity)
-                    )
-                    for h in sorted(shed_set):
-                        cluster.shed(h, float(offsets[h]))
-                replay_cols = None
-                outcomes: list = []
-                with tracer.span("replay"):
-                    if not shed_set:
-                        # Columnar fast path: declines (None) under
-                        # faults/resilience or event-order ties, in
-                        # which case the event loop below replays the
-                        # identical slot.
-                        replay_cols = cluster.replay(offsets)
-                    if replay_cols is None:
-                        outcomes = cluster.run(
-                            arrivals=[
-                                (h, float(offsets[h]))
-                                for h in range(instance.n_requests)
-                                if h not in shed_set
-                            ]
+                        state.dispatched_at = time.perf_counter()
+                        state.handle = AsyncSlotReplay(
+                            lambda s=state: self._slot_execute(s),
+                            tracer=state.replay_tracer,
                         )
-                if replay_cols is not None:
-                    latencies = replay_cols.latency
-                else:
-                    latencies = np.array([o.latency for o in outcomes if o.done])
-                recorder.record_slot(latencies)
-                if autoscaling:
-                    if replay_cols is not None:
-                        obs_req, obs_queue = (
-                            replay_cols.request,
-                            replay_cols.queueing,
-                        )
+                        pending = state
                     else:
-                        obs_req = np.array(
-                            [o.request for o in outcomes if o.done],
-                            dtype=np.int64,
+                        t0 = time.perf_counter()
+                        state.replay_cols, state.outcomes = (
+                            self._slot_execute(state)
                         )
-                        obs_queue = np.array(
-                            [o.queueing for o in outcomes if o.done]
-                        )
-                    self.autoscaler.observe(
-                        instance,
-                        routing,
-                        cluster,
-                        obs_req,
-                        obs_queue,
-                        self.slot_seconds,
+                        state.t_replay = time.perf_counter() - t0
+                        self._slot_suffix(ctx, state)
+            if pending is not None:
+                done, pending = pending, None
+                self._join_pending(ctx, done)
+        finally:
+            if pending is not None:
+                # An exception is propagating with a replay still in
+                # flight: wait it out (the thread owns the worker pool's
+                # in-flight batch, so abandoning it would strand the
+                # workers mid-batch) and swallow its own outcome so the
+                # primary error surfaces.
+                try:
+                    pending.handle.join()
+                except BaseException:
+                    logger.exception(
+                        "in-flight replay for slot %d failed during unwind",
+                        pending.slot,
                     )
-                n_retries = n_hedges = n_shed = n_timeouts = n_failed = 0
-                if resilient:
-                    for o in outcomes:
-                        n_retries += o.retries
-                        n_hedges += o.hedges
-                        if o.status == "shed":
-                            n_shed += 1
-                        elif o.status == "timeout":
-                            n_timeouts += 1
-                        elif o.status == "failed":
-                            n_failed += 1
-                record = SlotRecord(
-                    slot=slot,
-                    n_requests=instance.n_requests,
-                    objective=result.report.objective,
-                    cost=result.report.cost,
-                    mean_latency=float(latencies.mean()) if latencies.size else 0.0,
-                    max_latency=float(latencies.max()) if latencies.size else 0.0,
-                    cold_starts=pool.cold_starts - cold_before,
-                    solver_runtime=sw.elapsed,
-                    churn=churn,
-                    n_down_nodes=len(down),
-                    n_retries=n_retries,
-                    n_hedges=n_hedges,
-                    n_shed=n_shed,
-                    n_timeouts=n_timeouts,
-                    n_failed=n_failed,
-                    n_provisioned=n_provisioned,
-                    n_warm=n_warm,
-                    n_scale_ups=n_scale_ups,
-                    n_scale_downs=n_scale_downs,
-                    n_prewarms=n_prewarms,
-                    n_pool_evictions=n_pool_evictions,
-                )
-                records.append(record)
-                if tracer.enabled:
-                    slot_span.set_attr(
-                        n_requests=record.n_requests,
-                        completed=int(latencies.size),
-                        cold_starts=record.cold_starts,
-                        churn=round(record.churn, 4),
-                        n_down_nodes=record.n_down_nodes,
-                    )
-                    tracer.inc("runtime.slots")
-                    tracer.inc("runtime.requests_total", record.n_requests)
-                    tracer.inc("runtime.requests_completed", int(latencies.size))
-                    tracer.inc(
-                        "runtime.requests_dropped",
-                        record.n_requests - int(latencies.size),
-                    )
-                    tracer.inc("runtime.cold_starts", record.cold_starts)
-                    tracer.inc("runtime.node_down_slots", int(bool(down)))
-                    # fixed-memory streaming histograms: per-request
-                    # completion latency / queueing delay and per-slot
-                    # fixpoint rounds (docs/OBSERVABILITY.md)
-                    tracer.observe_many(
-                        "runtime.latency.completion", latencies
-                    )
-                    if replay_cols is not None:
-                        tracer.observe_many(
-                            "runtime.latency.queueing", replay_cols.queueing
-                        )
-                        tracer.observe(
-                            "runtime.replay.rounds", replay_cols.rounds
-                        )
-                    if replay_cols is not None:
-                        tracer.inc("runtime.replay_fast_slots")
-                        tracer.inc("runtime.replay_rounds", replay_cols.rounds)
-                        shard_stats = cluster.last_shard_stats
-                        if shard_stats is not None:
-                            tracer.inc("runtime.shard.slots")
-                            tracer.inc(
-                                "runtime.shard.rounds", shard_stats.rounds
-                            )
-                            tracer.inc(
-                                "runtime.shard.exchange_rounds",
-                                shard_stats.exchange_rounds,
-                            )
-                            tracer.inc(
-                                "runtime.shard.boundary_invocations",
-                                shard_stats.boundary_invocations,
-                            )
-                            tracer.inc(
-                                "runtime.shard.local_invocations",
-                                shard_stats.local_invocations,
-                            )
-                            tracer.inc(
-                                "runtime.shard.ready_values_exchanged",
-                                shard_stats.ready_values_exchanged,
-                            )
-                            tracer.inc(
-                                "runtime.shard.start_values_exchanged",
-                                shard_stats.start_values_exchanged,
-                            )
-                            if shard_stats.executor == "shm":
-                                tracer.inc("runtime.shard.shm_slots")
-                                tracer.inc(
-                                    "runtime.shard.shm_bytes",
-                                    shard_stats.shm_bytes,
-                                )
-                                tracer.inc(
-                                    "runtime.shard.shm_pool_reuses",
-                                    int(shard_stats.pool_reused),
-                                )
-                            if shard_stats.warm_started:
-                                tracer.inc(
-                                    "runtime.shard.warm_start_slots"
-                                )
-                                tracer.inc(
-                                    "runtime.shard.warm_start_seeded_nodes",
-                                    shard_stats.warm_seeded_nodes,
-                                )
-                                tracer.inc(
-                                    "runtime.shard."
-                                    "warm_start_invalidated_nodes",
-                                    shard_stats.warm_invalidated_nodes,
-                                )
-                            if shard_stats.warm_declined:
-                                tracer.inc(
-                                    "runtime.shard.warm_start_declined"
-                                )
-                        elif (
-                            self.warm_start_cache is not None
-                            and self.warm_start_cache.last_used
-                        ):
-                            tracer.inc("runtime.warm_start_slots")
-                    elif not resilient:
-                        tracer.inc("runtime.replay_fallback_slots")
-                    if resilient:
-                        slot_span.set_attr(
-                            retries=n_retries,
-                            hedges=n_hedges,
-                            shed=n_shed,
-                            timeouts=n_timeouts,
-                        )
-                        tracer.inc("runtime.retries", n_retries)
-                        tracer.inc("runtime.hedges", n_hedges)
-                        tracer.inc("runtime.shed", n_shed)
-                        tracer.inc("runtime.timeouts", n_timeouts)
-                        tracer.inc("runtime.failed", n_failed)
-                        if slot_faults is not None:
-                            tracer.inc(
-                                "runtime.instance_crashes",
-                                slot_faults.n_crashes,
-                            )
-                            tracer.inc(
-                                "runtime.degraded_links",
-                                slot_faults.n_degraded_links,
-                            )
-                    flight = getattr(tracer, "flight", None)
-                    if flight is not None:
-                        self._record_flight_snapshot(
-                            flight, slot, record, latencies, replay_cols,
-                            cluster,
-                        )
-                logger.debug(
-                    "slot %d: %d requests, mean latency %.3fs, %d cold starts",
-                    slot,
-                    record.n_requests,
-                    record.mean_latency,
-                    record.cold_starts,
-                )
         return OnlineTraceResult(
             solver_name=getattr(solver, "name", type(solver).__name__),
-            slots=records,
-            recorder=recorder,
+            slots=ctx.records,
+            recorder=ctx.recorder,
+        )
+
+    def _slot_prefix(
+        self, ctx: _RunContext, slot: int, volumes, outages
+    ) -> _SlotState:
+        """Speculative stage: window generation plus the slot's solve.
+
+        Reads only the solver's own state, the workload/mobility RNG
+        streams and the outage schedule — never the instance pool, the
+        autoscaler, or replay output — so pipelined mode can run it
+        while the previous slot's replay is still in flight (the
+        speculative-solve contract; see
+        :class:`repro.core.online.OnlineSoCL`).
+        """
+        tracer = ctx.tracer
+        state = _SlotState(slot=slot)
+        t0 = time.perf_counter()
+        homes = self.mobility.step()
+        state.churn = float(np.mean(homes != ctx.prev_homes))
+        ctx.prev_homes = homes
+
+        n_active = self.workload.n_users
+        if volumes is not None:
+            n_active = int(
+                min(self.workload.n_users, volumes[slot % len(volumes)])
+            )
+            n_active = max(1, n_active)
+        active = self._arrival_rng.choice(
+            self.workload.n_users, size=n_active, replace=False
+        )
+
+        spec = WorkloadSpec(
+            n_users=n_active,
+            hotspot_fraction=self.workload.hotspot_fraction,
+            hotspot_weight=self.workload.hotspot_weight,
+            length_bias=self.workload.length_bias,
+            min_chain=self.workload.min_chain,
+            max_chain=self.workload.max_chain,
+            data_in_range=self.workload.data_in_range,
+            data_out_range=self.workload.data_out_range,
+            edge_noise=self.workload.edge_noise,
+            data_scale=self.workload.data_scale,
+        )
+        requests = generate_requests(
+            self.network,
+            self.app,
+            spec,
+            rng=self._workload_rng,
+            homes=homes[active],
+        )
+        instance = ProblemInstance(
+            self.network, self.app, requests, self.problem_config
+        )
+        if outages is not None:
+            from repro.runtime.failures import degrade_instance
+
+            state.down = outages.step()
+            instance = degrade_instance(instance, state.down)
+        state.instance = instance
+        state.t_generate = time.perf_counter() - t0
+
+        sw = Stopwatch()
+        with sw.measure(), tracer.span("provision"):
+            state.result = ctx.solver.solve(instance)
+        state.t_solve = sw.elapsed
+        state.placement = state.result.placement
+        state.routing = state.result.routing
+        return state
+
+    def _slot_mid(self, ctx: _RunContext, state: _SlotState) -> None:
+        """Sequential commit stage: everything between solve and replay.
+
+        Runs strictly after the previous slot's suffix in both modes —
+        the autoscaler adjusts from its freshly observed signals and the
+        fault draw sees the post-adjust placement — and ends with the
+        slot ready to execute (cluster built, arrival offsets drawn,
+        shedding applied).
+        """
+        tracer = ctx.tracer
+        slot, instance = state.slot, state.instance
+        placement, routing = state.placement, state.routing
+        autoscaling = (
+            self.autoscaler is not None and self.autoscaler.enabled
+        )
+        pool_actions: tuple = ()
+        if autoscaling:
+            with tracer.span("autoscale"):
+                placement, routing, pool_actions = (
+                    self.autoscaler.adjust(
+                        slot, instance, placement, routing
+                    )
+                )
+
+        if ctx.pool is None:
+            ctx.pool = InstancePool(placement, self.serverless)
+        else:
+            ctx.pool.update_placement(placement)
+        pool = ctx.pool
+        if autoscaling:
+            stats = self.autoscaler.stats
+            state.n_scale_ups = sum(
+                1 for a in pool_actions if a.kind == "up"
+            )
+            state.n_scale_downs = sum(
+                1 for a in pool_actions if a.kind == "down"
+            )
+            pw_before, ev_before = stats.prewarms, stats.evictions
+            # slot-local clock: 0.0 is the slot start, so the
+            # prewarmed instances stay warm for the whole slot
+            self.autoscaler.apply_pool(pool, pool_actions, now=0.0)
+            state.n_prewarms = stats.prewarms - pw_before
+            state.n_pool_evictions = stats.evictions - ev_before
+        state.cold_before = pool.cold_starts
+        state.n_provisioned = pool.n_provisioned
+        state.n_warm = pool.warm_count(0.0)
+
+        if ctx.faults is not None:
+            state.slot_faults = ctx.faults.for_slot(
+                slot, placement, self.slot_seconds
+            )
+            if state.slot_faults.crashes:
+                note = getattr(ctx.solver, "note_failures", None)
+                if note is not None:
+                    note(sorted(state.slot_faults.crashes))
+
+        if (
+            self.region_map is not None
+            and self.shard_context is None
+            and self.shard_executor in ("shm", "auto")
+        ):
+            from repro.runtime.shard import ShmReplayContext
+
+            # persistent arena + workers, reused every slot
+            # (cheap until the first slot actually resolves to
+            # the shm engine)
+            self.shard_context = ShmReplayContext()
+        state.cluster = SimulatedCluster(
+            instance,
+            placement,
+            routing,
+            pool=pool,
+            faults=state.slot_faults,
+            policy=ctx.resilience,
+            fast_replay=self.fast_replay,
+            region_map=self.region_map,
+            shard_executor=self.shard_executor,
+            shard_context=self.shard_context,
+            warm_start=self.warm_start_cache,
+        )
+        # arrivals spread uniformly across the slot
+        state.offsets = self._arrival_rng.uniform(
+            0.0, self.slot_seconds, size=instance.n_requests
+        )
+        if ctx.resilience is not None and ctx.resilience.shedding:
+            capacity = (
+                sum(nd.compute * nd.cores for nd in state.cluster.nodes)
+                * self.slot_seconds
+            )
+            state.shed_set = frozenset(
+                int(i)
+                for i in shed_indices(instance, ctx.resilience, capacity)
+            )
+            for h in sorted(state.shed_set):
+                state.cluster.shed(h, float(state.offsets[h]))
+        state.placement, state.routing = placement, routing
+    def _slot_execute(self, state: _SlotState) -> tuple:
+        """Execute stage: replay the slot's requests through the cluster.
+
+        Reads the *ambient* tracer so the ``replay`` span lands on the
+        main tracer when run inline (serial mode) and on the replay
+        thread's private tracer when run via :class:`AsyncSlotReplay`
+        (pipelined mode — the span stack is not thread-safe, so the
+        thread must never touch the main tracer).
+        """
+        tracer = current_tracer()
+        replay_cols = None
+        outcomes: list = []
+        with tracer.span("replay"):
+            if not state.shed_set:
+                # Columnar fast path: declines (None) under
+                # faults/resilience or event-order ties, in
+                # which case the event loop below replays the
+                # identical slot.
+                replay_cols = state.cluster.replay(state.offsets)
+            if replay_cols is None:
+                outcomes = state.cluster.run(
+                    arrivals=[
+                        (h, float(state.offsets[h]))
+                        for h in range(state.instance.n_requests)
+                        if h not in state.shed_set
+                    ]
+                )
+        return replay_cols, outcomes
+
+    def _join_pending(self, ctx: _RunContext, state: _SlotState) -> None:
+        """Join an in-flight replay and run its deferred suffix."""
+        join_start = time.perf_counter()
+        state.replay_cols, state.outcomes = state.handle.join()
+        state.t_stall = time.perf_counter() - join_start
+        state.t_replay = state.handle.elapsed
+        # replay seconds already hidden when the join began, capped at
+        # the replay's own wall time (the prefix may outlast it)
+        state.t_overlap = min(
+            max(join_start - state.dispatched_at, 0.0), state.t_replay
+        )
+        self._merge_replay_tracer(ctx.tracer, state)
+        self._slot_suffix(ctx, state)
+
+    def _merge_replay_tracer(self, tracer, state: _SlotState) -> None:
+        """Fold the replay thread's private tracer into the main one.
+
+        Counters and histograms merge additively — the same totals the
+        serial mode accumulates in place, so counter digests stay
+        identical.  The thread's span forest (the ``replay`` span plus
+        any worker payloads grafted under it) is rebased from the
+        private tracer's epoch onto the main tracer's and appended to
+        the slot's span — exactly where serial mode nests it.
+        """
+        ptracer = state.replay_tracer
+        if not tracer.enabled or ptracer is None or not ptracer.enabled:
+            return
+        tracer.metrics.merge(ptracer.metrics)
+        delta = ptracer._epoch - tracer._epoch
+        for root in ptracer.roots:
+            _shift_span(root, delta)
+            state.span.children.append(root)
+
+    def _slot_suffix(self, ctx: _RunContext, state: _SlotState) -> None:
+        """Sequential fold-in stage: recorder, observe, record, counters.
+
+        Runs on the main thread after the slot's replay has finished —
+        immediately in serial mode, at join time in pipelined mode (for
+        slot *t* that is inside slot *t+1*'s prefix/mid window, which is
+        why everything here keys off ``state``, not ambient loop
+        variables).
+        """
+        tracer = ctx.tracer
+        pool = ctx.pool
+        slot, instance = state.slot, state.instance
+        replay_cols, outcomes = state.replay_cols, state.outcomes
+        t0 = time.perf_counter()
+        if replay_cols is not None:
+            latencies = replay_cols.latency
+        else:
+            latencies = np.array([o.latency for o in outcomes if o.done])
+        ctx.recorder.record_slot(latencies)
+        autoscaling = (
+            self.autoscaler is not None and self.autoscaler.enabled
+        )
+        if autoscaling:
+            if replay_cols is not None:
+                obs_req, obs_queue = (
+                    replay_cols.request,
+                    replay_cols.queueing,
+                )
+            else:
+                obs_req = np.array(
+                    [o.request for o in outcomes if o.done],
+                    dtype=np.int64,
+                )
+                obs_queue = np.array(
+                    [o.queueing for o in outcomes if o.done]
+                )
+            self.autoscaler.observe(
+                instance,
+                state.routing,
+                state.cluster,
+                obs_req,
+                obs_queue,
+                self.slot_seconds,
+            )
+        n_retries = n_hedges = n_shed = n_timeouts = n_failed = 0
+        if ctx.resilient:
+            for o in outcomes:
+                n_retries += o.retries
+                n_hedges += o.hedges
+                if o.status == "shed":
+                    n_shed += 1
+                elif o.status == "timeout":
+                    n_timeouts += 1
+                elif o.status == "failed":
+                    n_failed += 1
+        state.t_observe = time.perf_counter() - t0
+        record = SlotRecord(
+            slot=slot,
+            n_requests=instance.n_requests,
+            objective=state.result.report.objective,
+            cost=state.result.report.cost,
+            mean_latency=float(latencies.mean()) if latencies.size else 0.0,
+            max_latency=float(latencies.max()) if latencies.size else 0.0,
+            cold_starts=pool.cold_starts - state.cold_before,
+            solver_runtime=state.t_solve,
+            churn=state.churn,
+            n_down_nodes=len(state.down),
+            n_retries=n_retries,
+            n_hedges=n_hedges,
+            n_shed=n_shed,
+            n_timeouts=n_timeouts,
+            n_failed=n_failed,
+            n_provisioned=state.n_provisioned,
+            n_warm=state.n_warm,
+            n_scale_ups=state.n_scale_ups,
+            n_scale_downs=state.n_scale_downs,
+            n_prewarms=state.n_prewarms,
+            n_pool_evictions=state.n_pool_evictions,
+            t_generate=state.t_generate,
+            t_solve=state.t_solve,
+            t_replay=state.t_replay,
+            t_observe=state.t_observe,
+            t_overlap=state.t_overlap,
+        )
+        ctx.records.append(record)
+        if tracer.enabled:
+            slot_span = state.span
+            slot_span.set_attr(
+                n_requests=record.n_requests,
+                completed=int(latencies.size),
+                cold_starts=record.cold_starts,
+                churn=round(record.churn, 4),
+                n_down_nodes=record.n_down_nodes,
+                t_solve_ms=round(state.t_solve * 1e3, 3),
+                t_replay_ms=round(state.t_replay * 1e3, 3),
+                t_overlap_ms=round(state.t_overlap * 1e3, 3),
+            )
+            tracer.inc("runtime.slots")
+            tracer.inc("runtime.requests_total", record.n_requests)
+            tracer.inc("runtime.requests_completed", int(latencies.size))
+            tracer.inc(
+                "runtime.requests_dropped",
+                record.n_requests - int(latencies.size),
+            )
+            tracer.inc("runtime.cold_starts", record.cold_starts)
+            tracer.inc("runtime.node_down_slots", int(bool(state.down)))
+            # fixed-memory streaming histograms: per-request
+            # completion latency / queueing delay and per-slot
+            # fixpoint rounds (docs/OBSERVABILITY.md)
+            tracer.observe_many(
+                "runtime.latency.completion", latencies
+            )
+            if replay_cols is not None:
+                tracer.observe_many(
+                    "runtime.latency.queueing", replay_cols.queueing
+                )
+                tracer.observe(
+                    "runtime.replay.rounds", replay_cols.rounds
+                )
+            if replay_cols is not None:
+                tracer.inc("runtime.replay_fast_slots")
+                tracer.inc("runtime.replay_rounds", replay_cols.rounds)
+                shard_stats = state.cluster.last_shard_stats
+                if shard_stats is not None:
+                    tracer.inc("runtime.shard.slots")
+                    tracer.inc(
+                        "runtime.shard.rounds", shard_stats.rounds
+                    )
+                    tracer.inc(
+                        "runtime.shard.exchange_rounds",
+                        shard_stats.exchange_rounds,
+                    )
+                    tracer.inc(
+                        "runtime.shard.boundary_invocations",
+                        shard_stats.boundary_invocations,
+                    )
+                    tracer.inc(
+                        "runtime.shard.local_invocations",
+                        shard_stats.local_invocations,
+                    )
+                    tracer.inc(
+                        "runtime.shard.ready_values_exchanged",
+                        shard_stats.ready_values_exchanged,
+                    )
+                    tracer.inc(
+                        "runtime.shard.start_values_exchanged",
+                        shard_stats.start_values_exchanged,
+                    )
+                    if shard_stats.executor == "shm":
+                        tracer.inc("runtime.shard.shm_slots")
+                        tracer.inc(
+                            "runtime.shard.shm_bytes",
+                            shard_stats.shm_bytes,
+                        )
+                        tracer.inc(
+                            "runtime.shard.shm_pool_reuses",
+                            int(shard_stats.pool_reused),
+                        )
+                    if shard_stats.warm_started:
+                        tracer.inc(
+                            "runtime.shard.warm_start_slots"
+                        )
+                        tracer.inc(
+                            "runtime.shard.warm_start_seeded_nodes",
+                            shard_stats.warm_seeded_nodes,
+                        )
+                        tracer.inc(
+                            "runtime.shard."
+                            "warm_start_invalidated_nodes",
+                            shard_stats.warm_invalidated_nodes,
+                        )
+                    if shard_stats.warm_declined:
+                        tracer.inc(
+                            "runtime.shard.warm_start_declined"
+                        )
+                elif (
+                    self.warm_start_cache is not None
+                    and self.warm_start_cache.last_used
+                ):
+                    tracer.inc("runtime.warm_start_slots")
+            elif not ctx.resilient:
+                tracer.inc("runtime.replay_fallback_slots")
+            if ctx.resilient:
+                slot_span.set_attr(
+                    retries=n_retries,
+                    hedges=n_hedges,
+                    shed=n_shed,
+                    timeouts=n_timeouts,
+                )
+                tracer.inc("runtime.retries", n_retries)
+                tracer.inc("runtime.hedges", n_hedges)
+                tracer.inc("runtime.shed", n_shed)
+                tracer.inc("runtime.timeouts", n_timeouts)
+                tracer.inc("runtime.failed", n_failed)
+                if state.slot_faults is not None:
+                    tracer.inc(
+                        "runtime.instance_crashes",
+                        state.slot_faults.n_crashes,
+                    )
+                    tracer.inc(
+                        "runtime.degraded_links",
+                        state.slot_faults.n_degraded_links,
+                    )
+            if ctx.pipelined:
+                # excluded from the serial-vs-pipelined counter digest
+                # (these exist only to measure the pipelining itself)
+                tracer.inc(
+                    "runtime.pipeline.overlap_seconds", state.t_overlap
+                )
+                tracer.inc(
+                    "runtime.pipeline.stall_seconds", state.t_stall
+                )
+                if state.t_overlap > 0.0:
+                    tracer.inc("runtime.pipeline.slots_overlapped")
+            flight = getattr(tracer, "flight", None)
+            if flight is not None:
+                self._record_flight_snapshot(
+                    flight, slot, record, latencies, replay_cols,
+                    state.cluster,
+                )
+        logger.debug(
+            "slot %d: %d requests, mean latency %.3fs, %d cold starts",
+            slot,
+            record.n_requests,
+            record.mean_latency,
+            record.cold_starts,
         )

@@ -225,12 +225,20 @@ class PipeWorkerPool:
     inherited copy-on-write rather than pickled); falls back to the
     platform default where fork is unavailable.
 
+    Dispatch comes in two shapes: blocking :meth:`call_all`, and the
+    non-blocking :meth:`submit_all`/:meth:`join_all` pair that the
+    pipelined slot runtime uses to overlap coordinator-side work with
+    an in-flight batch (``call_all`` is literally a submit followed by
+    an immediate join).  At most one batch may be outstanding.
+
     Teardown is reliable on every path: the context manager and
     :meth:`close` stop workers explicitly, a failing :meth:`call_all`
     drains the remaining replies and closes the pool before raising
-    (a raised task must not leave orphaned children), and a
-    ``weakref.finalize`` reaps the processes if the pool is simply
-    dropped.
+    (a raised task must not leave orphaned children), a close with a
+    submitted batch still in flight drains the pending replies before
+    stopping the workers (so a worker mid-reply never dies on a broken
+    pipe), and a ``weakref.finalize`` reaps the processes if the pool
+    is simply dropped.
     """
 
     def __init__(self, factory: Callable, ctor_args_list: Sequence[tuple]):
@@ -243,6 +251,7 @@ class PipeWorkerPool:
         self._conns = []
         self._procs = []
         self._closed = False
+        self._pending = False
         # registered before spawning: the finalizer closes over the
         # live lists, so workers started before a mid-spawn failure are
         # still reaped
@@ -296,8 +305,21 @@ class PipeWorkerPool:
         exception never strands live child processes behind a caller that
         skipped the context manager.
         """
+        self.submit_all(method, args)
+        return self.join_all()
+
+    def submit_all(self, method: str, args: Sequence) -> None:
+        """Dispatch ``method(arg)`` to every worker without waiting.
+
+        The batch stays in flight until :meth:`join_all` collects the
+        replies; only one batch may be outstanding at a time.  A send
+        failure closes the pool before raising (same contract as
+        :meth:`call_all`).
+        """
         if self._closed:
             raise RuntimeError("pool is closed")
+        if self._pending:
+            raise RuntimeError("a batch is already in flight")
         if len(args) != len(self._conns):
             raise ValueError(
                 f"expected {len(self._conns)} args, got {len(args)}"
@@ -305,6 +327,25 @@ class PipeWorkerPool:
         try:
             for conn, arg in zip(self._conns, args):
                 conn.send((method, arg))
+        except BaseException:
+            self._pending = True  # sends may have landed; drain on close
+            self.close()
+            raise
+        self._pending = True
+
+    def join_all(self) -> list:
+        """Collect the replies of the batch started by :meth:`submit_all`.
+
+        Blocks until every worker has replied, in worker order.  Error
+        semantics match :meth:`call_all`: a worker failure drains the
+        remaining replies, closes the pool, then raises ``RuntimeError``.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if not self._pending:
+            raise RuntimeError("no batch in flight")
+        self._pending = False
+        try:
             failure: Optional[str] = None
             results = []
             for conn in self._conns:
@@ -323,6 +364,11 @@ class PipeWorkerPool:
         except BaseException:
             self.close()
             raise
+
+    @property
+    def pending(self) -> bool:
+        """Whether a submitted batch is awaiting :meth:`join_all`."""
+        return self._pending
 
     def load_all(self, factory: Callable, args: Sequence) -> None:
         """Replace every worker's hosted object: worker ``i`` runs
@@ -357,10 +403,23 @@ class PipeWorkerPool:
         return self.call_all("__telemetry__", [None] * self.n_workers)
 
     def close(self) -> None:
-        """Stop every worker and reap the processes (idempotent)."""
+        """Stop every worker and reap the processes (idempotent).
+
+        If a submitted batch is still in flight its replies are drained
+        first (bounded wait per worker) so no worker dies mid-``send``
+        on a broken pipe.
+        """
         if self._closed:
             return
         self._closed = True
+        if self._pending:
+            self._pending = False
+            for conn in self._conns:
+                try:
+                    if conn.poll(5.0):
+                        conn.recv()
+                except (EOFError, OSError):  # pragma: no cover - dead worker
+                    pass
         self._finalizer()
 
     def __enter__(self) -> "PipeWorkerPool":

@@ -11,6 +11,7 @@ analysis of Fig. 3.
 
 from repro.workload.requests import (
     RequestBatch,
+    prefetch_batches,
     UserRequest,
     requests_by_server,
     services_in_requests,
@@ -46,6 +47,7 @@ from repro.workload.behavior import (
 
 __all__ = [
     "RequestBatch",
+    "prefetch_batches",
     "UserRequest",
     "requests_by_server",
     "services_in_requests",

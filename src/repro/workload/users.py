@@ -270,6 +270,7 @@ def generate_request_windows(
     rng: SeedLike = None,
     window_size: int = 100_000,
     homes: Optional[Sequence[int]] = None,
+    prefetch: int = 0,
 ):
     """Stream ``spec.n_users`` requests as bounded columnar windows.
 
@@ -292,31 +293,47 @@ def generate_request_windows(
     :func:`generate_request_batch`, the stream is seed-stable but not
     bit-compatible with the sequential generator; changing
     ``window_size`` changes the drawn workload.
+
+    ``prefetch > 0`` draws up to that many windows ahead on a background
+    thread (:func:`~repro.workload.requests.prefetch_batches`), hiding
+    window generation behind the consumer's per-window work.  The
+    windows, their order, and every RNG draw are identical to
+    ``prefetch=0`` — all sampling still runs sequentially on the one
+    producer thread; memory grows by ``prefetch`` extra windows.
     """
     check_positive("window_size", window_size)
-    gen = as_generator(rng)
-    if homes is None:
-        homes = place_users(
-            network,
-            spec.n_users,
-            gen,
-            hotspot_fraction=spec.hotspot_fraction,
-            hotspot_weight=spec.hotspot_weight,
-        )
-    homes = np.asarray(homes, dtype=np.int64)
-    if homes.shape != (spec.n_users,):
-        raise ValueError(
-            f"homes must have shape ({spec.n_users},), got {homes.shape}"
-        )
-    n_windows = -(-spec.n_users // window_size)
-    children = gen.spawn(n_windows)
-    for w, child in enumerate(children):
-        lo = w * window_size
-        hi = min(lo + window_size, spec.n_users)
-        sub = replace(spec, n_users=hi - lo)
-        yield generate_request_batch(
-            network, app, sub, rng=child, homes=homes[lo:hi]
-        )
+
+    def _windows():
+        gen = as_generator(rng)
+        nonlocal homes
+        if homes is None:
+            homes = place_users(
+                network,
+                spec.n_users,
+                gen,
+                hotspot_fraction=spec.hotspot_fraction,
+                hotspot_weight=spec.hotspot_weight,
+            )
+        homes = np.asarray(homes, dtype=np.int64)
+        if homes.shape != (spec.n_users,):
+            raise ValueError(
+                f"homes must have shape ({spec.n_users},), got {homes.shape}"
+            )
+        n_windows = -(-spec.n_users // window_size)
+        children = gen.spawn(n_windows)
+        for w, child in enumerate(children):
+            lo = w * window_size
+            hi = min(lo + window_size, spec.n_users)
+            sub = replace(spec, n_users=hi - lo)
+            yield generate_request_batch(
+                network, app, sub, rng=child, homes=homes[lo:hi]
+            )
+
+    if prefetch:
+        from repro.workload.requests import prefetch_batches
+
+        return prefetch_batches(_windows(), depth=prefetch)
+    return _windows()
 
 
 def reindex_requests(requests: Sequence[UserRequest]) -> list[UserRequest]:

@@ -103,6 +103,69 @@ class TestPipeWorkerPool:
                 pool.call_all("add", [1])
 
 
+class TestSubmitJoin:
+    """The non-blocking dispatch pair behind the pipelined slot runtime."""
+
+    def test_submit_then_join_matches_call_all(self):
+        with PipeWorkerPool(_Echo, [(10,), (20,)]) as pool:
+            pool.submit_all("add", [1, 2])
+            assert pool.pending
+            assert pool.join_all() == [11, 22]
+            assert not pool.pending
+            # pool is reusable afterwards
+            assert pool.call_all("add", [3, 4]) == [13, 24]
+
+    def test_double_submit_raises(self):
+        with PipeWorkerPool(_Echo, [(0,)]) as pool:
+            pool.submit_all("add", [1])
+            with pytest.raises(RuntimeError, match="in flight"):
+                pool.submit_all("add", [2])
+            pool.join_all()
+
+    def test_join_without_submit_raises(self):
+        with PipeWorkerPool(_Echo, [(0,)]) as pool:
+            with pytest.raises(RuntimeError, match="no batch"):
+                pool.join_all()
+
+    def test_join_drains_failure_and_reaps(self):
+        """join_all keeps call_all's contract: a worker error drains the
+        remaining replies, closes the pool, and strands no children."""
+        pool = PipeWorkerPool(_Echo, [(0,), (0,), (0,)])
+        pool.submit_all("boom", [None, None, None])
+        with pytest.raises(RuntimeError, match="task exploded"):
+            pool.join_all()
+        _assert_reaped(pool)
+
+    def test_close_with_batch_in_flight_reaps_cleanly(self):
+        """The pipelined-teardown regression: an exception while a batch
+        is outstanding (the caller never joins) must drain the in-flight
+        replies and reap every worker."""
+        pool = PipeWorkerPool(_Echo, [(1,), (2,)])
+        pool.submit_all("add", [1, 1])
+        pool.close()
+        _assert_reaped(pool)
+        assert not pool.pending
+
+    def test_drop_with_batch_in_flight_reaps_via_finalizer(self):
+        import weakref
+
+        pool = PipeWorkerPool(_Echo, [(0,)])
+        pool.submit_all("add", [1])
+        procs = list(pool._procs)
+        ref = weakref.ref(pool)
+        del pool
+        assert ref() is None
+        for proc in procs:
+            proc.join(timeout=5.0)
+            assert not proc.is_alive()
+
+    def test_submit_after_close_raises(self):
+        pool = PipeWorkerPool(_Echo, [(0,)])
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit_all("add", [1])
+
+
 class TestShardWorkerPool:
     def test_workers_start_empty_and_load(self):
         with ShardWorkerPool(2) as pool:
